@@ -1,0 +1,536 @@
+// Benchmark harness: one bench per paper artifact (T1, F1–F3) and per
+// derived experiment (E4–E6), plus the ablations DESIGN.md calls out.
+// Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The benches report the experiment's headline quantity through
+// b.ReportMetric (e.g. drop-rate, JS divergence, hit ratio), so a bench
+// run doubles as a reproduction record; EXPERIMENTS.md snapshots them.
+package viewstags_test
+
+import (
+	"strconv"
+	"sync"
+	"testing"
+
+	"viewstags/internal/alexa"
+	"viewstags/internal/dist"
+	"viewstags/internal/geocache"
+	"viewstags/internal/mapchart"
+	"viewstags/internal/pipeline"
+	"viewstags/internal/placement"
+	"viewstags/internal/reconstruct"
+	"viewstags/internal/report"
+	"viewstags/internal/stats"
+	"viewstags/internal/synth"
+	"viewstags/internal/tagviews"
+)
+
+// benchScale is the shared fixture size: large enough for stable
+// statistics, small enough that the full bench suite runs in minutes.
+const benchScale = 12000
+
+var (
+	benchOnce sync.Once
+	benchRes  *pipeline.Result
+	benchErr  error
+)
+
+func benchFixture(b *testing.B) *pipeline.Result {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchRes, benchErr = pipeline.FromSynthetic(benchScale, 20110301, alexa.DefaultConfig())
+	})
+	if benchErr != nil {
+		b.Fatalf("fixture: %v", benchErr)
+	}
+	return benchRes
+}
+
+// BenchmarkT1DatasetPipeline regenerates the §2 dataset table: generate
+// → extract records → filter. Reported metric: drop-rate percent
+// (paper: 35.0%).
+func BenchmarkT1DatasetPipeline(b *testing.B) {
+	var drop float64
+	for i := 0; i < b.N; i++ {
+		res, err := pipeline.FromSynthetic(4000, uint64(i)+1, alexa.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		drop = res.Clean.Report.DropRate()
+	}
+	b.ReportMetric(100*drop, "droprate-%")
+}
+
+// BenchmarkF1TopVideoMap renders Fig. 1: the most-viewed video's
+// popularity map from its quantized pop vector. Reported metric: number
+// of countries at the 61 cap (paper: several, e.g. US and SG).
+func BenchmarkF1TopVideoMap(b *testing.B) {
+	res := benchFixture(b)
+	an := res.Analysis
+	best, bestViews := -1, int64(-1)
+	for i := 0; i < an.N(); i++ {
+		if v := an.Record(i).TotalViews; v > bestViews {
+			best, bestViews = i, v
+		}
+	}
+	pop, err := an.Record(best).PopVector(res.World)
+	if err != nil {
+		b.Fatal(err)
+	}
+	intens := make([]float64, len(pop))
+	capped := 0
+	for c, x := range pop {
+		intens[c] = float64(x)
+		if x == mapchart.MaxIntensity {
+			capped++
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := report.WorldMap(res.World, intens, "F1"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(capped), "countries-at-cap")
+}
+
+// BenchmarkF2GlobalTagMap regenerates Fig. 2: the tag 'pop' against the
+// world traffic distribution. Reported metric: JS divergence to traffic
+// (paper shape: small).
+func BenchmarkF2GlobalTagMap(b *testing.B) {
+	res := benchFixture(b)
+	var js float64
+	for i := 0; i < b.N; i++ {
+		p, ok := res.Analysis.TagProfile("pop")
+		if !ok {
+			b.Fatal("tag 'pop' missing")
+		}
+		if _, err := report.WorldMap(res.World, p.Views, "F2"); err != nil {
+			b.Fatal(err)
+		}
+		js = p.JSToTraffic
+	}
+	b.ReportMetric(js, "JS-to-traffic")
+}
+
+// BenchmarkF3LocalTagMap regenerates Fig. 3: the tag 'favela',
+// concentrated in Brazil. Reported metric: Brazil's share of the tag's
+// views (paper shape: dominant).
+func BenchmarkF3LocalTagMap(b *testing.B) {
+	res := benchFixture(b)
+	var brShare float64
+	br := res.World.MustByCode("BR")
+	for i := 0; i < b.N; i++ {
+		p, ok := res.Analysis.TagProfile("favela")
+		if !ok {
+			b.Fatal("tag 'favela' missing")
+		}
+		if _, err := report.WorldMap(res.World, p.Views, "F3"); err != nil {
+			b.Fatal(err)
+		}
+		brShare = dist.Normalize(p.Views)[br]
+	}
+	b.ReportMetric(100*brShare, "BR-share-%")
+}
+
+// BenchmarkE4ReconstructionSweep scores Eq. 1–2 reconstruction against
+// ground truth across Alexa noise levels. Reported metric: mean JS at
+// the highest noise level of the sweep.
+func BenchmarkE4ReconstructionSweep(b *testing.B) {
+	res := benchFixture(b)
+	cat := res.Catalog
+	var lastJS float64
+	for i := 0; i < b.N; i++ {
+		for _, sigma := range []float64{0, 0.1, 0.2, 0.4} {
+			pyt, err := alexa.Estimate(cat.World, alexa.Config{NoiseSigma: sigma, Seed: 2011})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var sum float64
+			n := 0
+			for j := range cat.Videos {
+				v := &cat.Videos[j]
+				if v.PopState != synth.PopStateOK || v.TotalViews < 1000 {
+					continue
+				}
+				rec, err := reconstruct.Views(v.PopVector, pyt, v.TotalViews)
+				if err != nil {
+					continue
+				}
+				q, err := reconstruct.Score(rec, v.TrueViews)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sum += q.JS
+				n++
+			}
+			lastJS = sum / float64(n)
+		}
+	}
+	b.ReportMetric(lastJS, "meanJS-sigma0.4")
+}
+
+// BenchmarkE5TagPrediction evaluates the paper's conjecture: hold-out
+// prediction of view fields from tags vs the baselines. Reported
+// metrics: the predictor's mean JS and its margin over the best
+// baseline.
+func BenchmarkE5TagPrediction(b *testing.B) {
+	res := benchFixture(b)
+	var r *tagviews.EvalResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = tagviews.Evaluate(res.World, res.Clean.Records, res.Clean.Pop, res.Pyt, tagviews.DefaultEvalConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.TagJS, "JS-tags")
+	best := r.PriorJS
+	if r.UploadJS < best {
+		best = r.UploadJS
+	}
+	b.ReportMetric(best-r.TagJS, "JS-margin-vs-best-baseline")
+	b.ReportMetric(r.TagTop1, "top1-accuracy")
+}
+
+// benchPredictions computes tag predictions for E6 once.
+var (
+	predOnce sync.Once
+	predVals [][]float64
+	predErr  error
+)
+
+func benchPredictions(b *testing.B) [][]float64 {
+	b.Helper()
+	res := benchFixture(b)
+	predOnce.Do(func() {
+		pred, err := tagviews.NewPredictor(res.Analysis, tagviews.WeightIDF)
+		if err != nil {
+			predErr = err
+			return
+		}
+		cat := res.Catalog
+		predVals = make([][]float64, len(cat.Videos))
+		for i := range cat.Videos {
+			names := cat.Videos[i].TagNames(cat.Vocab)
+			if len(names) == 0 {
+				continue
+			}
+			if p, ok := pred.Predict(names); ok {
+				predVals[i] = p
+			}
+		}
+	})
+	if predErr != nil {
+		b.Fatal(predErr)
+	}
+	return predVals
+}
+
+// BenchmarkE6GeoCache replays the request stream against each policy at
+// 64 slots/country. Reported metric per sub-bench: hit ratio.
+func BenchmarkE6GeoCache(b *testing.B) {
+	res := benchFixture(b)
+	preds := benchPredictions(b)
+	cfg := geocache.DefaultConfig()
+	cfg.Requests = 100_000
+	sim, err := geocache.NewSimulator(res.Catalog, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sim.SetPredictions(preds); err != nil {
+		b.Fatal(err)
+	}
+	for _, p := range []geocache.PolicyKind{
+		geocache.PolicyLRU, geocache.PolicyLFU, geocache.PolicyPopPush,
+		geocache.PolicyTagPush, geocache.PolicyHybrid, geocache.PolicyOracle,
+	} {
+		b.Run(p.String(), func(b *testing.B) {
+			var hit float64
+			for i := 0; i < b.N; i++ {
+				r, err := sim.Run(p, 64)
+				if err != nil {
+					b.Fatal(err)
+				}
+				hit = r.HitRatio
+			}
+			b.ReportMetric(hit, "hit-ratio")
+		})
+	}
+}
+
+// BenchmarkAblationWeighting compares the predictor's three tag
+// weighting schemes (DESIGN.md §5).
+func BenchmarkAblationWeighting(b *testing.B) {
+	res := benchFixture(b)
+	for _, w := range []tagviews.Weighting{tagviews.WeightUniform, tagviews.WeightByViews, tagviews.WeightIDF} {
+		b.Run(w.String(), func(b *testing.B) {
+			cfg := tagviews.DefaultEvalConfig()
+			cfg.Weighting = w
+			var r *tagviews.EvalResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				r, err = tagviews.Evaluate(res.World, res.Clean.Records, res.Clean.Pop, res.Pyt, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(r.TagJS, "JS-tags")
+		})
+	}
+}
+
+// BenchmarkAblationPushBudget sweeps the tag-push policy's per-country
+// capacity (DESIGN.md §5).
+func BenchmarkAblationPushBudget(b *testing.B) {
+	res := benchFixture(b)
+	preds := benchPredictions(b)
+	cfg := geocache.DefaultConfig()
+	cfg.Requests = 60_000
+	sim, err := geocache.NewSimulator(res.Catalog, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sim.SetPredictions(preds); err != nil {
+		b.Fatal(err)
+	}
+	for _, slots := range []int{16, 64, 256} {
+		b.Run(benchName("slots", slots), func(b *testing.B) {
+			var hit float64
+			for i := 0; i < b.N; i++ {
+				r, err := sim.Run(geocache.PolicyTagPush, slots)
+				if err != nil {
+					b.Fatal(err)
+				}
+				hit = r.HitRatio
+			}
+			b.ReportMetric(hit, "hit-ratio")
+		})
+	}
+}
+
+// BenchmarkAblationQuantization compares reconstruction loss under the
+// chart API's two encodings: simple (62 levels, what YouTube used) vs
+// extended (4096 levels) — isolating pure quantization error
+// (DESIGN.md §5).
+func BenchmarkAblationQuantization(b *testing.B) {
+	res := benchFixture(b)
+	cat := res.Catalog
+	pyt, err := alexa.Estimate(cat.World, alexa.Config{NoiseSigma: 0, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, levels := range []int{mapchart.MaxIntensity, mapchart.MaxExtended} {
+		b.Run(benchName("levels", levels), func(b *testing.B) {
+			var meanJS float64
+			for i := 0; i < b.N; i++ {
+				var sum float64
+				n := 0
+				views := make([]float64, cat.World.N())
+				for j := range cat.Videos {
+					v := &cat.Videos[j]
+					if v.PopState != synth.PopStateOK || v.TotalViews < 1000 {
+						continue
+					}
+					for c, x := range v.TrueViews {
+						views[c] = float64(x)
+					}
+					intens, err := mapchart.Intensity(views, cat.World.Traffic())
+					if err != nil {
+						b.Fatal(err)
+					}
+					pop := mapchart.QuantizeTo(intens, levels)
+					rec, err := reconstruct.Views(pop, pyt, v.TotalViews)
+					if err != nil {
+						continue
+					}
+					q, err := reconstruct.Score(rec, v.TrueViews)
+					if err != nil {
+						b.Fatal(err)
+					}
+					sum += q.JS
+					n++
+				}
+				meanJS = sum / float64(n)
+			}
+			b.ReportMetric(meanJS, "meanJS")
+		})
+	}
+}
+
+// BenchmarkTagAggregation measures the Eq. 3 aggregation core in
+// isolation (records/sec of the Build step).
+func BenchmarkTagAggregation(b *testing.B) {
+	res := benchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tagviews.Build(res.World, res.Clean.Records, res.Clean.Pop, res.Pyt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(res.Clean.Records)), "records/op")
+}
+
+// BenchmarkReconstructionThroughput measures single-video Eq. 1–2
+// inversion cost.
+func BenchmarkReconstructionThroughput(b *testing.B) {
+	res := benchFixture(b)
+	pop := res.Clean.Pop
+	recs := res.Clean.Records
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % len(recs)
+		if _, err := reconstruct.Views(pop[j], res.Pyt, recs[j].TotalViews); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMapChartRoundTrip measures chart URL encode+parse (the
+// crawler's per-video scrape cost).
+func BenchmarkMapChartRoundTrip(b *testing.B) {
+	codes := []string{"US", "GB", "FR", "DE", "BR", "JP", "KR", "IN", "RU", "MX"}
+	vals := []int{61, 40, 35, 30, 25, 20, 15, 10, 5, 1}
+	chart := &mapchart.Chart{Codes: codes, Intensities: vals}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u, err := chart.BuildURL()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := mapchart.ParseURL(u); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStatsSubstrate exercises the Gini/entropy path over the tag
+// corpus (used by the characterization reports).
+func BenchmarkStatsSubstrate(b *testing.B) {
+	res := benchFixture(b)
+	totals := make([]float64, 0, res.Analysis.NumTags())
+	for _, p := range res.Analysis.TopTags(res.Analysis.NumTags()) {
+		totals = append(totals, p.TotalViews)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = stats.Gini(totals)
+		_ = stats.Entropy(totals)
+	}
+}
+
+func benchName(prefix string, n int) string {
+	return prefix + "-" + strconv.Itoa(n)
+}
+
+// BenchmarkAblationTopicDrift sweeps the generator's topic-drift rate —
+// the fraction of videos whose topic anchors away from the uploader's
+// country. Drift is what makes tags a strictly better marker than
+// uploader location; the reported metric is the E5 JS margin of the tag
+// predictor over the upload-country baseline at each drift level.
+func BenchmarkAblationTopicDrift(b *testing.B) {
+	for _, drift := range []float64{0, 0.15, 0.30, 0.60} {
+		b.Run("drift-"+strconv.FormatFloat(drift, 'f', 2, 64), func(b *testing.B) {
+			var margin float64
+			for i := 0; i < b.N; i++ {
+				cfg := synth.DefaultConfig(5000)
+				cfg.TopicDrift = drift
+				res, err := pipeline.FromSyntheticConfig(cfg, alexa.DefaultConfig())
+				if err != nil {
+					b.Fatal(err)
+				}
+				r, err := tagviews.Evaluate(res.World, res.Clean.Records, res.Clean.Pop, res.Pyt, tagviews.DefaultEvalConfig())
+				if err != nil {
+					b.Fatal(err)
+				}
+				margin = r.UploadJS - r.TagJS
+			}
+			b.ReportMetric(margin, "JS-margin-over-upload")
+		})
+	}
+}
+
+// BenchmarkAblationTemporalLocality sweeps request-stream burstiness:
+// as temporal locality grows, reactive LRU closes the gap to tag-push
+// (the EXPERIMENTS.md validity note, quantified). Reported metric:
+// tag-push hit ratio minus LRU hit ratio.
+func BenchmarkAblationTemporalLocality(b *testing.B) {
+	res := benchFixture(b)
+	preds := benchPredictions(b)
+	for _, locality := range []float64{0, 0.25, 0.5} {
+		b.Run("locality-"+strconv.FormatFloat(locality, 'f', 2, 64), func(b *testing.B) {
+			var gap float64
+			for i := 0; i < b.N; i++ {
+				cfg := geocache.DefaultConfig()
+				cfg.Requests = 60_000
+				cfg.TemporalLocality = locality
+				sim, err := geocache.NewSimulator(res.Catalog, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := sim.SetPredictions(preds); err != nil {
+					b.Fatal(err)
+				}
+				tp, err := sim.Run(geocache.PolicyTagPush, 64)
+				if err != nil {
+					b.Fatal(err)
+				}
+				lru, err := sim.Run(geocache.PolicyLRU, 64)
+				if err != nil {
+					b.Fatal(err)
+				}
+				gap = tp.HitRatio - lru.HitRatio
+			}
+			b.ReportMetric(gap, "tagpush-minus-lru")
+		})
+	}
+}
+
+// BenchmarkE7Placement evaluates replica placement (the storage-layer
+// extension the paper's intro motivates): mean viewer-to-replica
+// distance per strategy at 3 replicas/video.
+func BenchmarkE7Placement(b *testing.B) {
+	res := benchFixture(b)
+	preds := benchPredictions(b)
+	ev, err := placement.NewEvaluator(res.Catalog, placement.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := ev.SetPredictions(preds); err != nil {
+		b.Fatal(err)
+	}
+	for _, s := range []placement.Strategy{
+		placement.StrategyHome, placement.StrategyPopular,
+		placement.StrategyPredicted, placement.StrategyOracle,
+	} {
+		b.Run(s.String(), func(b *testing.B) {
+			var r placement.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				r, err = ev.Evaluate(s)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(r.MeanKm, "mean-km")
+			b.ReportMetric(r.LocalFraction, "local-fraction")
+		})
+	}
+}
+
+// BenchmarkAggregationParallel measures the sharded Eq. 3 builder at
+// several worker counts (scalability of the core aggregation).
+func BenchmarkAggregationParallel(b *testing.B) {
+	res := benchFixture(b)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(benchName("workers", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := tagviews.BuildParallel(res.World, res.Clean.Records, res.Clean.Pop, res.Pyt, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

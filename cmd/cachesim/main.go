@@ -1,0 +1,178 @@
+// Command cachesim runs experiment E6 — the paper's proactive
+// geographic-caching conjecture. It builds the full pipeline, trains the
+// tag predictor on the filtered crawl, predicts every catalog video's
+// view distribution from its tags, and replays a ground-truth request
+// stream against five placement policies across a capacity sweep.
+//
+// Usage:
+//
+//	cachesim -synth 20000 -requests 200000 -slots 16,64,256
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"viewstags/internal/alexa"
+	"viewstags/internal/geo"
+	"viewstags/internal/geocache"
+	"viewstags/internal/pipeline"
+	"viewstags/internal/placement"
+	"viewstags/internal/report"
+	"viewstags/internal/synth"
+	"viewstags/internal/tagviews"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cachesim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		synthN     = flag.Int("synth", 10000, "synthetic catalog size")
+		seed       = flag.Uint64("seed", 20110301, "generation seed")
+		requests   = flag.Int("requests", 200000, "request-stream length")
+		slotsArg   = flag.String("slots", "16,64,256", "comma-separated per-country cache capacities")
+		sigma      = flag.Float64("alexa-noise", 0.10, "Alexa estimator noise σ")
+		replicas   = flag.Int("replicas", 3, "replicas per video for the E7 placement experiment (0 = skip)")
+		perCountry = flag.Bool("percountry", false, "print per-country hit ratios for the tag-push policy")
+	)
+	flag.Parse()
+
+	slots, err := parseInts(*slotsArg)
+	if err != nil {
+		return err
+	}
+
+	acfg := alexa.DefaultConfig()
+	acfg.NoiseSigma = *sigma
+	res, err := pipeline.FromSynthetic(*synthN, *seed, acfg)
+	if err != nil {
+		return err
+	}
+	cat := res.Catalog
+
+	// Tag-predicted demand for every catalog video, from the filtered
+	// crawl's tag profiles (the cache never sees ground truth).
+	pred, err := tagviews.NewPredictor(res.Analysis, tagviews.WeightIDF)
+	if err != nil {
+		return err
+	}
+	predictions := make([][]float64, len(cat.Videos))
+	for i := range cat.Videos {
+		names := cat.Videos[i].TagNames(cat.Vocab)
+		if len(names) == 0 {
+			continue
+		}
+		if p, covered := pred.Predict(names); covered {
+			predictions[i] = p
+		}
+	}
+
+	scfg := geocache.DefaultConfig()
+	scfg.Requests = *requests
+	scfg.Seed = *seed
+	sim, err := geocache.NewSimulator(cat, scfg)
+	if err != nil {
+		return err
+	}
+	if err := sim.SetPredictions(predictions); err != nil {
+		return err
+	}
+
+	policies := []geocache.PolicyKind{
+		geocache.PolicyLRU, geocache.PolicyLFU, geocache.PolicyPopPush,
+		geocache.PolicyTagPush, geocache.PolicyHybrid, geocache.PolicyOracle,
+	}
+	results, err := sim.Sweep(policies, slots)
+	if err != nil {
+		return err
+	}
+
+	t := report.NewTable("E6: slots/country", "policy", "hit ratio", "origin egress")
+	i := 0
+	for _, sl := range slots {
+		for range policies {
+			r := results[i]
+			t.AddRowf("%d\t%s\t%.4f\t%d", sl, r.Policy, r.HitRatio, r.OriginEgress)
+			i++
+		}
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	if *perCountry {
+		fmt.Println()
+		if err := printPerCountry(res, sim, slots[len(slots)-1]); err != nil {
+			return err
+		}
+	}
+	if *replicas > 0 {
+		fmt.Println()
+		return runE7(cat, predictions, *replicas)
+	}
+	return nil
+}
+
+// geoID converts a dense loop index to the typed country id.
+func geoID(c int) geo.CountryID { return geo.CountryID(c) }
+
+// printPerCountry breaks the tag-push policy's hit ratio down by
+// country at the largest swept capacity.
+func printPerCountry(res *pipeline.Result, sim *geocache.Simulator, slots int) error {
+	r, err := sim.Run(geocache.PolicyTagPush, slots)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("country", "requests", "hit ratio")
+	for c := 0; c < res.World.N(); c++ {
+		id := geoID(c)
+		if r.CountryRequests[c] == 0 {
+			continue
+		}
+		t.AddRowf("%s\t%d\t%.4f", res.World.Country(id).Code, r.CountryRequests[c], r.CountryHitRatio(id))
+	}
+	return t.Render(os.Stdout)
+}
+
+// runE7 evaluates replica placement (the storage-layer extension).
+func runE7(cat *synth.Catalog, predictions [][]float64, replicas int) error {
+	e, err := placement.NewEvaluator(cat, placement.Config{Replicas: replicas})
+	if err != nil {
+		return err
+	}
+	if err := e.SetPredictions(predictions); err != nil {
+		return err
+	}
+	t := report.NewTable("E7: strategy", "replicas", "mean km to replica", "local-hit fraction")
+	for _, s := range []placement.Strategy{
+		placement.StrategyHome, placement.StrategyPopular,
+		placement.StrategyPredicted, placement.StrategyOracle,
+	} {
+		r, err := e.Evaluate(s)
+		if err != nil {
+			return err
+		}
+		t.AddRowf("%s\t%d\t%.0f\t%.3f", r.Strategy, r.Replicas, r.MeanKm, r.LocalFraction)
+	}
+	return t.Render(os.Stdout)
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("invalid slot count %q", p)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

@@ -1,0 +1,97 @@
+// Command crawl runs the paper's §2 data collection against a GData API
+// (normally cmd/ytsim): seed from the 25 countries' most_popular feeds,
+// snowball over related videos, write the raw dataset as JSONL.
+//
+// Usage:
+//
+//	crawl -api http://127.0.0.1:8080 -out dataset.jsonl.gz [-max 100000]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"viewstags/internal/crawler"
+	"viewstags/internal/dataset"
+	"viewstags/internal/geo"
+	"viewstags/internal/ytapi"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "crawl:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		api        = flag.String("api", "http://127.0.0.1:8080", "API base URL")
+		key        = flag.String("key", "", "developer key")
+		out        = flag.String("out", "dataset.jsonl.gz", "output dataset path (.jsonl or .jsonl.gz)")
+		max        = flag.Int("max", 0, "stop after this many videos (0 = exhaust)")
+		workers    = flag.Int("workers", 16, "concurrent fetchers")
+		rps        = flag.Float64("rps", 0, "client-side politeness limit, requests/s")
+		seeds      = flag.String("seeds", strings.Join(geo.YouTube2011Locales, ","), "comma-separated seed country codes")
+		checkpoint = flag.String("checkpoint", "", "checkpoint path (resume if present)")
+		every      = flag.Int("checkpoint-every", 5000, "records between checkpoints")
+	)
+	flag.Parse()
+
+	cfg := crawler.DefaultConfig()
+	cfg.SeedRegions = strings.Split(*seeds, ",")
+	cfg.MaxVideos = *max
+	cfg.Workers = *workers
+	cfg.RequestsPerSec = *rps
+	cfg.CheckpointPath = *checkpoint
+	cfg.CheckpointEvery = *every
+
+	c, err := crawler.New(ytapi.NewClient(*api, *key, nil), cfg)
+	if err != nil {
+		return err
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	start := time.Now()
+	res, err := c.Run(ctx)
+	if err != nil {
+		// A cancelled crawl still wrote a checkpoint; report and keep
+		// whatever was collected.
+		fmt.Fprintf(os.Stderr, "crawl interrupted: %v\n", err)
+	}
+	fmt.Fprintf(os.Stderr, "crawl: %v in %v\n", res.Stats, time.Since(start).Round(time.Millisecond))
+	printWaves(res)
+
+	if err := dataset.SaveFile(*out, res.Records); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d records to %s\n", len(res.Records), *out)
+	return nil
+}
+
+// printWaves summarizes the snowball's breadth-first expansion: how many
+// records each BFS wave contributed.
+func printWaves(res *crawler.Result) {
+	if len(res.Depths) == 0 {
+		return
+	}
+	counts := make([]int, res.Stats.MaxDepth+1)
+	for _, d := range res.Depths {
+		if d >= 0 && d < len(counts) {
+			counts[d]++
+		}
+	}
+	fmt.Fprint(os.Stderr, "snowball waves:")
+	for d, n := range counts {
+		fmt.Fprintf(os.Stderr, " %d:%d", d, n)
+	}
+	fmt.Fprintln(os.Stderr)
+}

@@ -1,0 +1,167 @@
+// Command figures regenerates the paper's three figures over the
+// synthetic pipeline:
+//
+//	F1 — popularity map of the most-viewed video (paper: Justin Bieber –
+//	     Baby ft. Ludacris), rendered from its quantized pop(v)
+//	F2 — views(t) map of the top global tag 'pop', which follows the
+//	     world distribution of YouTube users
+//	F3 — views(t) map of the tag 'favela', concentrated in Brazil
+//
+// Each figure prints an ASCII world map and, with -csv DIR, writes the
+// underlying per-country series as CSV.
+//
+// Usage:
+//
+//	figures -synth 30000 [-fig 1|2|3|all] [-csv out/]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"viewstags/internal/alexa"
+	"viewstags/internal/dist"
+	"viewstags/internal/geo"
+	"viewstags/internal/pipeline"
+	"viewstags/internal/report"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		synthN = flag.Int("synth", 20000, "synthetic catalog size")
+		seed   = flag.Uint64("seed", 20110301, "generation seed")
+		fig    = flag.String("fig", "all", "which figure: 1, 2, 3 or all")
+		csvDir = flag.String("csv", "", "directory for CSV series (optional)")
+		sigma  = flag.Float64("alexa-noise", 0.10, "Alexa estimator noise σ")
+	)
+	flag.Parse()
+
+	acfg := alexa.DefaultConfig()
+	acfg.NoiseSigma = *sigma
+	res, err := pipeline.FromSynthetic(*synthN, *seed, acfg)
+	if err != nil {
+		return err
+	}
+
+	want := map[string]bool{}
+	if *fig == "all" {
+		want["1"], want["2"], want["3"] = true, true, true
+	} else {
+		want[*fig] = true
+	}
+	if want["1"] {
+		if err := figure1(res, *csvDir); err != nil {
+			return err
+		}
+	}
+	if want["2"] {
+		if err := figureTag(res, "pop", 2,
+			"Fig. 2 — the tag 'pop' tends to follow the world distribution of YouTube users", *csvDir); err != nil {
+			return err
+		}
+	}
+	if want["3"] {
+		if err := figureTag(res, "favela", 3,
+			"Fig. 3 — videos associated with the tag 'favela' are mostly viewed in Brazil", *csvDir); err != nil {
+			return err
+		}
+	}
+	if !want["1"] && !want["2"] && !want["3"] {
+		return fmt.Errorf("unknown -fig %q", *fig)
+	}
+	return nil
+}
+
+// figure1 renders the most-viewed video's popularity map from its
+// quantized pop vector — exactly the artifact the paper's Fig. 1 shows.
+func figure1(res *pipeline.Result, csvDir string) error {
+	an := res.Analysis
+	best, bestViews := -1, int64(-1)
+	for i := 0; i < an.N(); i++ {
+		if v := an.Record(i).TotalViews; v > bestViews {
+			best, bestViews = i, v
+		}
+	}
+	if best < 0 {
+		return fmt.Errorf("empty dataset")
+	}
+	rec := an.Record(best)
+	pop, err := rec.PopVector(res.World)
+	if err != nil {
+		return err
+	}
+	intens := make([]float64, len(pop))
+	capped := 0
+	for c, x := range pop {
+		intens[c] = float64(x)
+		if x == 61 {
+			capped++
+		}
+	}
+	title := fmt.Sprintf("Fig. 1 — popularity map of the most-viewed video: %q (%d views; %d countries at the 61 cap)",
+		rec.Title, rec.TotalViews, capped)
+	m, err := report.WorldMap(res.World, intens, title)
+	if err != nil {
+		return err
+	}
+	fmt.Println(m)
+	if csvDir != "" {
+		return writeSeries(res.World, intens, filepath.Join(csvDir, "fig1_top_video_popmap.csv"), "intensity")
+	}
+	return nil
+}
+
+func figureTag(res *pipeline.Result, tag string, figNo int, caption, csvDir string) error {
+	p, ok := res.Analysis.TagProfile(tag)
+	if !ok {
+		return fmt.Errorf("tag %q not present; increase -synth", tag)
+	}
+	title := fmt.Sprintf("%s\n(tag %q: %d videos, JS-to-traffic %.3f, top %s %.1f%%, spread %s)",
+		caption, tag, p.Videos, p.JSToTraffic,
+		res.World.Country(p.TopCountry).Code, 100*p.TopShare, p.Spread)
+	m, err := report.WorldMap(res.World, p.Views, title)
+	if err != nil {
+		return err
+	}
+	fmt.Println(m)
+	if csvDir != "" {
+		return writeSeries(res.World, p.Views,
+			filepath.Join(csvDir, fmt.Sprintf("fig%d_tag_%s.csv", figNo, tag)), "views")
+	}
+	return nil
+}
+
+func writeSeries(world *geo.World, values []float64, path, valueHeader string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = f.Close() }()
+	p := dist.Normalize(values)
+	rows := make([][]string, world.N())
+	for c := 0; c < world.N(); c++ {
+		rows[c] = []string{
+			world.Country(geo.CountryID(c)).Code,
+			strconv.FormatFloat(values[c], 'g', -1, 64),
+			strconv.FormatFloat(p[c], 'g', -1, 64),
+		}
+	}
+	if err := report.WriteCSV(f, []string{"country", valueHeader, "share"}, rows); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
+}

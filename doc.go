@@ -1,0 +1,14 @@
+// Package viewstags is a full reproduction of "From Views to Tags
+// Distribution in Youtube" (Delbruel & Taïani, Middleware'14): a
+// measurement pipeline that crawls a (simulated) 2011 YouTube Data API,
+// reconstructs per-country view distributions from quantized Map-Chart
+// popularity vectors, aggregates them per tag, and uses tag geographic
+// profiles as predictive markers for view placement and proactive
+// geographic caching.
+//
+// See DESIGN.md for the system inventory, EXPERIMENTS.md for the
+// paper-vs-measured record, and bench_test.go for the per-figure
+// regeneration harness. The root package carries no code — the library
+// lives under internal/, the binaries under cmd/, and runnable examples
+// under examples/.
+package viewstags

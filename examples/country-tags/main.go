@@ -1,0 +1,71 @@
+// Country tags: the dual reading of the paper's title — the
+// distribution of views over *tags* within a country, plus tag-space
+// geometry (which tags are consumed in the same places).
+//
+//	go run ./examples/country-tags
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"viewstags/internal/alexa"
+	"viewstags/internal/pipeline"
+	"viewstags/internal/report"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "country-tags:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	res, err := pipeline.FromSynthetic(10000, 7, alexa.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	an := res.Analysis
+
+	// Per-country tag consumption for three differently sized markets.
+	t := report.NewTable("country", "distinct tags", "Gini", "entropy (bits)", "top tag", "its share")
+	for _, code := range []string{"US", "BR", "IE"} {
+		id, _ := res.World.ByCode(code)
+		p, err := an.CountryProfile(id, 1)
+		if err != nil {
+			return err
+		}
+		top, share := "-", 0.0
+		if len(p.TopTags) > 0 {
+			top, share = p.TopTags[0].Name, p.TopTags[0].Share
+		}
+		t.AddRowf("%s\t%d\t%.3f\t%.2f\t%s\t%.2f%%", code, p.DistinctTags, p.Gini, p.Entropy, top, 100*share)
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+
+	// Tag-space neighbourhoods: the tags geographically nearest to
+	// 'favela' should be other Brazilian/Lusophone tags.
+	fmt.Println("\ntags consumed in the same places as 'favela' (JS divergence, min 5 videos):")
+	names, dists, err := an.NearestTags("favela", 8, 5)
+	if err != nil {
+		return err
+	}
+	for i := range names {
+		p, _ := an.TagProfile(names[i])
+		fmt.Printf("  %-14s JS=%.3f top=%s\n", names[i], dists[i], res.World.Country(p.TopCountry).Code)
+	}
+
+	// And the contrast: neighbours of the global tag 'pop'.
+	fmt.Println("\ntags consumed in the same places as 'pop':")
+	names, dists, err = an.NearestTags("pop", 5, 5)
+	if err != nil {
+		return err
+	}
+	for i := range names {
+		fmt.Printf("  %-14s JS=%.3f\n", names[i], dists[i])
+	}
+	return nil
+}

@@ -1,0 +1,56 @@
+// Quickstart: the complete paper pipeline in ~40 lines.
+//
+// It generates a small synthetic YouTube world, filters it the way the
+// paper filters its crawl (§2), reconstructs per-country view fields
+// from the quantized popularity vectors (§3, Eq. 1–2), aggregates tag
+// view fields (Eq. 3), and prints the geographic profile of two tags
+// with opposite personalities — 'pop' (global) and 'favela' (Brazilian).
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"viewstags/internal/alexa"
+	"viewstags/internal/pipeline"
+	"viewstags/internal/report"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// One call: synthetic world → §2 filter → Alexa estimate →
+	// reconstruction → per-tag aggregation.
+	res, err := pipeline.FromSynthetic(8000, 42, alexa.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dataset: %v\n", res.Clean.Report)
+	uniqueTags, views := res.Clean.UniqueTags()
+	fmt.Printf("kept %d videos, %d unique tags, %d total views\n\n",
+		res.Clean.Report.Kept, uniqueTags, views)
+
+	for _, tag := range []string{"pop", "favela"} {
+		p, ok := res.Analysis.TagProfile(tag)
+		if !ok {
+			fmt.Printf("tag %q not sampled at this scale\n", tag)
+			continue
+		}
+		fmt.Printf("tag %q: %d videos, top country %s (%.1f%% of views), spread=%s, JS-to-traffic=%.3f\n",
+			p.Name, p.Videos, res.World.Country(p.TopCountry).Code,
+			100*p.TopShare, p.Spread, p.JSToTraffic)
+		bars, err := report.CountryBars(res.World, p.Views, 5)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bars)
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+// Tag profiles: the paper's §3 characterization at dataset scale — which
+// tags are local, which are global, and how concentration is
+// distributed, including the top-tags table and an entropy histogram.
+//
+//	go run ./examples/tag-profiles
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"viewstags/internal/alexa"
+	"viewstags/internal/dist"
+	"viewstags/internal/pipeline"
+	"viewstags/internal/report"
+	"viewstags/internal/stats"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tag-profiles:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	res, err := pipeline.FromSynthetic(15000, 2011, alexa.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	an := res.Analysis
+
+	// The paper's headline observation, quantified over every tag.
+	census := an.SpreadCensus()
+	fmt.Printf("%d tags: %d local, %d regional, %d global\n\n",
+		an.NumTags(), census[dist.SpreadLocal], census[dist.SpreadRegional], census[dist.SpreadGlobal])
+
+	// Top tags by views — the 'pop' end of the spectrum.
+	t := report.NewTable("tag", "videos", "top country", "top share", "spread", "JS to traffic")
+	for _, p := range an.TopTags(12) {
+		t.AddRowf("%s\t%d\t%s\t%.1f%%\t%s\t%.3f",
+			p.Name, p.Videos, res.World.Country(p.TopCountry).Code,
+			100*p.TopShare, p.Spread, p.JSToTraffic)
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+
+	// Entropy histogram over all tags with >= 3 videos: the bimodal
+	// local/global structure the paper's Figs. 2–3 exemplify.
+	h, err := stats.NewHistogram(0, 6, 12)
+	if err != nil {
+		return err
+	}
+	var entropies []float64
+	for _, name := range an.TagNames() {
+		p, _ := an.TagProfile(name)
+		if p.Videos < 3 {
+			continue
+		}
+		h.Add(p.Entropy)
+		entropies = append(entropies, p.Entropy)
+	}
+	fmt.Printf("\nentropy of tag view fields (bits), tags with >= 3 videos (n=%d, median %.2f):\n",
+		len(entropies), stats.Median(entropies))
+	fmt.Print(h.Render(46))
+
+	// The most Brazilian tags, for flavor: highest BR share among tags
+	// with enough videos.
+	br := res.World.MustByCode("BR")
+	type brTag struct {
+		name  string
+		share float64
+	}
+	var best brTag
+	for _, name := range an.TagNames() {
+		p, _ := an.TagProfile(name)
+		if p.Videos < 5 {
+			continue
+		}
+		share := dist.Normalize(p.Views)[br]
+		if share > best.share {
+			best = brTag{name: name, share: share}
+		}
+	}
+	fmt.Printf("\nmost Brazilian tag (>=5 videos): %q at %.1f%% BR share\n", best.name, 100*best.share)
+	return nil
+}

@@ -1,0 +1,175 @@
+// Integration tests at repository scope: the headline shapes of every
+// experiment, end to end, on the shared bench fixture. These are the
+// tests DESIGN.md's experiment index points at.
+package viewstags_test
+
+import (
+	"math"
+	"testing"
+
+	"viewstags/internal/alexa"
+	"viewstags/internal/dist"
+	"viewstags/internal/geocache"
+	"viewstags/internal/mapchart"
+	"viewstags/internal/pipeline"
+	"viewstags/internal/tagviews"
+)
+
+func testFixture(t *testing.T) *pipeline.Result {
+	t.Helper()
+	benchOnce.Do(func() {
+		benchRes, benchErr = pipeline.FromSynthetic(benchScale, 20110301, alexa.DefaultConfig())
+	})
+	if benchErr != nil {
+		t.Fatalf("fixture: %v", benchErr)
+	}
+	return benchRes
+}
+
+// TestT1FilteringRatios verifies the §2 dataset proportions: ~0.63% of
+// videos untagged, ~35% dropped overall, unique tags ≈ 0.66 per crawled
+// video, mean views per kept video within an order of magnitude of the
+// paper's 2.5×10⁵.
+func TestT1FilteringRatios(t *testing.T) {
+	res := testFixture(t)
+	r := res.Clean.Report
+	n := float64(r.Crawled)
+
+	untagged := float64(r.Untagged) / n
+	if math.Abs(untagged-0.00633) > 0.004 {
+		t.Errorf("untagged rate %.5f, paper 0.00633", untagged)
+	}
+	drop := r.DropRate()
+	if math.Abs(drop-0.35) > 0.05 {
+		t.Errorf("drop rate %.3f, paper 0.350", drop)
+	}
+	uniqueTags, views := res.Clean.UniqueTags()
+	tagsPerVideo := float64(uniqueTags) / n
+	if tagsPerVideo < 0.2 || tagsPerVideo > 1.2 {
+		t.Errorf("unique tags per crawled video %.2f, paper 0.66", tagsPerVideo)
+	}
+	meanViews := float64(views) / float64(r.Kept)
+	if meanViews < 2.5e3 || meanViews > 2.5e6 {
+		t.Errorf("mean views per kept video %.0f, paper ~2.5e5 (order-of-magnitude check)", meanViews)
+	}
+}
+
+// TestF1TopVideoShape: the most-viewed video's popularity map is broad
+// (many countries with data) and capped at 61 — the Fig. 1 artifact.
+func TestF1TopVideoShape(t *testing.T) {
+	res := testFixture(t)
+	an := res.Analysis
+	best, bestViews := -1, int64(-1)
+	for i := 0; i < an.N(); i++ {
+		if v := an.Record(i).TotalViews; v > bestViews {
+			best, bestViews = i, v
+		}
+	}
+	pop, err := an.Record(best).PopVector(res.World)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonZero, maxV := 0, 0
+	for _, x := range pop {
+		if x > 0 {
+			nonZero++
+		}
+		if x > maxV {
+			maxV = x
+		}
+	}
+	if maxV != mapchart.MaxIntensity {
+		t.Errorf("top video max intensity %d, want 61", maxV)
+	}
+	if nonZero < res.World.N()/3 {
+		t.Errorf("top video has data in only %d/%d countries; Fig. 1 is near-global", nonZero, res.World.N())
+	}
+}
+
+// TestF2F3TagContrast: the Fig. 2 / Fig. 3 dichotomy on the fixture.
+func TestF2F3TagContrast(t *testing.T) {
+	res := testFixture(t)
+	popP, ok := res.Analysis.TagProfile("pop")
+	if !ok {
+		t.Fatal("'pop' missing")
+	}
+	favP, ok := res.Analysis.TagProfile("favela")
+	if !ok {
+		t.Fatal("'favela' missing")
+	}
+	if popP.Spread != dist.SpreadGlobal {
+		t.Errorf("'pop' spread = %v, want global", popP.Spread)
+	}
+	if favP.Spread == dist.SpreadGlobal {
+		t.Errorf("'favela' spread = %v, want concentrated", favP.Spread)
+	}
+	br := res.World.MustByCode("BR")
+	if favP.TopCountry != br {
+		t.Errorf("'favela' top country = %v, want BR", res.World.Country(favP.TopCountry).Code)
+	}
+	if favP.TopShare < 0.5 {
+		t.Errorf("'favela' BR share %.3f, want > 0.5", favP.TopShare)
+	}
+	if popP.JSToTraffic >= favP.JSToTraffic/2.5 {
+		t.Errorf("JS(pop)=%.3f not well below JS(favela)=%.3f", popP.JSToTraffic, favP.JSToTraffic)
+	}
+}
+
+// TestE5PredictorWins: the conjecture holds — tags beat both baselines.
+func TestE5PredictorWins(t *testing.T) {
+	res := testFixture(t)
+	r, err := tagviews.Evaluate(res.World, res.Clean.Records, res.Clean.Pop, res.Pyt, tagviews.DefaultEvalConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TagJS >= r.PriorJS || r.TagJS >= r.UploadJS {
+		t.Errorf("tag predictor JS %.4f vs prior %.4f, upload %.4f — must beat both", r.TagJS, r.PriorJS, r.UploadJS)
+	}
+	if r.TagTop1 <= r.PriorTop1 {
+		t.Errorf("tag top-1 %.3f not above prior %.3f", r.TagTop1, r.PriorTop1)
+	}
+}
+
+// TestE6PolicyOrdering: the caching conjecture's headline ordering at 64
+// slots per country.
+func TestE6PolicyOrdering(t *testing.T) {
+	res := testFixture(t)
+	pred, err := tagviews.NewPredictor(res.Analysis, tagviews.WeightIDF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := res.Catalog
+	predictions := make([][]float64, len(cat.Videos))
+	for i := range cat.Videos {
+		names := cat.Videos[i].TagNames(cat.Vocab)
+		if len(names) == 0 {
+			continue
+		}
+		if p, ok := pred.Predict(names); ok {
+			predictions[i] = p
+		}
+	}
+	cfg := geocache.DefaultConfig()
+	cfg.Requests = 80_000
+	sim, err := geocache.NewSimulator(cat, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.SetPredictions(predictions); err != nil {
+		t.Fatal(err)
+	}
+	get := func(p geocache.PolicyKind) float64 {
+		r, err := sim.Run(p, 64)
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		return r.HitRatio
+	}
+	lru := get(geocache.PolicyLRU)
+	pop := get(geocache.PolicyPopPush)
+	tag := get(geocache.PolicyTagPush)
+	oracle := get(geocache.PolicyOracle)
+	if !(oracle >= tag && tag > pop && tag > lru) {
+		t.Errorf("policy ordering violated: oracle=%.4f tag=%.4f pop=%.4f lru=%.4f", oracle, tag, pop, lru)
+	}
+}

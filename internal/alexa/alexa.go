@@ -1,0 +1,137 @@
+// Package alexa stands in for Alexa Internet's per-country YouTube
+// traffic panel, the external estimator the paper leans on for Eq. (2):
+// p̂_yt[c], the share of worldwide YouTube views originating from
+// country c.
+//
+// Alexa was retired in 2022, so the estimator is simulated: it observes
+// the world's ground-truth traffic prior through configurable
+// multiplicative log-normal noise, optionally truncates to the top-K
+// countries it "panels" (Alexa's public per-site country table was
+// head-heavy), and renormalizes. The noise level is an ablation knob:
+// experiment E4 sweeps it to show how estimator error propagates through
+// the paper's reconstruction.
+package alexa
+
+import (
+	"fmt"
+	"math"
+
+	"viewstags/internal/geo"
+	"viewstags/internal/xrand"
+)
+
+// Config controls the estimator's fidelity.
+type Config struct {
+	// NoiseSigma is the σ of the multiplicative log-normal observation
+	// noise. 0 = a perfect estimator (p̂ = p).
+	NoiseSigma float64
+
+	// TopK, when > 0, keeps only the K largest estimated shares and
+	// spreads the remaining mass uniformly over the truncated countries
+	// (Alexa listed a bounded country table per site).
+	TopK int
+
+	// Seed makes the estimate reproducible.
+	Seed uint64
+}
+
+// DefaultConfig is a mildly imperfect estimator: ~10% relative error,
+// full country table.
+func DefaultConfig() Config {
+	return Config{NoiseSigma: 0.10, Seed: 2011}
+}
+
+// Estimate returns p̂_yt: a normalized estimate of the world's YouTube
+// traffic distribution. It returns an error for invalid configuration.
+func Estimate(world *geo.World, cfg Config) ([]float64, error) {
+	if cfg.NoiseSigma < 0 {
+		return nil, fmt.Errorf("alexa: negative noise sigma %v", cfg.NoiseSigma)
+	}
+	if cfg.TopK < 0 || cfg.TopK > world.N() {
+		return nil, fmt.Errorf("alexa: TopK %d outside [0, %d]", cfg.TopK, world.N())
+	}
+	truth := world.Traffic()
+	est := make([]float64, len(truth))
+	src := xrand.NewSource(cfg.Seed)
+	for c, p := range truth {
+		noise := 1.0
+		if cfg.NoiseSigma > 0 {
+			noise = math.Exp(cfg.NoiseSigma*src.NormFloat64() - cfg.NoiseSigma*cfg.NoiseSigma/2)
+		}
+		est[c] = p * noise
+	}
+	if cfg.TopK > 0 && cfg.TopK < len(est) {
+		truncateToTopK(est, cfg.TopK)
+	}
+	normalize(est)
+	return est, nil
+}
+
+// truncateToTopK zeroes everything below the K-th largest share, then
+// redistributes the lost mass uniformly across the zeroed countries —
+// the estimator knows "rest of world" exists but not its split.
+func truncateToTopK(est []float64, k int) {
+	// Find the K-th largest value by partial selection (n is small: the
+	// country table), so a full sort copy is fine.
+	sorted := append([]float64(nil), est...)
+	// Insertion-select the top k threshold.
+	for i := 0; i < k; i++ {
+		maxJ := i
+		for j := i + 1; j < len(sorted); j++ {
+			if sorted[j] > sorted[maxJ] {
+				maxJ = j
+			}
+		}
+		sorted[i], sorted[maxJ] = sorted[maxJ], sorted[i]
+	}
+	threshold := sorted[k-1]
+	// Count strictly-greater entries first, then admit threshold ties in
+	// table order until exactly k survive (ties at the cut are real:
+	// equal internet-user estimates produce equal shares).
+	greater := 0
+	for _, p := range est {
+		if p > threshold {
+			greater++
+		}
+	}
+	tieBudget := k - greater
+	var lost float64
+	zeroed := 0
+	for c, p := range est {
+		if p > threshold {
+			continue
+		}
+		if p == threshold && tieBudget > 0 {
+			tieBudget--
+			continue
+		}
+		lost += p
+		est[c] = 0
+		zeroed++
+	}
+	if zeroed > 0 && lost > 0 {
+		share := lost / float64(zeroed)
+		for c, p := range est {
+			if p == 0 {
+				est[c] = share
+			}
+		}
+	}
+}
+
+func normalize(xs []float64) {
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	if sum <= 0 {
+		u := 1 / float64(len(xs))
+		for i := range xs {
+			xs[i] = u
+		}
+		return
+	}
+	for i := range xs {
+		xs[i] /= sum
+	}
+}

@@ -1,0 +1,124 @@
+package alexa
+
+import (
+	"math"
+	"testing"
+
+	"viewstags/internal/geo"
+)
+
+func TestPerfectEstimatorMatchesTruth(t *testing.T) {
+	w := geo.DefaultWorld()
+	est, err := Estimate(w, Config{NoiseSigma: 0, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := w.Traffic()
+	for c := range truth {
+		if math.Abs(est[c]-truth[c]) > 1e-12 {
+			t.Fatalf("noiseless estimate deviates at %d: %v vs %v", c, est[c], truth[c])
+		}
+	}
+}
+
+func TestEstimateNormalized(t *testing.T) {
+	w := geo.DefaultWorld()
+	for _, sigma := range []float64{0, 0.1, 0.5, 1.0} {
+		est, err := Estimate(w, Config{NoiseSigma: sigma, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, p := range est {
+			if p < 0 {
+				t.Fatalf("sigma=%v: negative share", sigma)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("sigma=%v: shares sum to %v", sigma, sum)
+		}
+	}
+}
+
+func TestEstimateDeterministic(t *testing.T) {
+	w := geo.DefaultWorld()
+	a, err := Estimate(w, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Estimate(w, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range a {
+		if a[c] != b[c] {
+			t.Fatal("estimator not deterministic")
+		}
+	}
+}
+
+func TestNoiseGrowsWithSigma(t *testing.T) {
+	w := geo.DefaultWorld()
+	truth := w.Traffic()
+	err01 := estimationError(t, w, truth, 0.1)
+	err08 := estimationError(t, w, truth, 0.8)
+	if err08 <= err01 {
+		t.Fatalf("error at sigma 0.8 (%v) not above sigma 0.1 (%v)", err08, err01)
+	}
+}
+
+func estimationError(t *testing.T, w *geo.World, truth []float64, sigma float64) float64 {
+	t.Helper()
+	est, err := Estimate(w, Config{NoiseSigma: sigma, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for c := range truth {
+		sum += math.Abs(est[c] - truth[c])
+	}
+	return sum
+}
+
+func TestTopKTruncation(t *testing.T) {
+	w := geo.DefaultWorld()
+	est, err := Estimate(w, Config{NoiseSigma: 0, TopK: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All truncated countries share one uniform remainder value; exactly
+	// 10 countries should exceed it.
+	minV := est[0]
+	for _, p := range est {
+		if p < minV {
+			minV = p
+		}
+	}
+	above := 0
+	for _, p := range est {
+		if p > minV+1e-15 {
+			above++
+		}
+	}
+	if above != 10 {
+		t.Fatalf("%d countries above the uniform floor, want 10", above)
+	}
+	var sum float64
+	for _, p := range est {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("truncated estimate sums to %v", sum)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	w := geo.DefaultWorld()
+	if _, err := Estimate(w, Config{NoiseSigma: -1}); err == nil {
+		t.Fatal("negative sigma accepted")
+	}
+	if _, err := Estimate(w, Config{TopK: w.N() + 1}); err == nil {
+		t.Fatal("oversized TopK accepted")
+	}
+}

@@ -1,0 +1,91 @@
+// Package dataset defines the crawl-record schema — the per-video
+// metadata tuple the paper's dataset carries (§2: id, title, total view
+// count, per-country popularity vector, tag set) — together with JSONL
+// persistence and the paper's filtering pipeline.
+package dataset
+
+import (
+	"fmt"
+
+	"viewstags/internal/geo"
+	"viewstags/internal/mapchart"
+)
+
+// Record is one crawled video, as the crawler scraped it. Pop carries the
+// raw Map-Chart country/intensity pairs; it may be missing (nil Codes) or
+// inconsistent, which is precisely what the filtering step removes.
+type Record struct {
+	VideoID    string   `json:"video_id"`
+	Title      string   `json:"title"`
+	Uploader   string   `json:"uploader,omitempty"` // upload country code when known
+	Category   string   `json:"category,omitempty"`
+	TotalViews int64    `json:"total_views"`
+	Tags       []string `json:"tags"`
+
+	// Popularity map as scraped: parallel country codes and 0..61
+	// intensities. Kept in wire form (codes, not dense vectors) because
+	// the chart's country list is per-video.
+	PopCodes  []string `json:"pop_codes,omitempty"`
+	PopValues []int    `json:"pop_values,omitempty"`
+}
+
+// PopVector densifies the record's popularity map onto the world's
+// country table. It returns an error when the record's map is absent,
+// inconsistent, out of range, entirely zero, or mentions unknown
+// countries — the "incorrect or empty popularity vector" conditions of §2.
+func (r *Record) PopVector(world *geo.World) ([]int, error) {
+	if len(r.PopCodes) == 0 {
+		return nil, fmt.Errorf("dataset: video %s: %w", r.VideoID, ErrNoPopVector)
+	}
+	if len(r.PopCodes) != len(r.PopValues) {
+		return nil, fmt.Errorf("dataset: video %s: %w: %d codes, %d values",
+			r.VideoID, ErrBadPopVector, len(r.PopCodes), len(r.PopValues))
+	}
+	out := make([]int, world.N())
+	any := false
+	for i, code := range r.PopCodes {
+		id, ok := world.ByCode(code)
+		if !ok {
+			return nil, fmt.Errorf("dataset: video %s: %w: unknown country %q", r.VideoID, ErrBadPopVector, code)
+		}
+		v := r.PopValues[i]
+		if v < -1 || v > mapchart.MaxIntensity {
+			return nil, fmt.Errorf("dataset: video %s: %w: intensity %d", r.VideoID, ErrBadPopVector, v)
+		}
+		if v > 0 {
+			any = true
+		}
+		if v > 0 {
+			out[id] = v
+		}
+	}
+	if !any {
+		return nil, fmt.Errorf("dataset: video %s: %w: all-zero map", r.VideoID, ErrBadPopVector)
+	}
+	return out, nil
+}
+
+// Validate performs the §2 admission check without densifying.
+func (r *Record) Validate(world *geo.World) error {
+	if r.VideoID == "" {
+		return fmt.Errorf("dataset: %w: empty video id", ErrBadRecord)
+	}
+	if r.TotalViews < 0 {
+		return fmt.Errorf("dataset: video %s: %w: negative views", r.VideoID, ErrBadRecord)
+	}
+	if len(r.Tags) == 0 {
+		return fmt.Errorf("dataset: video %s: %w", r.VideoID, ErrUntagged)
+	}
+	if _, err := r.PopVector(world); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Sentinel errors for record admission; FilterReport buckets on them.
+var (
+	ErrBadRecord    = fmt.Errorf("dataset: malformed record")
+	ErrUntagged     = fmt.Errorf("dataset: video has no tags")
+	ErrNoPopVector  = fmt.Errorf("dataset: popularity vector missing")
+	ErrBadPopVector = fmt.Errorf("dataset: popularity vector invalid")
+)

@@ -1,0 +1,212 @@
+package dataset
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"viewstags/internal/geo"
+)
+
+func validRecord() Record {
+	return Record{
+		VideoID:    "abc12345678",
+		Title:      "test video",
+		TotalViews: 1000,
+		Tags:       []string{"pop", "music"},
+		PopCodes:   []string{"US", "BR"},
+		PopValues:  []int{61, 30},
+	}
+}
+
+func TestPopVectorDensify(t *testing.T) {
+	w := geo.DefaultWorld()
+	r := validRecord()
+	pop, err := r.PopVector(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pop) != w.N() {
+		t.Fatalf("vector length %d", len(pop))
+	}
+	us := w.MustByCode("US")
+	br := w.MustByCode("BR")
+	if pop[us] != 61 || pop[br] != 30 {
+		t.Fatalf("pop[US]=%d pop[BR]=%d", pop[us], pop[br])
+	}
+	fr := w.MustByCode("FR")
+	if pop[fr] != 0 {
+		t.Fatalf("unlisted country got %d", pop[fr])
+	}
+}
+
+func TestPopVectorErrors(t *testing.T) {
+	w := geo.DefaultWorld()
+	cases := []struct {
+		name   string
+		mutate func(*Record)
+		want   error
+	}{
+		{"missing", func(r *Record) { r.PopCodes, r.PopValues = nil, nil }, ErrNoPopVector},
+		{"length mismatch", func(r *Record) { r.PopValues = r.PopValues[:1] }, ErrBadPopVector},
+		{"unknown country", func(r *Record) { r.PopCodes = []string{"US", "QQ"} }, ErrBadPopVector},
+		{"out of range", func(r *Record) { r.PopValues = []int{61, 99} }, ErrBadPopVector},
+		{"all zero", func(r *Record) { r.PopValues = []int{0, 0} }, ErrBadPopVector},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			r := validRecord()
+			c.mutate(&r)
+			_, err := r.PopVector(w)
+			if !errors.Is(err, c.want) {
+				t.Fatalf("err = %v, want %v", err, c.want)
+			}
+		})
+	}
+}
+
+func TestValidate(t *testing.T) {
+	w := geo.DefaultWorld()
+	r := validRecord()
+	if err := r.Validate(w); err != nil {
+		t.Fatalf("valid record rejected: %v", err)
+	}
+	r.Tags = nil
+	if err := r.Validate(w); !errors.Is(err, ErrUntagged) {
+		t.Fatalf("untagged err = %v", err)
+	}
+	r = validRecord()
+	r.VideoID = ""
+	if err := r.Validate(w); !errors.Is(err, ErrBadRecord) {
+		t.Fatalf("empty-id err = %v", err)
+	}
+	r = validRecord()
+	r.TotalViews = -1
+	if err := r.Validate(w); !errors.Is(err, ErrBadRecord) {
+		t.Fatalf("negative-views err = %v", err)
+	}
+}
+
+func TestFilterBucketsReasons(t *testing.T) {
+	w := geo.DefaultWorld()
+	good := validRecord()
+	untagged := validRecord()
+	untagged.Tags = nil
+	noPop := validRecord()
+	noPop.PopCodes, noPop.PopValues = nil, nil
+	badPop := validRecord()
+	badPop.PopValues = []int{0, 0}
+	malformed := validRecord()
+	malformed.VideoID = ""
+
+	c := Filter(w, []Record{good, untagged, noPop, badPop, malformed})
+	r := c.Report
+	if r.Crawled != 5 || r.Kept != 1 || r.Untagged != 1 || r.NoPopVector != 1 || r.BadPopVector != 1 || r.Malformed != 1 {
+		t.Fatalf("report = %+v", r)
+	}
+	if len(c.Records) != 1 || len(c.Pop) != 1 {
+		t.Fatalf("kept %d records, %d vectors", len(c.Records), len(c.Pop))
+	}
+	if got := r.DropRate(); got != 0.8 {
+		t.Fatalf("drop rate = %v", got)
+	}
+}
+
+func TestFilterEmptyInput(t *testing.T) {
+	c := Filter(geo.DefaultWorld(), nil)
+	if c.Report.Crawled != 0 || c.Report.Kept != 0 || c.Report.DropRate() != 0 {
+		t.Fatalf("empty filter report = %+v", c.Report)
+	}
+}
+
+func TestUniqueTagsAndViews(t *testing.T) {
+	w := geo.DefaultWorld()
+	a := validRecord()
+	a.Tags = []string{"pop", "music"}
+	b := validRecord()
+	b.VideoID = "bbbbbbbbbbb"
+	b.Tags = []string{"pop", "favela"}
+	b.TotalViews = 500
+	c := Filter(w, []Record{a, b})
+	tags, views := c.UniqueTags()
+	if tags != 3 {
+		t.Fatalf("unique tags = %d", tags)
+	}
+	if views != 1500 {
+		t.Fatalf("views = %d", views)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	recs := []Record{validRecord(), func() Record {
+		r := validRecord()
+		r.VideoID = "xyz98765432"
+		r.Tags = []string{"samba"}
+		return r
+	}()}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[1].VideoID != "xyz98765432" || got[0].PopValues[0] != 61 {
+		t.Fatalf("round trip = %+v", got)
+	}
+}
+
+func TestReadJSONLSkipsBlanksRejectsGarbage(t *testing.T) {
+	got, err := ReadJSONL(strings.NewReader("\n\n" + `{"video_id":"a","total_views":1,"tags":["x"]}` + "\n\n"))
+	if err != nil || len(got) != 1 {
+		t.Fatalf("blank-line handling: %v %v", got, err)
+	}
+	if _, err := ReadJSONL(strings.NewReader("{not json}\n")); err == nil {
+		t.Fatal("garbage line accepted")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	recs := []Record{validRecord()}
+	for _, name := range []string{"d.jsonl", "d.jsonl.gz"} {
+		path := filepath.Join(dir, name)
+		if err := SaveFile(path, recs); err != nil {
+			t.Fatalf("save %s: %v", name, err)
+		}
+		got, err := LoadFile(path)
+		if err != nil {
+			t.Fatalf("load %s: %v", name, err)
+		}
+		if len(got) != 1 || got[0].VideoID != recs[0].VideoID {
+			t.Fatalf("%s round trip = %+v", name, got)
+		}
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "nope.jsonl")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestMergeRecords(t *testing.T) {
+	a := []Record{{VideoID: "x", TotalViews: 1}, {VideoID: "y", TotalViews: 2}}
+	b := []Record{{VideoID: "y", TotalViews: 99}, {VideoID: "z", TotalViews: 3}, {VideoID: ""}}
+	got := MergeRecords(a, b)
+	if len(got) != 3 {
+		t.Fatalf("merged %d records", len(got))
+	}
+	if got[0].VideoID != "x" || got[1].VideoID != "y" || got[2].VideoID != "z" {
+		t.Fatalf("order/dedup wrong: %+v", got)
+	}
+	if got[1].TotalViews != 2 {
+		t.Fatal("merge did not keep the first occurrence")
+	}
+	if out := MergeRecords(nil, nil); len(out) != 0 {
+		t.Fatal("empty merge not empty")
+	}
+}

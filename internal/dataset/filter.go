@@ -1,0 +1,113 @@
+package dataset
+
+import (
+	"errors"
+	"fmt"
+
+	"viewstags/internal/geo"
+)
+
+// FilterReport is the §2 audit trail: how many raw records the filter
+// saw, how many it dropped for which reason, and what survived. The
+// paper's instance of this table is: 1,063,844 crawled; 6,736 dropped
+// untagged; 691,349 kept.
+type FilterReport struct {
+	Crawled      int
+	Untagged     int
+	NoPopVector  int
+	BadPopVector int
+	Malformed    int
+	Kept         int
+}
+
+// String renders the report in the §2 narrative order.
+func (fr FilterReport) String() string {
+	return fmt.Sprintf("crawled=%d untagged=%d noPop=%d badPop=%d malformed=%d kept=%d",
+		fr.Crawled, fr.Untagged, fr.NoPopVector, fr.BadPopVector, fr.Malformed, fr.Kept)
+}
+
+// DropRate returns the fraction of crawled records that were dropped.
+func (fr FilterReport) DropRate() float64 {
+	if fr.Crawled == 0 {
+		return 0
+	}
+	return float64(fr.Crawled-fr.Kept) / float64(fr.Crawled)
+}
+
+// Clean is a filtered dataset: admitted records with densified
+// popularity vectors, ready for reconstruction.
+type Clean struct {
+	World   *geo.World
+	Records []Record
+	Pop     [][]int // parallel to Records: dense 0..61 vectors
+	Report  FilterReport
+}
+
+// Filter applies the paper's §2 admission rules to raw records: drop
+// videos with no tags, then drop videos whose popularity vector is
+// missing, undecodable, or empty. It never fails on bad data — bad data
+// is the phenomenon being counted.
+func Filter(world *geo.World, raw []Record) *Clean {
+	c := &Clean{World: world}
+	c.Report.Crawled = len(raw)
+	for i := range raw {
+		r := &raw[i]
+		if r.VideoID == "" || r.TotalViews < 0 {
+			c.Report.Malformed++
+			continue
+		}
+		if len(r.Tags) == 0 {
+			c.Report.Untagged++
+			continue
+		}
+		pop, err := r.PopVector(world)
+		if err != nil {
+			switch {
+			case errors.Is(err, ErrNoPopVector):
+				c.Report.NoPopVector++
+			default:
+				c.Report.BadPopVector++
+			}
+			continue
+		}
+		c.Records = append(c.Records, *r)
+		c.Pop = append(c.Pop, pop)
+	}
+	c.Report.Kept = len(c.Records)
+	return c
+}
+
+// UniqueTags returns the number of distinct tags across the kept records
+// and the total view count — the other two headline numbers of §2
+// (705,415 unique tags; 173,288,616,473 views in the paper's instance).
+func (c *Clean) UniqueTags() (int, int64) {
+	seen := make(map[string]struct{})
+	var views int64
+	for i := range c.Records {
+		for _, t := range c.Records[i].Tags {
+			seen[t] = struct{}{}
+		}
+		views += c.Records[i].TotalViews
+	}
+	return len(seen), views
+}
+
+// MergeRecords combines crawls (e.g. a related-video snowball and a
+// tag-search crawl) into one deduplicated dataset, keeping the first
+// occurrence of each video id. Order is preserved: all of a, then the
+// novel part of b.
+func MergeRecords(a, b []Record) []Record {
+	seen := make(map[string]bool, len(a)+len(b))
+	out := make([]Record, 0, len(a)+len(b))
+	for _, recs := range [][]Record{a, b} {
+		for i := range recs {
+			id := recs[i].VideoID
+			if id == "" || seen[id] {
+				continue
+			}
+			seen[id] = true
+			out = append(out, recs[i])
+		}
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package dataset
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// WriteJSONL streams records to w as one JSON object per line — the
+// interchange format of cmd/crawl and cmd/analyze.
+func WriteJSONL(w io.Writer, records []Record) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range records {
+		if err := enc.Encode(&records[i]); err != nil {
+			return fmt.Errorf("dataset: encode record %d: %w", i, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("dataset: flush: %w", err)
+	}
+	return nil
+}
+
+// ReadJSONL reads records from a JSONL stream until EOF. Blank lines are
+// skipped; a malformed line is an error (corrupted files should fail
+// loudly, not silently shrink the dataset).
+func ReadJSONL(r io.Reader) ([]Record, error) {
+	var out []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal([]byte(text), &rec); err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: scan: %w", err)
+	}
+	return out, nil
+}
+
+// SaveFile writes records to path as JSONL, gzip-compressed when the
+// path ends in ".gz".
+func SaveFile(path string, records []Record) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: create %s: %w", path, err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("dataset: close %s: %w", path, cerr)
+		}
+	}()
+	var w io.Writer = f
+	if strings.HasSuffix(path, ".gz") {
+		gz := gzip.NewWriter(f)
+		defer func() {
+			if cerr := gz.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("dataset: close gzip %s: %w", path, cerr)
+			}
+		}()
+		w = gz
+	}
+	return WriteJSONL(w, records)
+}
+
+// LoadFile reads a JSONL (optionally .gz) dataset file.
+func LoadFile(path string) (_ []Record, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: open %s: %w", path, err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("dataset: close %s: %w", path, cerr)
+		}
+	}()
+	var r io.Reader = f
+	if strings.HasSuffix(path, ".gz") {
+		gz, gerr := gzip.NewReader(f)
+		if gerr != nil {
+			return nil, fmt.Errorf("dataset: gzip %s: %w", path, gerr)
+		}
+		defer func() {
+			if cerr := gz.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("dataset: close gzip %s: %w", path, cerr)
+			}
+		}()
+		r = gz
+	}
+	return ReadJSONL(r)
+}

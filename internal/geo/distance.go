@@ -1,0 +1,43 @@
+package geo
+
+import "math"
+
+// earthRadiusKm is the mean Earth radius.
+const earthRadiusKm = 6371.0
+
+// DistanceKm returns the great-circle (haversine) distance between two
+// countries' centroids in kilometres — the geographic cost model used by
+// the replica-placement experiment.
+func (w *World) DistanceKm(a, b CountryID) float64 {
+	ca, cb := w.countries[a], w.countries[b]
+	return haversineKm(ca.Lat, ca.Lon, cb.Lat, cb.Lon)
+}
+
+func haversineKm(lat1, lon1, lat2, lon2 float64) float64 {
+	const degToRad = math.Pi / 180
+	phi1 := lat1 * degToRad
+	phi2 := lat2 * degToRad
+	dPhi := (lat2 - lat1) * degToRad
+	dLambda := (lon2 - lon1) * degToRad
+	s := math.Sin(dPhi/2)*math.Sin(dPhi/2) +
+		math.Cos(phi1)*math.Cos(phi2)*math.Sin(dLambda/2)*math.Sin(dLambda/2)
+	return 2 * earthRadiusKm * math.Asin(math.Min(1, math.Sqrt(s)))
+}
+
+// DistanceMatrix returns the full pairwise distance matrix (km), indexed
+// [from][to]. The matrix is symmetric with a zero diagonal.
+func (w *World) DistanceMatrix() [][]float64 {
+	n := len(w.countries)
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := w.DistanceKm(CountryID(i), CountryID(j))
+			out[i][j] = d
+			out[j][i] = d
+		}
+	}
+	return out
+}

@@ -1,0 +1,60 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistanceKnownPairs(t *testing.T) {
+	w := DefaultWorld()
+	// Centroid-based GB–IE distance is a few hundred km; GB–NZ is
+	// near-antipodal (>18,000 km).
+	gb, ie, nz := w.MustByCode("GB"), w.MustByCode("IE"), w.MustByCode("NZ")
+	if d := w.DistanceKm(gb, ie); d < 200 || d > 800 {
+		t.Fatalf("GB-IE distance %.0f km implausible", d)
+	}
+	if d := w.DistanceKm(gb, nz); d < 17000 {
+		t.Fatalf("GB-NZ distance %.0f km too small", d)
+	}
+}
+
+func TestDistanceMetricProperties(t *testing.T) {
+	w := DefaultWorld()
+	n := w.N()
+	f := func(a, b, c uint8) bool {
+		x, y, z := CountryID(int(a)%n), CountryID(int(b)%n), CountryID(int(c)%n)
+		dxy := w.DistanceKm(x, y)
+		dyx := w.DistanceKm(y, x)
+		if math.Abs(dxy-dyx) > 1e-9 {
+			return false // symmetry
+		}
+		if w.DistanceKm(x, x) != 0 {
+			return false // identity
+		}
+		// Triangle inequality holds on a sphere (allow FP slack).
+		return w.DistanceKm(x, z) <= dxy+w.DistanceKm(y, z)+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistanceMatrixMatchesPairwise(t *testing.T) {
+	w := DefaultWorld()
+	dm := w.DistanceMatrix()
+	for _, pair := range [][2]string{{"US", "BR"}, {"JP", "DE"}, {"AU", "ZA"}} {
+		a, b := w.MustByCode(pair[0]), w.MustByCode(pair[1])
+		if dm[a][b] != w.DistanceKm(a, b) {
+			t.Fatalf("matrix disagrees with DistanceKm for %v", pair)
+		}
+	}
+}
+
+func TestRegionStringAll(t *testing.T) {
+	for r := RegionNorthAmerica; r <= RegionOceania; r++ {
+		if s := r.String(); s == "" || s[0] == 'R' && s != "Region(0)" && len(s) > 6 && s[:6] == "Region" {
+			t.Fatalf("region %d has placeholder name %q", int(r), s)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+// Package geocache makes the paper's closing conjecture concrete: "tags
+// might help implement a form of proactive geographic caching, i.e.
+// predicting where a video will be consumed, based on the geographic
+// study of its embodied tags".
+//
+// It simulates a per-country edge-cache deployment serving a request
+// stream drawn from the catalog's ground-truth view fields, and compares
+// placement policies: reactive LRU/LFU pulls, static push by global
+// popularity, static push by tag-predicted per-country demand (the
+// paper's proposal), and an oracle push by true per-country demand
+// (the upper bound).
+package geocache
+
+// cache is the minimal interface a per-country cache node implements.
+type cache interface {
+	// lookup reports whether video v is present, updating any internal
+	// replacement state; on a miss the cache may admit v.
+	lookup(v int) bool
+	// preload installs v without counting an access (push placement).
+	preload(v int)
+	// len reports current occupancy.
+	len() int
+}
+
+// lruCache is a classic O(1) LRU over video indices.
+type lruCache struct {
+	cap   int
+	items map[int]*lruNode
+	head  *lruNode // most recent
+	tail  *lruNode // least recent
+}
+
+type lruNode struct {
+	key        int
+	prev, next *lruNode
+}
+
+func newLRU(capacity int) *lruCache {
+	return &lruCache{cap: capacity, items: make(map[int]*lruNode, capacity)}
+}
+
+func (c *lruCache) len() int { return len(c.items) }
+
+func (c *lruCache) lookup(v int) bool {
+	if n, ok := c.items[v]; ok {
+		c.moveToFront(n)
+		return true
+	}
+	c.insert(v)
+	return false
+}
+
+func (c *lruCache) preload(v int) {
+	if _, ok := c.items[v]; !ok {
+		c.insert(v)
+	}
+}
+
+func (c *lruCache) insert(v int) {
+	if c.cap <= 0 {
+		return
+	}
+	if len(c.items) >= c.cap {
+		// Evict least recently used.
+		old := c.tail
+		c.unlink(old)
+		delete(c.items, old.key)
+	}
+	n := &lruNode{key: v}
+	c.items[v] = n
+	c.pushFront(n)
+}
+
+func (c *lruCache) moveToFront(n *lruNode) {
+	if c.head == n {
+		return
+	}
+	c.unlink(n)
+	c.pushFront(n)
+}
+
+func (c *lruCache) pushFront(n *lruNode) {
+	n.prev = nil
+	n.next = c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}
+
+func (c *lruCache) unlink(n *lruNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+// lfuCache is a counter-based LFU with lazy minimum scan on eviction.
+// Eviction is O(cap), fine at simulation scales, and the simplicity
+// keeps the policy's semantics auditable.
+type lfuCache struct {
+	cap    int
+	counts map[int]int64
+}
+
+func newLFU(capacity int) *lfuCache {
+	return &lfuCache{cap: capacity, counts: make(map[int]int64, capacity)}
+}
+
+func (c *lfuCache) len() int { return len(c.counts) }
+
+func (c *lfuCache) lookup(v int) bool {
+	if _, ok := c.counts[v]; ok {
+		c.counts[v]++
+		return true
+	}
+	c.admit(v)
+	return false
+}
+
+func (c *lfuCache) preload(v int) {
+	if _, ok := c.counts[v]; !ok {
+		c.admit(v)
+	}
+}
+
+func (c *lfuCache) admit(v int) {
+	if c.cap <= 0 {
+		return
+	}
+	if len(c.counts) >= c.cap {
+		var victim int
+		min := int64(-1)
+		for k, n := range c.counts {
+			if min < 0 || n < min || (n == min && k < victim) {
+				victim, min = k, n
+			}
+		}
+		delete(c.counts, victim)
+	}
+	c.counts[v] = 1
+}
+
+// staticCache is a frozen set: push placement with no dynamic admission.
+type staticCache struct {
+	set map[int]bool
+}
+
+func newStatic(capacity int) *staticCache {
+	return &staticCache{set: make(map[int]bool, capacity)}
+}
+
+func (c *staticCache) len() int { return len(c.set) }
+
+func (c *staticCache) lookup(v int) bool { return c.set[v] }
+
+func (c *staticCache) preload(v int) { c.set[v] = true }
+
+// hybridCache fronts a frozen push set with a reactive LRU: a lookup
+// hits if either half holds the video; misses are admitted only to the
+// LRU half (the push half never changes at runtime).
+type hybridCache struct {
+	static  *staticCache
+	dynamic *lruCache
+}
+
+func (c *hybridCache) len() int { return c.static.len() + c.dynamic.len() }
+
+func (c *hybridCache) lookup(v int) bool {
+	if c.static.lookup(v) {
+		return true
+	}
+	return c.dynamic.lookup(v)
+}
+
+func (c *hybridCache) preload(v int) { c.static.preload(v) }

@@ -1,0 +1,7 @@
+package geocache
+
+import "viewstags/internal/xrand"
+
+// newTestSrc gives property tests a seeded source without importing
+// xrand in every test file.
+func newTestSrc(seed uint64) *xrand.Source { return xrand.NewSource(seed) }

@@ -1,0 +1,181 @@
+// Package mapchart reimplements the slice of Google's retired Image
+// Charts API that YouTube's 2011 "Statistics" panel used to render the
+// per-country popularity world maps the paper scraped (§2, Fig. 1).
+//
+// Two facts of that API shape the paper's data and are reproduced
+// faithfully here:
+//
+//   - Map charts carried their data in the "simple encoding" ("chd=s:"),
+//     a base-62 single-character-per-value format whose alphabet
+//     A–Z a–z 0–9 encodes integers 0..61. This is precisely why the
+//     paper's popularity vector pop(v) is "an integer — from 0 to 61".
+//   - Values are normalized per chart: the most intense country is pushed
+//     to 61 and everything else scales proportionally, which is the
+//     per-video factor K(v) of the paper's Eq. (1).
+//
+// The package provides the encoding/decoding, the per-video intensity
+// quantization (views → pop(v)), and building/parsing of the legacy
+// chart URLs ("cht=t&chtm=world"), so the simulated YouTube API can
+// serve, and the crawler can scrape, byte-faithful chart URLs.
+package mapchart
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// MaxIntensity is the largest value representable by one simple-encoding
+// character — the paper's observed cap of 61.
+const MaxIntensity = 61
+
+const simpleAlphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
+
+const extendedAlphabet = simpleAlphabet + "-."
+
+// MaxExtended is the largest value representable by one extended-encoding
+// character pair.
+const MaxExtended = 64*64 - 1
+
+// Sentinel errors for malformed chart data.
+var (
+	ErrBadSimpleChar   = fmt.Errorf("mapchart: character outside simple-encoding alphabet")
+	ErrBadExtendedPair = fmt.Errorf("mapchart: malformed extended-encoding pair")
+	ErrRange           = fmt.Errorf("mapchart: value out of encodable range")
+	ErrBadURL          = fmt.Errorf("mapchart: not a parsable map-chart URL")
+)
+
+// EncodeSimple encodes integer values 0..61 into a "s:" payload. A
+// negative value encodes as the underscore placeholder '_' ("missing
+// data"), mirroring the API. Values above 61 are an error: quantize first.
+func EncodeSimple(values []int) (string, error) {
+	var b strings.Builder
+	b.Grow(len(values))
+	for i, v := range values {
+		switch {
+		case v < 0:
+			b.WriteByte('_')
+		case v <= MaxIntensity:
+			b.WriteByte(simpleAlphabet[v])
+		default:
+			return "", fmt.Errorf("%w: value %d at index %d exceeds %d", ErrRange, v, i, MaxIntensity)
+		}
+	}
+	return b.String(), nil
+}
+
+// DecodeSimple decodes a simple-encoding payload. '_' (missing) decodes
+// to -1.
+func DecodeSimple(s string) ([]int, error) {
+	out := make([]int, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '_' {
+			out = append(out, -1)
+			continue
+		}
+		v := strings.IndexByte(simpleAlphabet, c)
+		if v < 0 {
+			return nil, fmt.Errorf("%w: %q at offset %d", ErrBadSimpleChar, c, i)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// EncodeExtended encodes integer values 0..4095 into an "e:" payload
+// (two characters per value). Negative values encode as the "__"
+// placeholder.
+func EncodeExtended(values []int) (string, error) {
+	var b strings.Builder
+	b.Grow(2 * len(values))
+	for i, v := range values {
+		switch {
+		case v < 0:
+			b.WriteString("__")
+		case v <= MaxExtended:
+			b.WriteByte(extendedAlphabet[v/64])
+			b.WriteByte(extendedAlphabet[v%64])
+		default:
+			return "", fmt.Errorf("%w: value %d at index %d exceeds %d", ErrRange, v, i, MaxExtended)
+		}
+	}
+	return b.String(), nil
+}
+
+// DecodeExtended decodes an "e:" payload; "__" decodes to -1.
+func DecodeExtended(s string) ([]int, error) {
+	if len(s)%2 != 0 {
+		return nil, fmt.Errorf("%w: odd payload length %d", ErrBadExtendedPair, len(s))
+	}
+	out := make([]int, 0, len(s)/2)
+	for i := 0; i < len(s); i += 2 {
+		if s[i] == '_' && s[i+1] == '_' {
+			out = append(out, -1)
+			continue
+		}
+		hi := strings.IndexByte(extendedAlphabet, s[i])
+		lo := strings.IndexByte(extendedAlphabet, s[i+1])
+		if hi < 0 || lo < 0 {
+			return nil, fmt.Errorf("%w: %q at offset %d", ErrBadExtendedPair, s[i:i+2], i)
+		}
+		out = append(out, hi*64+lo)
+	}
+	return out, nil
+}
+
+// Quantize converts a per-country intensity field into the chart's
+// integer scale: the maximum intensity maps to MaxIntensity and the rest
+// scale linearly (rounding to nearest). This implements the per-video
+// normalization constant K(v) of the paper's Eq. (1): K(v) is whatever
+// scales the largest views(v)[c]/ytube[c] ratio to 61.
+//
+// An all-zero or empty field quantizes to all zeros.
+func Quantize(intensity []float64) []int {
+	return QuantizeTo(intensity, MaxIntensity)
+}
+
+// QuantizeTo is Quantize with a configurable top level — the ablation
+// knob that shows how much of the paper's reconstruction error is pure
+// quantization: simple encoding tops out at 61, extended encoding at
+// 4095. It panics on a non-positive level (programming error).
+func QuantizeTo(intensity []float64, maxLevel int) []int {
+	if maxLevel <= 0 {
+		panic("mapchart: QuantizeTo with non-positive level")
+	}
+	out := make([]int, len(intensity))
+	var maxI float64
+	for _, x := range intensity {
+		if x > maxI {
+			maxI = x
+		}
+	}
+	if maxI <= 0 {
+		return out
+	}
+	for i, x := range intensity {
+		if x <= 0 {
+			continue
+		}
+		out[i] = int(math.Round(float64(maxLevel) * x / maxI))
+	}
+	return out
+}
+
+// Intensity converts per-country view counts into the intensity field of
+// Eq. (1), views(v)[c]/ytube[c], given the per-country traffic volume
+// (any vector proportional to ytube works; K(v) absorbs the scale).
+// Countries with non-positive traffic get zero intensity. It returns an
+// error on length mismatch.
+func Intensity(views []float64, traffic []float64) ([]float64, error) {
+	if len(views) != len(traffic) {
+		return nil, fmt.Errorf("mapchart: views/traffic length mismatch %d != %d", len(views), len(traffic))
+	}
+	out := make([]float64, len(views))
+	for i, v := range views {
+		if traffic[i] > 0 && v > 0 {
+			out[i] = v / traffic[i]
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,21 @@
+package reconstruct_test
+
+import (
+	"fmt"
+
+	"viewstags/internal/reconstruct"
+)
+
+// The paper's Eq. 1–2 inversion: from the quantized intensity vector,
+// the per-country traffic estimate and the total view count, recover
+// the per-country views (K(v) cancels against the known total).
+func ExampleViews() {
+	pop := []int{61, 61}         // both countries at max intensity
+	pyt := []float64{0.75, 0.25} // one market 3x the other
+	views, err := reconstruct.Views(pop, pyt, 1000)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(views)
+	// Output: [750 250]
+}

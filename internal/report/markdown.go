@@ -1,0 +1,68 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Markdown accumulates an experiment report in Markdown — the mechanical
+// generator behind EXPERIMENTS-style documents, so a reproduction run
+// can emit its own paper-vs-measured record (cmd/analyze -md).
+type Markdown struct {
+	b strings.Builder
+}
+
+// NewMarkdown starts a report with a top-level title.
+func NewMarkdown(title string) *Markdown {
+	m := &Markdown{}
+	fmt.Fprintf(&m.b, "# %s\n", title)
+	return m
+}
+
+// Section starts a second-level section.
+func (m *Markdown) Section(title string) {
+	fmt.Fprintf(&m.b, "\n## %s\n\n", title)
+}
+
+// Para appends a paragraph.
+func (m *Markdown) Para(format string, args ...any) {
+	fmt.Fprintf(&m.b, format, args...)
+	m.b.WriteString("\n")
+}
+
+// Table appends a Markdown table. Pipe characters inside cells are
+// escaped so arbitrary tag names cannot break the layout.
+func (m *Markdown) Table(header []string, rows [][]string) {
+	esc := func(s string) string { return strings.ReplaceAll(s, "|", "\\|") }
+	m.b.WriteString("\n|")
+	for _, h := range header {
+		m.b.WriteString(" " + esc(h) + " |")
+	}
+	m.b.WriteString("\n|")
+	for range header {
+		m.b.WriteString("---|")
+	}
+	m.b.WriteString("\n")
+	for _, row := range rows {
+		m.b.WriteString("|")
+		for i := range header {
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			m.b.WriteString(" " + esc(cell) + " |")
+		}
+		m.b.WriteString("\n")
+	}
+	m.b.WriteString("\n")
+}
+
+// WriteTo writes the accumulated document.
+func (m *Markdown) WriteTo(w io.Writer) (int64, error) {
+	n, err := io.WriteString(w, m.b.String())
+	return int64(n), err
+}
+
+// String returns the accumulated document.
+func (m *Markdown) String() string { return m.b.String() }

@@ -1,0 +1,119 @@
+// Package report renders the reproduction's outputs: aligned ASCII
+// tables, CSV series, and the ASCII world heat-maps that stand in for
+// the paper's Google Map Chart figures (Figs. 1–3).
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; missing cells render empty, extra cells are an
+// error surfaced at render time (kept silent here to keep call sites
+// clean).
+func (t *Table) AddRow(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+// AddRowf appends a row of formatted cells.
+func (t *Table) AddRowf(format string, args ...any) {
+	t.AddRow(strings.Split(fmt.Sprintf(format, args...), "\t")...)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) error {
+	nCols := len(t.header)
+	for _, r := range t.rows {
+		if len(r) > nCols {
+			nCols = len(r)
+		}
+	}
+	widths := make([]int, nCols)
+	measure := func(cells []string) {
+		for i, c := range cells {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.header)
+	for _, r := range t.rows {
+		measure(r)
+	}
+	writeRow := func(cells []string) error {
+		var b strings.Builder
+		for i := 0; i < nCols; i++ {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+		return err
+	}
+	if len(t.header) > 0 {
+		if err := writeRow(t.header); err != nil {
+			return err
+		}
+		sep := make([]string, nCols)
+		for i := range sep {
+			sep[i] = strings.Repeat("-", widths[i])
+		}
+		if err := writeRow(sep); err != nil {
+			return err
+		}
+	}
+	for _, r := range t.rows {
+		if err := writeRow(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV writes a header plus rows of float series as CSV — the
+// machine-readable companion of each figure.
+func WriteCSV(w io.Writer, header []string, rows [][]string) error {
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintln(w, strings.Join(r, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Bar renders a horizontal bar of the given fractional length (0..1)
+// over width characters.
+func Bar(frac float64, width int) string {
+	if width <= 0 {
+		width = 30
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	n := int(frac*float64(width) + 0.5)
+	return strings.Repeat("#", n) + strings.Repeat(".", width-n)
+}

@@ -1,0 +1,143 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"viewstags/internal/dist"
+	"viewstags/internal/geo"
+)
+
+// heatGlyphs maps normalized intensity to a shade character, darkest
+// last — the ASCII analogue of the Map Chart's color ramp.
+const heatGlyphs = " .:-=+*#%@"
+
+// WorldMap renders a per-country weight vector as an ASCII world map:
+// each country's ISO code is plotted at its approximate centroid,
+// prefixed by a heat glyph proportional to its normalized weight — the
+// reproduction's version of the paper's Figs. 1–3. A ranked list of the
+// top countries follows the canvas, since a 2-character code cannot
+// carry exact values.
+func WorldMap(world *geo.World, weights []float64, title string) (string, error) {
+	if len(weights) != world.N() {
+		return "", fmt.Errorf("report: %d weights for %d countries", len(weights), world.N())
+	}
+	const (
+		cols = 100
+		rows = 26
+	)
+	p := dist.Normalize(weights)
+	var maxP float64
+	for _, x := range p {
+		if x > maxP {
+			maxP = x
+		}
+	}
+
+	canvas := make([][]byte, rows)
+	for r := range canvas {
+		canvas[r] = []byte(strings.Repeat(" ", cols))
+	}
+	// Plot countries in ascending weight so hot countries overwrite cold
+	// neighbours when cells collide.
+	order := make([]int, world.N())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return p[order[a]] < p[order[b]] })
+	for _, c := range order {
+		country := world.Country(geo.CountryID(c))
+		row, col := project(country.Lat, country.Lon, rows, cols)
+		glyph := glyphFor(p[c], maxP)
+		cell := []byte{glyph, country.Code[0], country.Code[1]}
+		for k, ch := range cell {
+			if col+k < cols {
+				canvas[row][col+k] = ch
+			}
+		}
+	}
+
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	b.WriteString("+" + strings.Repeat("-", cols) + "+\n")
+	for _, line := range canvas {
+		b.WriteString("|")
+		b.Write(line)
+		b.WriteString("|\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", cols) + "+\n")
+	fmt.Fprintf(&b, "scale: '%s' (max) … ' ' (zero), relative to the hottest country\n", string(heatGlyphs[len(heatGlyphs)-1]))
+
+	share, top := dist.TopShare(weights, 8)
+	fmt.Fprintf(&b, "top countries (%.1f%% of mass):", 100*share)
+	for _, c := range top {
+		fmt.Fprintf(&b, " %s=%.1f%%", world.Country(geo.CountryID(c)).Code, 100*p[c])
+	}
+	b.WriteString("\n")
+	return b.String(), nil
+}
+
+// project maps (lat, lon) to canvas coordinates with an equirectangular
+// projection clipped to inhabited latitudes (72°N..56°S).
+func project(lat, lon float64, rows, cols int) (row, col int) {
+	const (
+		latTop    = 72.0
+		latBottom = -56.0
+	)
+	fr := (latTop - lat) / (latTop - latBottom)
+	fc := (lon + 180) / 360
+	row = int(fr * float64(rows-1))
+	col = int(fc * float64(cols-3)) // leave room for 3-char cells
+	if row < 0 {
+		row = 0
+	}
+	if row >= rows {
+		row = rows - 1
+	}
+	if col < 0 {
+		col = 0
+	}
+	return row, col
+}
+
+func glyphFor(p, maxP float64) byte {
+	if maxP <= 0 || p <= 0 {
+		return heatGlyphs[0]
+	}
+	// Log-ish scaling: the chart API's visual ramp compresses the head.
+	frac := math.Sqrt(p / maxP)
+	idx := int(frac * float64(len(heatGlyphs)-1))
+	if idx >= len(heatGlyphs) {
+		idx = len(heatGlyphs) - 1
+	}
+	return heatGlyphs[idx]
+}
+
+// CountryBars renders the top-k countries of a weight vector as labeled
+// bars — a compact, exact companion to WorldMap.
+func CountryBars(world *geo.World, weights []float64, k int) (string, error) {
+	if len(weights) != world.N() {
+		return "", fmt.Errorf("report: %d weights for %d countries", len(weights), world.N())
+	}
+	p := dist.Normalize(weights)
+	_, top := dist.TopShare(weights, k)
+	var b strings.Builder
+	var maxP float64
+	for _, c := range top {
+		if p[c] > maxP {
+			maxP = p[c]
+		}
+	}
+	for _, c := range top {
+		frac := 0.0
+		if maxP > 0 {
+			frac = p[c] / maxP
+		}
+		fmt.Fprintf(&b, "%-4s %6.2f%% %s\n", world.Country(geo.CountryID(c)).Code, 100*p[c], Bar(frac, 40))
+	}
+	return b.String(), nil
+}

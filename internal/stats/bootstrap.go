@@ -1,0 +1,52 @@
+package stats
+
+import (
+	"fmt"
+
+	"viewstags/internal/xrand"
+)
+
+// CI is a two-sided confidence interval around a point estimate.
+type CI struct {
+	Point float64
+	Lo    float64
+	Hi    float64
+	Level float64 // e.g. 0.95
+}
+
+// String renders the interval as "point [lo, hi] @level".
+func (ci CI) String() string {
+	return fmt.Sprintf("%.4g [%.4g, %.4g] @%.0f%%", ci.Point, ci.Lo, ci.Hi, ci.Level*100)
+}
+
+// Bootstrap computes a percentile-bootstrap confidence interval for the
+// statistic stat over the sample xs, using reps resamples drawn from src.
+// level is the coverage (e.g. 0.95). It returns an error for an empty
+// sample, non-positive reps, or a level outside (0, 1).
+func Bootstrap(src *xrand.Source, xs []float64, stat func([]float64) float64, reps int, level float64) (CI, error) {
+	if len(xs) == 0 {
+		return CI{}, fmt.Errorf("stats: bootstrap over empty sample")
+	}
+	if reps <= 0 {
+		return CI{}, fmt.Errorf("stats: bootstrap needs positive reps, got %d", reps)
+	}
+	if level <= 0 || level >= 1 {
+		return CI{}, fmt.Errorf("stats: bootstrap level %v outside (0,1)", level)
+	}
+	point := stat(xs)
+	resample := make([]float64, len(xs))
+	estimates := make([]float64, reps)
+	for r := 0; r < reps; r++ {
+		for i := range resample {
+			resample[i] = xs[src.Intn(len(xs))]
+		}
+		estimates[r] = stat(resample)
+	}
+	alpha := (1 - level) / 2
+	return CI{
+		Point: point,
+		Lo:    Quantile(estimates, alpha),
+		Hi:    Quantile(estimates, 1-alpha),
+		Level: level,
+	}, nil
+}

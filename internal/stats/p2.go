@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// P2Quantile is the P² (piecewise-parabolic) streaming quantile
+// estimator of Jain & Chlamtac (CACM 1985): it tracks one quantile of an
+// unbounded stream in O(1) space — five markers — without retaining
+// observations. The analysis pipeline uses it for percentiles over
+// paper-scale view streams where keeping every value would not fit.
+type P2Quantile struct {
+	q       float64
+	n       int64
+	heights [5]float64
+	pos     [5]float64 // actual marker positions (1-based)
+	want    [5]float64 // desired marker positions
+	incr    [5]float64 // desired-position increments per observation
+	warm    []float64  // first five observations, before the sketch forms
+}
+
+// NewP2Quantile returns an estimator for the q-quantile, 0 < q < 1.
+func NewP2Quantile(q float64) (*P2Quantile, error) {
+	if q <= 0 || q >= 1 {
+		return nil, fmt.Errorf("stats: P2 quantile %v outside (0,1)", q)
+	}
+	p := &P2Quantile{q: q}
+	p.want = [5]float64{1, 1 + 2*q, 1 + 4*q, 3 + 2*q, 5}
+	p.incr = [5]float64{0, q / 2, q, (1 + q) / 2, 1}
+	return p, nil
+}
+
+// Add folds one observation into the sketch.
+func (p *P2Quantile) Add(x float64) {
+	p.n++
+	if len(p.warm) < 5 {
+		p.warm = append(p.warm, x)
+		if len(p.warm) == 5 {
+			sort.Float64s(p.warm)
+			for i := 0; i < 5; i++ {
+				p.heights[i] = p.warm[i]
+				p.pos[i] = float64(i + 1)
+			}
+		}
+		return
+	}
+
+	// Find the cell containing x and clamp the extremes.
+	var k int
+	switch {
+	case x < p.heights[0]:
+		p.heights[0] = x
+		k = 0
+	case x >= p.heights[4]:
+		p.heights[4] = x
+		k = 3
+	default:
+		for k = 0; k < 4; k++ {
+			if x < p.heights[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		p.pos[i]++
+	}
+	for i := 0; i < 5; i++ {
+		p.want[i] += p.incr[i]
+	}
+
+	// Adjust interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := p.want[i] - p.pos[i]
+		if (d >= 1 && p.pos[i+1]-p.pos[i] > 1) || (d <= -1 && p.pos[i-1]-p.pos[i] < -1) {
+			sign := 1.0
+			if d < 0 {
+				sign = -1.0
+			}
+			h := p.parabolic(i, sign)
+			if p.heights[i-1] < h && h < p.heights[i+1] {
+				p.heights[i] = h
+			} else {
+				p.heights[i] = p.linear(i, sign)
+			}
+			p.pos[i] += sign
+		}
+	}
+}
+
+// parabolic is the P² piecewise-parabolic height update.
+func (p *P2Quantile) parabolic(i int, d float64) float64 {
+	return p.heights[i] + d/(p.pos[i+1]-p.pos[i-1])*
+		((p.pos[i]-p.pos[i-1]+d)*(p.heights[i+1]-p.heights[i])/(p.pos[i+1]-p.pos[i])+
+			(p.pos[i+1]-p.pos[i]-d)*(p.heights[i]-p.heights[i-1])/(p.pos[i]-p.pos[i-1]))
+}
+
+// linear is the fallback height update.
+func (p *P2Quantile) linear(i int, d float64) float64 {
+	j := i + int(d)
+	return p.heights[i] + d*(p.heights[j]-p.heights[i])/(p.pos[j]-p.pos[i])
+}
+
+// N returns the number of observations folded in.
+func (p *P2Quantile) N() int64 { return p.n }
+
+// Value returns the current quantile estimate. Before five observations
+// it falls back to the exact small-sample quantile; with none it
+// returns NaN.
+func (p *P2Quantile) Value() float64 {
+	if p.n == 0 {
+		return math.NaN()
+	}
+	if len(p.warm) < 5 {
+		sorted := append([]float64(nil), p.warm...)
+		sort.Float64s(sorted)
+		return quantileSorted(sorted, p.q)
+	}
+	return p.heights[2]
+}

@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"viewstags/internal/xrand"
+)
+
+func TestP2RejectsBadQuantile(t *testing.T) {
+	for _, q := range []float64{0, 1, -0.5, 2} {
+		if _, err := NewP2Quantile(q); err == nil {
+			t.Errorf("q=%v accepted", q)
+		}
+	}
+}
+
+func TestP2EmptyIsNaN(t *testing.T) {
+	p, err := NewP2Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(p.Value()) {
+		t.Fatal("empty sketch should be NaN")
+	}
+}
+
+func TestP2SmallSampleExact(t *testing.T) {
+	p, err := NewP2Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Add(3)
+	p.Add(1)
+	p.Add(2)
+	if got := p.Value(); got != 2 {
+		t.Fatalf("3-sample median = %v", got)
+	}
+	if p.N() != 3 {
+		t.Fatalf("N = %d", p.N())
+	}
+}
+
+// p2Accuracy runs the sketch against the exact quantile on n draws from
+// gen and returns the relative error (against the value range).
+func p2Accuracy(t *testing.T, q float64, n int, gen func(*xrand.Source) float64) float64 {
+	t.Helper()
+	src := xrand.NewSource(1234)
+	sketch, err := NewP2Quantile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := make([]float64, n)
+	for i := range xs {
+		x := gen(src)
+		xs[i] = x
+		sketch.Add(x)
+	}
+	sort.Float64s(xs)
+	exact := quantileSorted(xs, q)
+	spread := xs[len(xs)-1] - xs[0]
+	if spread == 0 {
+		return 0
+	}
+	return math.Abs(sketch.Value()-exact) / spread
+}
+
+func TestP2AccuracyUniform(t *testing.T) {
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		if rel := p2Accuracy(t, q, 50000, func(s *xrand.Source) float64 { return s.Float64() }); rel > 0.01 {
+			t.Errorf("q=%v relative error %v on uniform", q, rel)
+		}
+	}
+}
+
+func TestP2AccuracyNormal(t *testing.T) {
+	for _, q := range []float64{0.25, 0.5, 0.75} {
+		if rel := p2Accuracy(t, q, 50000, func(s *xrand.Source) float64 { return s.NormFloat64() }); rel > 0.01 {
+			t.Errorf("q=%v relative error %v on normal", q, rel)
+		}
+	}
+}
+
+func TestP2AccuracyHeavyTail(t *testing.T) {
+	// View counts are the target workload: log-normal body. The median
+	// must stay accurate even with extreme upper outliers.
+	if rel := p2Accuracy(t, 0.5, 50000, func(s *xrand.Source) float64 { return s.LogNormal(10, 2) }); rel > 0.02 {
+		t.Errorf("median relative error %v on log-normal", rel)
+	}
+}
+
+func TestP2MonotoneInQ(t *testing.T) {
+	src := xrand.NewSource(7)
+	q25, _ := NewP2Quantile(0.25)
+	q50, _ := NewP2Quantile(0.50)
+	q75, _ := NewP2Quantile(0.75)
+	for i := 0; i < 20000; i++ {
+		x := src.Float64() * 100
+		q25.Add(x)
+		q50.Add(x)
+		q75.Add(x)
+	}
+	if !(q25.Value() < q50.Value() && q50.Value() < q75.Value()) {
+		t.Fatalf("quantile estimates not ordered: %v %v %v", q25.Value(), q50.Value(), q75.Value())
+	}
+}
+
+func TestP2BoundedByExtremes(t *testing.T) {
+	src := xrand.NewSource(9)
+	sketch, _ := NewP2Quantile(0.9)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := 0; i < 10000; i++ {
+		x := src.NormFloat64() * 50
+		sketch.Add(x)
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	if v := sketch.Value(); v < lo || v > hi {
+		t.Fatalf("estimate %v outside observed range [%v, %v]", v, lo, hi)
+	}
+}

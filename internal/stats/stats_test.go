@@ -1,0 +1,416 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"viewstags/internal/xrand"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestSummaryMoments(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if !almost(s.Mean(), 5, 1e-12) {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+	// Sample variance of the classic dataset is 32/7.
+	if !almost(s.Variance(), 32.0/7.0, 1e-12) {
+		t.Fatalf("variance = %v", s.Variance())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestSummaryEmptyAndSingle(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Variance() != 0 || s.N() != 0 {
+		t.Fatal("empty summary not zeroed")
+	}
+	s.Add(3)
+	if s.Variance() != 0 {
+		t.Fatalf("single-observation variance = %v", s.Variance())
+	}
+	if s.Min() != 3 || s.Max() != 3 {
+		t.Fatal("single-observation extrema wrong")
+	}
+}
+
+func TestSummaryMatchesBatchProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		var s Summary
+		for i, v := range raw {
+			xs[i] = float64(v)
+			s.Add(float64(v))
+		}
+		return almost(s.Mean(), Mean(xs), 1e-9*(1+math.Abs(s.Mean())))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {0.1, 1.4},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almost(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("Quantile mutated input: %v", xs)
+	}
+}
+
+func TestQuantilePanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Quantile(1.5) did not panic")
+		}
+	}()
+	Quantile([]float64{1}, 1.5)
+}
+
+func TestMedianEmpty(t *testing.T) {
+	if Median(nil) != 0 {
+		t.Fatal("median of empty input should be 0")
+	}
+}
+
+func TestPearsonPerfect(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	r, err := Pearson(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(r, 1, 1e-12) {
+		t.Fatalf("r = %v, want 1", r)
+	}
+	neg := []float64{8, 6, 4, 2}
+	r, err = Pearson(xs, neg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(r, -1, 1e-12) {
+		t.Fatalf("r = %v, want -1", r)
+	}
+}
+
+func TestPearsonErrors(t *testing.T) {
+	if _, err := Pearson([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := Pearson([]float64{1}, []float64{2}); err == nil {
+		t.Fatal("single pair accepted")
+	}
+	if _, err := Pearson([]float64{1, 1}, []float64{1, 2}); err == nil {
+		t.Fatal("degenerate margin accepted")
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	xs := []float64{1, 5, 10, 100, 1000}
+	ys := []float64{2, 3, 8, 20, 21} // monotone but nonlinear
+	r, err := Spearman(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(r, 1, 1e-12) {
+		t.Fatalf("spearman = %v, want 1 for monotone data", r)
+	}
+}
+
+func TestRanksWithTies(t *testing.T) {
+	got := Ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if !almost(got[i], want[i], 1e-12) {
+			t.Fatalf("ranks = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestGini(t *testing.T) {
+	if g := Gini([]float64{1, 1, 1, 1}); !almost(g, 0, 1e-12) {
+		t.Errorf("equal Gini = %v", g)
+	}
+	// One holder of everything among n=4: Gini = (n-1)/n = 0.75.
+	if g := Gini([]float64{0, 0, 0, 8}); !almost(g, 0.75, 1e-12) {
+		t.Errorf("concentrated Gini = %v", g)
+	}
+	if g := Gini(nil); g != 0 {
+		t.Errorf("empty Gini = %v", g)
+	}
+	if g := Gini([]float64{0, 0}); g != 0 {
+		t.Errorf("zero-total Gini = %v", g)
+	}
+}
+
+func TestGiniInUnitRangeProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		g := Gini(xs)
+		return g >= -1e-12 && g < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	if h := Entropy([]float64{1, 1, 1, 1}); !almost(h, 2, 1e-12) {
+		t.Errorf("uniform-4 entropy = %v, want 2 bits", h)
+	}
+	if h := Entropy([]float64{1, 0, 0}); !almost(h, 0, 1e-12) {
+		t.Errorf("point-mass entropy = %v, want 0", h)
+	}
+	if h := Entropy(nil); h != 0 {
+		t.Errorf("empty entropy = %v", h)
+	}
+}
+
+func TestEntropyBoundedProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		ws := make([]float64, len(raw))
+		var total float64
+		for i, v := range raw {
+			ws[i] = float64(v)
+			total += float64(v)
+		}
+		h := Entropy(ws)
+		if total == 0 {
+			return h == 0
+		}
+		return h >= -1e-12 && h <= math.Log2(float64(len(ws)))+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCCDF(t *testing.T) {
+	values, probs := CCDF([]float64{1, 1, 2, 3})
+	wantV := []float64{1, 2, 3}
+	wantP := []float64{1, 0.5, 0.25}
+	if len(values) != 3 {
+		t.Fatalf("values = %v", values)
+	}
+	for i := range wantV {
+		if values[i] != wantV[i] || !almost(probs[i], wantP[i], 1e-12) {
+			t.Fatalf("CCDF = %v %v, want %v %v", values, probs, wantV, wantP)
+		}
+	}
+	if v, p := CCDF(nil); v != nil || p != nil {
+		t.Fatal("empty CCDF should be nil")
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0, 1.9, 2, 5, 9.999} {
+		h.Add(x)
+	}
+	h.Add(-1) // under
+	h.Add(10) // over (right-open)
+	wantCounts := []int64{2, 1, 1, 0, 1}
+	for i, want := range wantCounts {
+		if _, _, c := h.Bin(i); c != want {
+			t.Fatalf("bin %d count = %d, want %d", i, c, want)
+		}
+	}
+	if h.Total() != 5 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	under, over := h.Outliers()
+	if under != 1 || over != 1 {
+		t.Fatalf("outliers = %d,%d", under, over)
+	}
+}
+
+func TestHistogramErrors(t *testing.T) {
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Fatal("zero bins accepted")
+	}
+	if _, err := NewHistogram(5, 5, 3); err == nil {
+		t.Fatal("empty range accepted")
+	}
+	if _, err := NewLogHistogram(0, 10, 3); err == nil {
+		t.Fatal("log histogram with lo=0 accepted")
+	}
+}
+
+func TestLogHistogramEdges(t *testing.T) {
+	h, err := NewLogHistogram(1, 1000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Edges should be 1, 10, 100, 1000.
+	wantEdges := []float64{1, 10, 100, 1000}
+	for i, want := range wantEdges[:3] {
+		lo, _, _ := h.Bin(i)
+		if !almost(lo, want, 1e-9) {
+			t.Fatalf("edge %d = %v, want %v", i, lo, want)
+		}
+	}
+	h.Add(5)
+	h.Add(50)
+	h.Add(500)
+	for i := 0; i < 3; i++ {
+		if _, _, c := h.Bin(i); c != 1 {
+			t.Fatalf("log bin %d count = %d, want 1", i, c)
+		}
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h, _ := NewHistogram(0, 4, 2)
+	h.Add(1)
+	h.Add(1)
+	h.Add(3)
+	out := h.Render(10)
+	if out == "" {
+		t.Fatal("empty render")
+	}
+	empty, _ := NewHistogram(0, 1, 2)
+	if got := empty.Render(10); got != "(empty histogram)\n" {
+		t.Fatalf("empty render = %q", got)
+	}
+}
+
+func TestBootstrapCoversTruth(t *testing.T) {
+	src := xrand.NewSource(99)
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = src.NormFloat64() + 10
+	}
+	ci, err := Bootstrap(src, xs, Mean, 500, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.Lo > 10 || ci.Hi < 10 {
+		t.Fatalf("CI %v does not cover true mean 10", ci)
+	}
+	if ci.Lo > ci.Point || ci.Hi < ci.Point {
+		t.Fatalf("CI %v does not bracket point estimate", ci)
+	}
+}
+
+func TestBootstrapErrors(t *testing.T) {
+	src := xrand.NewSource(1)
+	if _, err := Bootstrap(src, nil, Mean, 10, 0.9); err == nil {
+		t.Fatal("empty sample accepted")
+	}
+	if _, err := Bootstrap(src, []float64{1}, Mean, 0, 0.9); err == nil {
+		t.Fatal("zero reps accepted")
+	}
+	if _, err := Bootstrap(src, []float64{1}, Mean, 10, 1.5); err == nil {
+		t.Fatal("bad level accepted")
+	}
+}
+
+func TestBootstrapDeterministic(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	a, err := Bootstrap(xrand.NewSource(7), xs, Median, 200, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Bootstrap(xrand.NewSource(7), xs, Median, 200, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("bootstrap not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestSummaryMergeMatchesBatch(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7}
+	var whole Summary
+	for _, x := range xs {
+		whole.Add(x)
+	}
+	for split := 1; split < len(xs); split++ {
+		var a, b Summary
+		for _, x := range xs[:split] {
+			a.Add(x)
+		}
+		for _, x := range xs[split:] {
+			b.Add(x)
+		}
+		a.Merge(&b)
+		if a.N() != whole.N() || !almost(a.Mean(), whole.Mean(), 1e-12) ||
+			!almost(a.Variance(), whole.Variance(), 1e-9) ||
+			a.Min() != whole.Min() || a.Max() != whole.Max() {
+			t.Fatalf("split %d: merged %v != batch %v", split, a.String(), whole.String())
+		}
+	}
+}
+
+func TestSummaryMergeEmptySides(t *testing.T) {
+	var a, b Summary
+	a.Add(5)
+	a.Merge(&b) // merging empty is a no-op
+	if a.N() != 1 || a.Mean() != 5 {
+		t.Fatal("merge with empty changed state")
+	}
+	var c Summary
+	c.Merge(&a) // merging into empty copies
+	if c.N() != 1 || c.Mean() != 5 {
+		t.Fatal("merge into empty failed")
+	}
+}
+
+func TestSummaryMergeProperty(t *testing.T) {
+	f := func(raw1, raw2 []int8) bool {
+		var a, b, whole Summary
+		for _, v := range raw1 {
+			a.Add(float64(v))
+			whole.Add(float64(v))
+		}
+		for _, v := range raw2 {
+			b.Add(float64(v))
+			whole.Add(float64(v))
+		}
+		a.Merge(&b)
+		if a.N() != whole.N() {
+			return false
+		}
+		if whole.N() == 0 {
+			return true
+		}
+		return almost(a.Mean(), whole.Mean(), 1e-9) && almost(a.Variance(), whole.Variance(), 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

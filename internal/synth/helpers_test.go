@@ -1,0 +1,9 @@
+package synth
+
+import "viewstags/internal/xrand"
+
+// newTestSource keeps property tests independent of the xrand package's
+// import path details in this package's tests.
+func newTestSource(seed uint64) *xrand.Source {
+	return xrand.NewSource(seed)
+}

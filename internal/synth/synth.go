@@ -1,0 +1,371 @@
+// Package synth generates the synthetic YouTube catalog that stands in
+// for the paper's unrecoverable March-2011 crawl (see DESIGN.md §2).
+//
+// Every video gets: a YouTube-shaped 11-character id, a title, an upload
+// country, a category, a tag set drawn from the internal/tags vocabulary,
+// a heavy-tailed total view count, and a ground-truth per-country view
+// field sampled from a mixture of (a) the global traffic prior, (b) an
+// upload-country gravity component, and (c) the video's tags' affinities.
+// From the ground truth the generator derives the quantized Map-Chart
+// popularity vector pop(v) — the only geographic signal the paper's
+// pipeline gets to see — and injects the two data pathologies the paper
+// filters (§2): videos with no tags, and videos with an empty or corrupt
+// popularity vector.
+package synth
+
+import (
+	"fmt"
+
+	"viewstags/internal/geo"
+	"viewstags/internal/mapchart"
+	"viewstags/internal/tags"
+	"viewstags/internal/xrand"
+)
+
+// PopVectorState describes the health of a video's scraped popularity
+// vector, mirroring the paper's filtering taxonomy.
+type PopVectorState int
+
+// Popularity-vector states. Enums start at one so the zero value is
+// detectably unset.
+const (
+	PopStateInvalid PopVectorState = iota
+	PopStateOK                     // complete, decodable vector
+	PopStateEmpty                  // map chart absent (no data)
+	PopStateCorrupt                // undecodable / wrong length
+)
+
+// String returns the state name.
+func (s PopVectorState) String() string {
+	switch s {
+	case PopStateOK:
+		return "ok"
+	case PopStateEmpty:
+		return "empty"
+	case PopStateCorrupt:
+		return "corrupt"
+	default:
+		return fmt.Sprintf("PopVectorState(%d)", int(s))
+	}
+}
+
+// Video is one ground-truth catalog entry.
+type Video struct {
+	Index      int    // dense catalog index
+	ID         string // YouTube-shaped 11-char id
+	Title      string
+	Upload     geo.CountryID
+	Category   string
+	TagIDs     []int // vocabulary indices; empty for the untagged pathology
+	TotalViews int64
+
+	// TrueViews is the ground-truth per-country view field (sums to
+	// TotalViews). The analysis pipeline never reads it; it exists to
+	// score reconstruction quality.
+	TrueViews []int64
+
+	// PopVector is the quantized 0..61 Map-Chart vector derived from
+	// TrueViews, or nil when PopState != PopStateOK.
+	PopVector []int
+	PopState  PopVectorState
+}
+
+// TagNames resolves the video's tag ids against the vocabulary.
+func (v *Video) TagNames(voc *tags.Vocabulary) []string {
+	out := make([]string, len(v.TagIDs))
+	for i, id := range v.TagIDs {
+		out[i] = voc.Name(id)
+	}
+	return out
+}
+
+// Config parameterizes catalog generation. The default values are
+// calibrated so the filtered-dataset proportions track the paper's §2
+// statistics (see TestT1FilteringRatios and EXPERIMENTS.md).
+type Config struct {
+	Videos    int    // catalog size before filtering
+	VocabSize int    // tag vocabulary size
+	Seed      uint64 // master seed
+
+	// View-volume model: total views per video follow a bounded Pareto
+	// with this exponent and range. Alpha near 2 gives the classic UGC
+	// skew where the head video draws hundreds of millions of views.
+	ViewsAlpha float64
+	ViewsMin   int64
+	ViewsMax   int64
+
+	// Geographic mixture weights (normalized internally): how much of a
+	// video's view field follows the global prior, the uploader's
+	// country+language gravity, and the video's tags.
+	WeightPrior   float64
+	WeightGravity float64
+	WeightTags    float64
+
+	// Dirichlet jitter concentration: larger = view fields closer to
+	// their mixture mean; smaller = noisier per-video geography.
+	JitterConcentration float64
+
+	// TopicDrift is the probability that a video's *topic* anchors on a
+	// country other than its upload country (diaspora channels, topic
+	// tourism: a US-uploaded K-pop compilation). Drifted videos are what
+	// make tags a strictly better geographic marker than uploader
+	// location — the paper's conjecture in generative form.
+	TopicDrift float64
+
+	// Pathology rates (paper §2: 6,736/1,063,844 untagged ≈ 0.63%;
+	// (1,057,108−691,349)/1,063,844 ≈ 34.4% empty-or-corrupt pop vector).
+	UntaggedRate   float64
+	PopEmptyRate   float64
+	PopCorruptRate float64
+
+	TagSet tags.TagSetConfig
+}
+
+// DefaultConfig returns a paper-calibrated configuration generating n
+// videos.
+func DefaultConfig(n int) Config {
+	return Config{
+		Videos:              n,
+		VocabSize:           vocabSizeFor(n),
+		Seed:                20110301, // the crawl month
+		ViewsAlpha:          1.5,      // bounded-Pareto tail giving ≈2×10⁵ mean views/video, the paper's ratio (1.73e11 / 691,349)
+		ViewsMin:            50,
+		ViewsMax:            viewsMaxFor(n),
+		WeightPrior:         0.15,
+		WeightGravity:       0.20,
+		WeightTags:          0.65,
+		TopicDrift:          0.30,
+		JitterConcentration: 120,
+		UntaggedRate:        0.00633, // 6,736 / 1,063,844
+		PopEmptyRate:        0.24,
+		PopCorruptRate:      0.104, // together ≈ 34.4% dropped for bad vectors
+		TagSet:              tags.DefaultTagSetConfig(),
+	}
+}
+
+// vocabSizeFor scales the vocabulary with the catalog the way the paper's
+// numbers do: 705,415 unique tags over 1,063,844 videos ≈ 0.66 tags per
+// video, floored so small test catalogs still get a usable vocabulary.
+func vocabSizeFor(videos int) int {
+	v := int(0.66 * float64(videos))
+	if v < 400 {
+		v = 400
+	}
+	return v
+}
+
+// viewsMaxFor scales the per-video view cap with catalog size so the
+// head video's share of total views stays paper-like instead of one
+// video dominating a small test catalog. The slope is calibrated on the
+// paper itself: at its 1,063,844-video scale, 500·n ≈ 5.3×10⁸ — the view
+// count of its most-viewed video (Justin Bieber – Baby) in March 2011.
+func viewsMaxFor(videos int) int64 {
+	max := int64(500) * int64(videos)
+	if max > 800_000_000 {
+		return 800_000_000
+	}
+	if max < 100_000 {
+		return 100_000
+	}
+	return max
+}
+
+// Catalog is a fully generated synthetic world.
+type Catalog struct {
+	World  *geo.World
+	Vocab  *tags.Vocabulary
+	Videos []Video
+	Config Config
+
+	idIndex map[string]int // lazy id→index map; see ByID
+}
+
+// youTubeCategories2011 is the category list of the GData API circa 2011.
+var youTubeCategories2011 = []string{
+	"Music", "Entertainment", "Comedy", "Film", "Sports", "Gaming",
+	"News", "People", "Howto", "Education", "Tech", "Autos", "Animals",
+	"Travel", "Nonprofit",
+}
+
+// Generate builds a catalog from cfg. It is deterministic in cfg.Seed.
+func Generate(cfg Config) (*Catalog, error) {
+	if cfg.Videos <= 0 {
+		return nil, fmt.Errorf("synth: non-positive catalog size %d", cfg.Videos)
+	}
+	if cfg.ViewsAlpha <= 1 {
+		return nil, fmt.Errorf("synth: ViewsAlpha must exceed 1, got %v", cfg.ViewsAlpha)
+	}
+	if cfg.ViewsMin <= 0 || cfg.ViewsMax <= cfg.ViewsMin {
+		return nil, fmt.Errorf("synth: invalid view range [%d, %d]", cfg.ViewsMin, cfg.ViewsMax)
+	}
+	wSum := cfg.WeightPrior + cfg.WeightGravity + cfg.WeightTags
+	if wSum <= 0 {
+		return nil, fmt.Errorf("synth: mixture weights sum to %v", wSum)
+	}
+	for _, r := range []float64{cfg.UntaggedRate, cfg.PopEmptyRate, cfg.PopCorruptRate} {
+		if r < 0 || r > 1 {
+			return nil, fmt.Errorf("synth: pathology rate %v outside [0,1]", r)
+		}
+	}
+	if cfg.TopicDrift < 0 || cfg.TopicDrift > 1 {
+		return nil, fmt.Errorf("synth: TopicDrift %v outside [0,1]", cfg.TopicDrift)
+	}
+
+	world := geo.DefaultWorld()
+	root := xrand.NewSource(cfg.Seed)
+	voc, err := tags.NewVocabulary(world, root.Fork("vocab"), tags.DefaultConfig(cfg.VocabSize))
+	if err != nil {
+		return nil, fmt.Errorf("synth: vocabulary: %w", err)
+	}
+
+	cat := &Catalog{World: world, Vocab: voc, Config: cfg, Videos: make([]Video, cfg.Videos)}
+	prior := world.Traffic()
+	uploadCat := xrand.NewCategorical(root.Fork("upload"), prior)
+
+	viewSrc := root.Fork("views")
+	tagSrc := root.Fork("tagsets")
+	geoSrc := root.Fork("geo")
+	pathSrc := root.Fork("pathology")
+	titleSrc := root.Fork("title")
+
+	// Language-gravity vectors are shared per country; precompute.
+	gravity := make([][]float64, world.N())
+	for c := 0; c < world.N(); c++ {
+		gravity[c] = gravityVector(world, geo.CountryID(c))
+	}
+
+	alpha := make([]float64, world.N())
+	field := make([]float64, world.N())
+	for i := range cat.Videos {
+		v := &cat.Videos[i]
+		v.Index = i
+		v.ID = VideoID(cfg.Seed, i)
+		v.Upload = geo.CountryID(uploadCat.Draw())
+		v.Category = youTubeCategories2011[titleSrc.Intn(len(youTubeCategories2011))]
+		v.TotalViews = boundedPareto(viewSrc, cfg.ViewsAlpha, cfg.ViewsMin, cfg.ViewsMax)
+
+		// Topic drift: most videos' topical tags anchor at home, but a
+		// fraction anchor elsewhere (the uploader's subject, not their
+		// location). Gravity still follows the upload country.
+		topic := v.Upload
+		if cfg.TopicDrift > 0 && tagSrc.Bernoulli(cfg.TopicDrift) {
+			topic = geo.CountryID(uploadCat.Draw())
+		}
+		if !pathSrc.Bernoulli(cfg.UntaggedRate) {
+			v.TagIDs = voc.SampleTagSet(tagSrc, topic, cfg.TagSet)
+		}
+		v.Title = synthTitle(titleSrc, voc, v)
+
+		// Mixture mean over countries.
+		mean := mixtureMean(cfg, prior, gravity[v.Upload], voc, v.TagIDs, field)
+		// Dirichlet jitter around the mean keeps per-video variety.
+		for c := range alpha {
+			a := cfg.JitterConcentration * mean[c]
+			if a < 1e-4 {
+				a = 1e-4 // keep Gamma well-defined for near-zero components
+			}
+			alpha[c] = a
+		}
+		draw := make([]float64, world.N())
+		geoSrc.Dirichlet(alpha, draw)
+		v.TrueViews = spreadViews(geoSrc, draw, v.TotalViews)
+
+		assignPopVector(pathSrc, cfg, world, v)
+	}
+	return cat, nil
+}
+
+// mixtureMean fills field with the normalized mixture of prior, gravity
+// and tag affinities and returns it.
+func mixtureMean(cfg Config, prior, gravity []float64, voc *tags.Vocabulary, tagIDs []int, field []float64) []float64 {
+	wSum := cfg.WeightPrior + cfg.WeightGravity + cfg.WeightTags
+	wp, wg, wt := cfg.WeightPrior/wSum, cfg.WeightGravity/wSum, cfg.WeightTags/wSum
+	if len(tagIDs) == 0 {
+		// Untagged videos: renormalize onto prior+gravity.
+		total := wp + wg
+		wp, wg, wt = wp/total, wg/total, 0
+	}
+	for c := range field {
+		field[c] = wp*prior[c] + wg*gravity[c]
+	}
+	if wt > 0 {
+		// Rank-weighted tag mixture: a video's geography follows its
+		// leading (topical) tags far more than its trailing descriptive
+		// ones, so tag k gets harmonic weight 1/(k+1).
+		var hSum float64
+		for k := range tagIDs {
+			hSum += 1 / float64(k+1)
+		}
+		for k, tid := range tagIDs {
+			per := wt * (1 / float64(k+1)) / hSum
+			aff := voc.Affinity(tid)
+			for c := range field {
+				field[c] += per * aff[c]
+			}
+		}
+	}
+	return field
+}
+
+// gravityVector is the uploader-locality component: most mass on the
+// upload country, the rest on its language peers by traffic share.
+func gravityVector(world *geo.World, upload geo.CountryID) []float64 {
+	const selfMass = 0.70
+	out := make([]float64, world.N())
+	peers := world.LanguagePeers(world.Country(upload).Language)
+	var peerTraffic float64
+	for _, p := range peers {
+		if p != upload {
+			peerTraffic += world.TrafficOf(p)
+		}
+	}
+	out[upload] = selfMass
+	rest := 1 - selfMass
+	if peerTraffic > 0 {
+		for _, p := range peers {
+			if p != upload {
+				out[p] += rest * world.TrafficOf(p) / peerTraffic
+			}
+		}
+	} else {
+		out[upload] += rest
+	}
+	return out
+}
+
+// spreadViews distributes total views across countries according to the
+// probability field p, exactly (counts sum to total).
+func spreadViews(src *xrand.Source, p []float64, total int64) []int64 {
+	cat := xrand.NewCategorical(src.Fork("spread"), p)
+	return cat.Multinomial(total)
+}
+
+// assignPopVector computes the Map-Chart popularity vector from the
+// ground-truth views, or injects one of the paper's two popularity-vector
+// pathologies (empty map / corrupt vector).
+func assignPopVector(src *xrand.Source, cfg Config, world *geo.World, v *Video) {
+	u := src.Float64()
+	switch {
+	case u < cfg.PopEmptyRate:
+		v.PopState = PopStateEmpty
+		return
+	case u < cfg.PopEmptyRate+cfg.PopCorruptRate:
+		v.PopState = PopStateCorrupt
+		// A corrupt vector is present but useless: the map rendered but
+		// carried no data ("incorrect popularity vector" in §2's terms),
+		// which densifies to all zeros downstream.
+		v.PopVector = make([]int, world.N())
+		return
+	}
+	views := make([]float64, world.N())
+	for c, n := range v.TrueViews {
+		views[c] = float64(n)
+	}
+	intensity, err := mapchart.Intensity(views, world.Traffic())
+	if err != nil {
+		// Lengths come from the same world; a mismatch is a bug.
+		panic("synth: intensity: " + err.Error())
+	}
+	v.PopVector = mapchart.Quantize(intensity)
+	v.PopState = PopStateOK
+}

@@ -1,0 +1,69 @@
+package tags
+
+import "sort"
+
+// Cooccurrence counts pairwise tag co-occurrence within tag sets. The
+// related-videos graph builder uses it to wire "videos that share rare
+// tags" together, mimicking YouTube's relatedness signal.
+type Cooccurrence struct {
+	pairs  map[[2]int]int
+	counts map[int]int
+	sets   int
+}
+
+// NewCooccurrence returns an empty counter.
+func NewCooccurrence() *Cooccurrence {
+	return &Cooccurrence{
+		pairs:  make(map[[2]int]int),
+		counts: make(map[int]int),
+	}
+}
+
+// AddSet folds one video's tag set (vocabulary indices) into the counts.
+// Duplicate indices within one set are counted once.
+func (c *Cooccurrence) AddSet(set []int) {
+	uniq := append([]int(nil), set...)
+	sort.Ints(uniq)
+	w := uniq[:0]
+	for i, v := range uniq {
+		if i == 0 || uniq[i-1] != v {
+			w = append(w, v)
+		}
+	}
+	uniq = w
+	c.sets++
+	for i, a := range uniq {
+		c.counts[a]++
+		for _, b := range uniq[i+1:] {
+			c.pairs[[2]int{a, b}]++
+		}
+	}
+}
+
+// Sets returns the number of sets folded in.
+func (c *Cooccurrence) Sets() int { return c.sets }
+
+// Count returns how many sets contained tag t.
+func (c *Cooccurrence) Count(t int) int { return c.counts[t] }
+
+// Pair returns how many sets contained both a and b.
+func (c *Cooccurrence) Pair(a, b int) int {
+	if a == b {
+		return c.counts[a]
+	}
+	if a > b {
+		a, b = b, a
+	}
+	return c.pairs[[2]int{a, b}]
+}
+
+// Jaccard returns |sets(a) ∩ sets(b)| / |sets(a) ∪ sets(b)|, the standard
+// co-occurrence similarity; 0 when either tag is unseen.
+func (c *Cooccurrence) Jaccard(a, b int) float64 {
+	inter := c.Pair(a, b)
+	union := c.counts[a] + c.counts[b] - inter
+	if union <= 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}

@@ -1,0 +1,109 @@
+package tags
+
+import (
+	"strconv"
+	"strings"
+
+	"viewstags/internal/xrand"
+)
+
+// nameGen synthesizes plausible tag strings. Each language cluster gets
+// its own syllable inventory so the synthetic vocabulary "reads" like a
+// multilingual folksonomy rather than random bytes — which also exercises
+// the normalization path with realistic inputs.
+type nameGen struct {
+	src *xrand.Source
+}
+
+func newNameGen(src *xrand.Source) *nameGen {
+	return &nameGen{src: src}
+}
+
+// syllables returns the inventory for a language cluster key; unknown
+// clusters use a neutral inventory.
+func syllables(lang string) []string {
+	switch lang {
+	case "pt":
+		return []string{"ca", "ri", "o", "fa", "ve", "la", "sam", "ba", "do", "bra", "zu", "mor", "ro", "nho", "gol"}
+	case "es":
+		return []string{"el", "la", "cor", "ri", "da", "fue", "go", "ce", "le", "bre", "mun", "do", "can", "ta"}
+	case "fr":
+		return []string{"le", "mon", "de", "pa", "ri", "chan", "son", "vé", "lo", "bleu", "coeur", "nuit"}
+	case "de":
+		return []string{"der", "schau", "spiel", "lich", "berg", "wald", "lied", "zeit", "fest", "bahn"}
+	case "ja":
+		return []string{"ka", "wa", "ii", "to", "kyo", "sa", "ku", "ra", "ne", "ko", "man", "ga"}
+	case "ko":
+		return []string{"han", "gug", "seo", "ul", "no", "rae", "chum", "gi", "mu", "dae"}
+	case "ru":
+		return []string{"mos", "kva", "pes", "nya", "zhi", "vot", "koto", "rusk", "da", "net"}
+	case "hi":
+		return []string{"bha", "rat", "ga", "na", "fil", "mi", "des", "hi", "ma", "sa", "la"}
+	case "zh":
+		return []string{"zhong", "guo", "hua", "mei", "xi", "ju", "ge", "wu", "dian", "ying"}
+	case "ar":
+		return []string{"al", "ma", "ka", "bir", "sha", "riq", "ha", "bi", "bi", "nur"}
+	default:
+		return []string{"ta", "ke", "lo", "mi", "ra", "zen", "po", "vu", "na", "si", "ko", "da", "fi", "ru"}
+	}
+}
+
+// word synthesizes one 2–4 syllable word in the given language flavor.
+func (g *nameGen) word(lang string) string {
+	syl := syllables(lang)
+	n := 2 + g.src.Intn(3)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteString(syl[g.src.Intn(len(syl))])
+	}
+	return b.String()
+}
+
+// unique returns a synthesized tag name not already present in taken.
+// After a few collisions it falls back to a numeric suffix, which is
+// guaranteed fresh.
+func (g *nameGen) unique(taken map[string]int, lang string) string {
+	for attempt := 0; attempt < 8; attempt++ {
+		w := g.word(lang)
+		if _, dup := taken[w]; !dup {
+			return w
+		}
+	}
+	base := g.word(lang)
+	for i := 2; ; i++ {
+		w := base + strconv.Itoa(i)
+		if _, dup := taken[w]; !dup {
+			return w
+		}
+	}
+}
+
+// NormalizeName canonicalizes a raw tag string the way the analysis
+// pipeline keys tags: lower-cased, surrounding whitespace trimmed, inner
+// whitespace runs collapsed to single spaces.
+func NormalizeName(raw string) string {
+	return strings.Join(strings.Fields(strings.ToLower(raw)), " ")
+}
+
+// SplitTagList splits a comma-separated tag attribute (the GData wire
+// form) into normalized, deduplicated tag names, preserving first-seen
+// order. Empty fragments are dropped.
+func SplitTagList(raw string) []string {
+	parts := strings.Split(raw, ",")
+	seen := make(map[string]bool, len(parts))
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		n := NormalizeName(p)
+		if n == "" || seen[n] {
+			continue
+		}
+		seen[n] = true
+		out = append(out, n)
+	}
+	return out
+}
+
+// JoinTagList renders tag names as the comma-separated GData wire form.
+func JoinTagList(names []string) string {
+	return strings.Join(names, ",")
+}

@@ -1,0 +1,372 @@
+package tags
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"viewstags/internal/dist"
+	"viewstags/internal/geo"
+	"viewstags/internal/xrand"
+)
+
+func testVocab(t *testing.T, size int) *Vocabulary {
+	t.Helper()
+	w := geo.DefaultWorld()
+	v, err := NewVocabulary(w, xrand.NewSource(1234), DefaultConfig(size))
+	if err != nil {
+		t.Fatalf("NewVocabulary: %v", err)
+	}
+	return v
+}
+
+func TestVocabularySizeAndUniqueNames(t *testing.T) {
+	v := testVocab(t, 2000)
+	if v.N() != 2000 {
+		t.Fatalf("N = %d", v.N())
+	}
+	seen := make(map[string]bool, v.N())
+	for i := 0; i < v.N(); i++ {
+		name := v.Name(i)
+		if name == "" {
+			t.Fatalf("tag %d has empty name", i)
+		}
+		if seen[name] {
+			t.Fatalf("duplicate tag name %q", name)
+		}
+		seen[name] = true
+	}
+}
+
+func TestVocabularyDeterministic(t *testing.T) {
+	w := geo.DefaultWorld()
+	a, err := NewVocabulary(w, xrand.NewSource(7), DefaultConfig(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewVocabulary(w, xrand.NewSource(7), DefaultConfig(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < a.N(); i++ {
+		if a.Name(i) != b.Name(i) || a.Tag(i).Class != b.Tag(i).Class {
+			t.Fatalf("vocabulary not deterministic at %d", i)
+		}
+	}
+}
+
+func TestByNameRoundTrip(t *testing.T) {
+	v := testVocab(t, 300)
+	for i := 0; i < v.N(); i++ {
+		j, ok := v.ByName(v.Name(i))
+		if !ok || j != i {
+			t.Fatalf("ByName(%q) = %d,%v want %d", v.Name(i), j, ok, i)
+		}
+	}
+	if _, ok := v.ByName("definitely-not-a-tag-xyz"); ok {
+		t.Fatal("ByName accepted unknown name")
+	}
+}
+
+func TestCuratedTagsPresent(t *testing.T) {
+	v := testVocab(t, 200)
+	w := v.World()
+	i, ok := v.ByName("favela")
+	if !ok {
+		t.Fatal("curated tag 'favela' missing")
+	}
+	tg := v.Tag(i)
+	if tg.Class != ClassLocal {
+		t.Fatalf("favela class = %v", tg.Class)
+	}
+	if w.Country(tg.Anchor).Code != "BR" {
+		t.Fatalf("favela anchored at %s, want BR", w.Country(tg.Anchor).Code)
+	}
+	j, ok := v.ByName("pop")
+	if !ok {
+		t.Fatal("curated tag 'pop' missing")
+	}
+	if v.Tag(j).Class != ClassGlobal {
+		t.Fatalf("pop class = %v", v.Tag(j).Class)
+	}
+	if j > 15 {
+		t.Fatalf("'pop' at rank %d; should be near the usage-frequency head", j)
+	}
+}
+
+func TestClassMixRoughlyRespected(t *testing.T) {
+	v := testVocab(t, 5000)
+	counts := map[Class]int{}
+	for i := 0; i < v.N(); i++ {
+		counts[v.Tag(i).Class]++
+	}
+	fracLocal := float64(counts[ClassLocal]) / float64(v.N())
+	fracRegional := float64(counts[ClassRegional]) / float64(v.N())
+	if math.Abs(fracLocal-0.55) > 0.05 {
+		t.Errorf("local fraction = %v, want ~0.55", fracLocal)
+	}
+	if math.Abs(fracRegional-0.30) > 0.05 {
+		t.Errorf("regional fraction = %v, want ~0.30", fracRegional)
+	}
+}
+
+func TestHeadIsGlobalHeavy(t *testing.T) {
+	// The usage-frequency head must skew global relative to the tail
+	// (the curated head contributes some famous local tags, so the
+	// comparison is head share vs tail share, not an absolute count).
+	v := testVocab(t, 5000)
+	classFrac := func(lo, hi int) float64 {
+		globals := 0
+		for i := lo; i < hi; i++ {
+			if v.Tag(i).Class == ClassGlobal {
+				globals++
+			}
+		}
+		return float64(globals) / float64(hi-lo)
+	}
+	head := classFrac(0, 100)
+	tail := classFrac(1000, v.N())
+	if head < 0.40 {
+		t.Fatalf("only %.0f%% of the top-100 tags are global", 100*head)
+	}
+	if head <= 2*tail {
+		t.Fatalf("head global fraction %.2f not well above tail %.2f", head, tail)
+	}
+}
+
+func TestAffinityIsDistribution(t *testing.T) {
+	v := testVocab(t, 500)
+	for _, i := range []int{0, 1, 50, 200, 499} {
+		a := v.Affinity(i)
+		if len(a) != v.World().N() {
+			t.Fatalf("affinity length %d", len(a))
+		}
+		var sum float64
+		for _, x := range a {
+			if x < 0 {
+				t.Fatalf("negative affinity for tag %d", i)
+			}
+			sum += x
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("affinity of tag %d sums to %v", i, sum)
+		}
+	}
+}
+
+func TestAffinityClassShapes(t *testing.T) {
+	v := testVocab(t, 500)
+	w := v.World()
+
+	// favela: local, Brazil-dominated.
+	fi, _ := v.ByName("favela")
+	fa := v.Affinity(fi)
+	br := w.MustByCode("BR")
+	if dist.ArgMax(fa) != int(br) {
+		t.Fatalf("favela affinity peaks at %s", w.Country(geo.CountryID(dist.ArgMax(fa))).Code)
+	}
+	if fa[br] < 0.8 {
+		t.Fatalf("favela BR mass = %v, want >= 0.8", fa[br])
+	}
+
+	// pop: global — must match the traffic prior exactly.
+	pi, _ := v.ByName("pop")
+	pa := v.Affinity(pi)
+	prior := w.Traffic()
+	for c := range prior {
+		if math.Abs(pa[c]-prior[c]) > 1e-12 {
+			t.Fatalf("pop affinity deviates from prior at country %d", c)
+		}
+	}
+
+	// kpop: regional — Korean cluster should hold most of the mass.
+	ki, _ := v.ByName("kpop")
+	ka := v.Affinity(ki)
+	kr := w.MustByCode("KR")
+	if ka[kr] < 0.5 {
+		t.Fatalf("kpop KR mass = %v", ka[kr])
+	}
+}
+
+func TestAffinitySpreadClassesAgree(t *testing.T) {
+	v := testVocab(t, 500)
+	fi, _ := v.ByName("favela")
+	if got := dist.Classify(v.Affinity(fi)); got != dist.SpreadLocal {
+		t.Fatalf("favela classified %v", got)
+	}
+	pi, _ := v.ByName("pop")
+	if got := dist.Classify(v.Affinity(pi)); got != dist.SpreadGlobal {
+		t.Fatalf("pop classified %v", got)
+	}
+}
+
+func TestSampleTagSetProperties(t *testing.T) {
+	v := testVocab(t, 2000)
+	src := xrand.NewSource(99)
+	us := v.World().MustByCode("US")
+	cfg := DefaultTagSetConfig()
+	sizes := 0
+	for trial := 0; trial < 500; trial++ {
+		set := v.SampleTagSet(src, us, cfg)
+		if len(set) == 0 {
+			t.Fatal("empty tag set")
+		}
+		if len(set) > cfg.MaxTags {
+			t.Fatalf("tag set size %d exceeds cap %d", len(set), cfg.MaxTags)
+		}
+		seen := make(map[int]bool)
+		for _, idx := range set {
+			if idx < 0 || idx >= v.N() {
+				t.Fatalf("tag index %d out of range", idx)
+			}
+			if seen[idx] {
+				t.Fatalf("duplicate tag in set: %d", idx)
+			}
+			seen[idx] = true
+		}
+		sizes += len(set)
+	}
+	mean := float64(sizes) / 500
+	if mean < 4 || mean > 15 {
+		t.Fatalf("mean tag-set size %v outside plausible band around %d", mean, cfg.MeanTags)
+	}
+}
+
+func TestSampleTagSetUploadBias(t *testing.T) {
+	v := testVocab(t, 5000)
+	w := v.World()
+	br := w.MustByCode("BR")
+	jp := w.MustByCode("JP")
+	src := xrand.NewSource(7)
+
+	anchoredAt := func(upload geo.CountryID, anchor geo.CountryID) int {
+		n := 0
+		for trial := 0; trial < 300; trial++ {
+			for _, idx := range v.SampleTagSet(src, upload, DefaultTagSetConfig()) {
+				tg := v.Tag(idx)
+				if tg.Class == ClassLocal && tg.Anchor == anchor {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	brFromBR := anchoredAt(br, br)
+	brFromJP := anchoredAt(jp, br)
+	if brFromBR <= 2*brFromJP {
+		t.Fatalf("BR uploads picked %d BR-local tags vs %d from JP uploads; expected strong locale bias", brFromBR, brFromJP)
+	}
+}
+
+func TestVocabularyConfigErrors(t *testing.T) {
+	w := geo.DefaultWorld()
+	if _, err := NewVocabulary(w, xrand.NewSource(1), DefaultConfig(3)); err == nil {
+		t.Fatal("size below curated head accepted")
+	}
+	bad := DefaultConfig(100)
+	bad.LocalFrac = 0.8
+	bad.RegionalFrac = 0.5
+	if _, err := NewVocabulary(w, xrand.NewSource(1), bad); err == nil {
+		t.Fatal("class mix > 1 accepted")
+	}
+	neg := DefaultConfig(100)
+	neg.ZipfExponent = -1
+	if _, err := NewVocabulary(w, xrand.NewSource(1), neg); err == nil {
+		t.Fatal("negative exponent accepted")
+	}
+}
+
+func TestNormalizeName(t *testing.T) {
+	cases := map[string]string{
+		"  Funny  Cats ": "funny cats",
+		"POP":            "pop",
+		"a\tb\nc":        "a b c",
+		"":               "",
+		"   ":            "",
+	}
+	for in, want := range cases {
+		if got := NormalizeName(in); got != want {
+			t.Errorf("NormalizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSplitTagList(t *testing.T) {
+	got := SplitTagList("Pop, rock ,POP,, Live  Music ")
+	want := []string{"pop", "rock", "live music"}
+	if len(got) != len(want) {
+		t.Fatalf("SplitTagList = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SplitTagList = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSplitJoinRoundTripProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		// Build a list of clean names from bytes.
+		names := []string{}
+		seen := map[string]bool{}
+		for _, b := range raw {
+			n := "t" + string(rune('a'+int(b%26)))
+			if !seen[n] {
+				seen[n] = true
+				names = append(names, n)
+			}
+		}
+		round := SplitTagList(JoinTagList(names))
+		if len(round) != len(names) {
+			return false
+		}
+		for i := range names {
+			if round[i] != names[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCooccurrence(t *testing.T) {
+	c := NewCooccurrence()
+	c.AddSet([]int{1, 2, 3})
+	c.AddSet([]int{2, 3})
+	c.AddSet([]int{3, 3, 3}) // duplicates count once
+	if c.Sets() != 3 {
+		t.Fatalf("Sets = %d", c.Sets())
+	}
+	if c.Count(3) != 3 || c.Count(1) != 1 {
+		t.Fatalf("counts = %d,%d", c.Count(3), c.Count(1))
+	}
+	if c.Pair(2, 3) != 2 || c.Pair(3, 2) != 2 {
+		t.Fatalf("pair(2,3) = %d", c.Pair(2, 3))
+	}
+	if c.Pair(1, 3) != 1 {
+		t.Fatalf("pair(1,3) = %d", c.Pair(1, 3))
+	}
+	if c.Pair(5, 6) != 0 {
+		t.Fatal("unseen pair non-zero")
+	}
+	if j := c.Jaccard(2, 3); math.Abs(j-2.0/3.0) > 1e-12 {
+		t.Fatalf("jaccard(2,3) = %v", j)
+	}
+	if j := c.Jaccard(7, 8); j != 0 {
+		t.Fatalf("jaccard of unseen = %v", j)
+	}
+}
+
+func TestUsageProbSumsToOne(t *testing.T) {
+	v := testVocab(t, 400)
+	var sum float64
+	for i := 0; i < v.N(); i++ {
+		sum += v.UsageProb(i)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("usage probs sum to %v", sum)
+	}
+}

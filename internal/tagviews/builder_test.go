@@ -1,0 +1,125 @@
+package tagviews
+
+import (
+	"math"
+	"testing"
+
+	"viewstags/internal/alexa"
+	"viewstags/internal/geo"
+)
+
+func TestBuilderMatchesBatchBuild(t *testing.T) {
+	f := testFixture(t)
+	b, err := NewBuilder(f.cat.World, f.pyt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range f.clean.Records {
+		b.Add(f.clean.Records[i], f.clean.Pop[i])
+	}
+	got := b.Finish()
+	assertAnalysesEqual(t, f.an, got)
+}
+
+func TestBuildParallelMatchesSequential(t *testing.T) {
+	f := testFixture(t)
+	for _, workers := range []int{1, 2, 4, 7} {
+		got, err := BuildParallel(f.cat.World, f.clean.Records, f.clean.Pop, f.pyt, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		assertAnalysesEqual(t, f.an, got)
+	}
+}
+
+func assertAnalysesEqual(t *testing.T, want, got *Analysis) {
+	t.Helper()
+	if got.N() != want.N() {
+		t.Fatalf("N = %d, want %d", got.N(), want.N())
+	}
+	if got.NumTags() != want.NumTags() {
+		t.Fatalf("tags = %d, want %d", got.NumTags(), want.NumTags())
+	}
+	if got.Skipped() != want.Skipped() {
+		t.Fatalf("skipped = %d, want %d", got.Skipped(), want.Skipped())
+	}
+	// Aggregates agree up to FP summation order.
+	for _, name := range []string{"pop", "music", "favela"} {
+		wp, ok1 := want.TagProfile(name)
+		gp, ok2 := got.TagProfile(name)
+		if ok1 != ok2 {
+			t.Fatalf("tag %q presence differs", name)
+		}
+		if !ok1 {
+			continue
+		}
+		if wp.Videos != gp.Videos {
+			t.Fatalf("tag %q videos %d vs %d", name, gp.Videos, wp.Videos)
+		}
+		for c := range wp.Views {
+			if math.Abs(wp.Views[c]-gp.Views[c]) > 1e-6*(1+math.Abs(wp.Views[c])) {
+				t.Fatalf("tag %q country %d: %v vs %v", name, c, gp.Views[c], wp.Views[c])
+			}
+		}
+	}
+}
+
+func TestBuilderCountsSkips(t *testing.T) {
+	f := testFixture(t)
+	b, err := NewBuilder(f.cat.World, f.pyt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An all-zero popularity vector cannot be reconstructed.
+	rec := f.clean.Records[0]
+	b.Add(rec, make([]int, f.cat.World.N()))
+	an := b.Finish()
+	if an.Skipped() != 1 {
+		t.Fatalf("skipped = %d", an.Skipped())
+	}
+	if an.VideoField(0) != nil {
+		t.Fatal("skipped record should have nil field")
+	}
+}
+
+func TestMergeRejectsMismatchedWorlds(t *testing.T) {
+	f := testFixture(t)
+	otherWorld := geo.DefaultWorld() // distinct pointer
+	a, err := NewBuilder(f.cat.World, f.pyt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := NewBuilder(otherWorld, otherWorld.Traffic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(bad); err == nil {
+		t.Fatal("merge across worlds accepted")
+	}
+	// Same world, different estimate.
+	est2, err := alexa.Estimate(f.cat.World, alexa.Config{NoiseSigma: 0.5, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := NewBuilder(f.cat.World, est2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(b2); err == nil {
+		t.Fatal("merge across traffic estimates accepted")
+	}
+}
+
+func TestNewBuilderValidation(t *testing.T) {
+	w := geo.DefaultWorld()
+	if _, err := NewBuilder(w, []float64{1}); err == nil {
+		t.Fatal("short estimate accepted")
+	}
+}
+
+func TestBuildParallelValidation(t *testing.T) {
+	f := testFixture(t)
+	if _, err := BuildParallel(f.cat.World, f.clean.Records[:2], f.clean.Pop[:1], f.pyt, 2); err == nil {
+		t.Fatal("mismatched inputs accepted")
+	}
+}

@@ -1,0 +1,186 @@
+package tagviews
+
+import (
+	"math"
+	"testing"
+
+	"viewstags/internal/geo"
+)
+
+func TestCountryProfileBrazil(t *testing.T) {
+	f := testFixture(t)
+	br := f.cat.World.MustByCode("BR")
+	p, err := f.an.CountryProfile(br, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TagViews <= 0 || p.DistinctTags == 0 {
+		t.Fatalf("degenerate profile: %+v", p)
+	}
+	if len(p.TopTags) != 10 {
+		t.Fatalf("got %d top tags", len(p.TopTags))
+	}
+	for i := 1; i < len(p.TopTags); i++ {
+		if p.TopTags[i-1].Views < p.TopTags[i].Views {
+			t.Fatal("top tags not descending")
+		}
+	}
+	var shareSum float64
+	for _, ts := range p.TopTags {
+		if ts.Share < 0 || ts.Share > 1 {
+			t.Fatalf("share %v out of range", ts.Share)
+		}
+		shareSum += ts.Share
+	}
+	if shareSum > 1+1e-9 {
+		t.Fatalf("top-10 shares sum to %v", shareSum)
+	}
+	if p.Gini <= 0 || p.Gini >= 1 {
+		t.Fatalf("Gini = %v; tag consumption must be skewed but not degenerate", p.Gini)
+	}
+}
+
+func TestCountryProfileConsistentWithTagProfile(t *testing.T) {
+	// views(t)[c] must agree between the two dual views.
+	f := testFixture(t)
+	br := f.cat.World.MustByCode("BR")
+	cp, err := f.an.CountryProfile(br, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ts := range cp.TopTags {
+		tp, ok := f.an.TagProfile(ts.Name)
+		if !ok {
+			t.Fatalf("top tag %q has no profile", ts.Name)
+		}
+		if math.Abs(tp.Views[br]-ts.Views) > 1e-9*(1+ts.Views) {
+			t.Fatalf("tag %q: country view %v vs tag view %v", ts.Name, ts.Views, tp.Views[br])
+		}
+	}
+}
+
+func TestCountryProfileOutOfRange(t *testing.T) {
+	f := testFixture(t)
+	if _, err := f.an.CountryProfile(geo.CountryID(-1), 5); err == nil {
+		t.Fatal("negative country accepted")
+	}
+	if _, err := f.an.CountryProfile(geo.CountryID(f.cat.World.N()), 5); err == nil {
+		t.Fatal("overflow country accepted")
+	}
+}
+
+func TestTagSimilaritySymmetricAndSelfZero(t *testing.T) {
+	f := testFixture(t)
+	self, err := f.an.TagSimilarity("pop", "pop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if self > 1e-12 {
+		t.Fatalf("self similarity JS = %v", self)
+	}
+	ab, err := f.an.TagSimilarity("pop", "favela")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := f.an.TagSimilarity("favela", "pop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ab-ba) > 1e-12 {
+		t.Fatal("similarity not symmetric")
+	}
+	if ab <= 0 {
+		t.Fatal("pop and favela should diverge")
+	}
+}
+
+func TestTagSimilarityUnknown(t *testing.T) {
+	f := testFixture(t)
+	if _, err := f.an.TagSimilarity("pop", "zzz-none"); err == nil {
+		t.Fatal("unknown tag accepted")
+	}
+	if _, err := f.an.TagSimilarity("zzz-none", "pop"); err == nil {
+		t.Fatal("unknown tag accepted")
+	}
+}
+
+func TestNearestTagsFindsBrazilianNeighbours(t *testing.T) {
+	f := testFixture(t)
+	if _, ok := f.an.TagProfile("samba"); !ok {
+		t.Skip("samba not sampled at this scale")
+	}
+	names, dists, err := f.an.NearestTags("favela", 25, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != len(dists) || len(names) == 0 {
+		t.Fatalf("names/dists = %d/%d", len(names), len(dists))
+	}
+	for i := 1; i < len(dists); i++ {
+		if dists[i-1] > dists[i] {
+			t.Fatal("distances not ascending")
+		}
+	}
+	// Another BR-anchored tag should be nearer to favela than a global
+	// one: compare positions of samba and pop if both appear; otherwise
+	// compare raw divergences.
+	sambaJS, err := f.an.TagSimilarity("favela", "samba")
+	if err != nil {
+		t.Fatal(err)
+	}
+	popJS, err := f.an.TagSimilarity("favela", "pop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sambaJS >= popJS {
+		t.Fatalf("JS(favela,samba)=%v not below JS(favela,pop)=%v", sambaJS, popJS)
+	}
+}
+
+func TestNearestTagsValidation(t *testing.T) {
+	f := testFixture(t)
+	if _, _, err := f.an.NearestTags("zzz-none", 3, 1); err == nil {
+		t.Fatal("unknown tag accepted")
+	}
+	names, _, err := f.an.NearestTags("pop", 1<<30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) >= f.an.NumTags() {
+		t.Fatal("nearest tags should exclude the query tag")
+	}
+}
+
+func TestTagTopShareCI(t *testing.T) {
+	f := testFixture(t)
+	ci, err := f.an.TagTopShareCI("favela", 300, 0.95, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.Lo > ci.Point || ci.Hi < ci.Point {
+		t.Fatalf("CI %v does not bracket its point estimate", ci)
+	}
+	if ci.Lo < 0 || ci.Hi > 1 {
+		t.Fatalf("CI %v outside [0,1]", ci)
+	}
+	// Fig. 3's claim should be firm: even the lower bound keeps Brazil
+	// clearly dominant.
+	if ci.Lo < 0.3 {
+		t.Fatalf("favela top-share lower bound %v; dominance not supported", ci.Lo)
+	}
+	// A global tag's top share is small with a tight interval.
+	popCI, err := f.an.TagTopShareCI("pop", 300, 0.95, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if popCI.Hi > 0.5 {
+		t.Fatalf("pop top-share upper bound %v; should be far from dominance", popCI.Hi)
+	}
+}
+
+func TestTagTopShareCIUnknown(t *testing.T) {
+	f := testFixture(t)
+	if _, err := f.an.TagTopShareCI("zzz-none", 10, 0.9, 1); err == nil {
+		t.Fatal("unknown tag accepted")
+	}
+}

@@ -1,0 +1,161 @@
+package tagviews
+
+import (
+	"fmt"
+
+	"viewstags/internal/dataset"
+	"viewstags/internal/dist"
+	"viewstags/internal/geo"
+	"viewstags/internal/reconstruct"
+	"viewstags/internal/xrand"
+)
+
+// EvalConfig parameterizes the hold-out evaluation of the paper's
+// conjecture ("tags may be used as predictive markers of a video's
+// viewing pattern").
+type EvalConfig struct {
+	TestFrac  float64   // fraction of records held out (0 < f < 1)
+	Seed      uint64    // split shuffling seed
+	Weighting Weighting // predictor weighting scheme
+}
+
+// DefaultEvalConfig holds out 20% and uses IDF weighting.
+func DefaultEvalConfig() EvalConfig {
+	return EvalConfig{TestFrac: 0.2, Seed: 17, Weighting: WeightIDF}
+}
+
+// EvalResult reports prediction quality for the tag predictor and the
+// two baselines the paper's framing implies: the global traffic prior
+// (geography-blind) and the uploader's country gravity (tag-blind).
+type EvalResult struct {
+	N       int // test videos scored
+	Covered int // test videos with >= 1 known tag
+
+	// Mean Jensen–Shannon divergence (bits) between predicted and actual
+	// (reconstructed) view fields — lower is better.
+	TagJS    float64
+	PriorJS  float64
+	UploadJS float64
+
+	// Top-1 country accuracy — higher is better.
+	TagTop1    float64
+	PriorTop1  float64
+	UploadTop1 float64
+}
+
+// String renders the result as a compact comparison line.
+func (r *EvalResult) String() string {
+	return fmt.Sprintf("n=%d covered=%d JS(tags)=%.4f JS(prior)=%.4f JS(upload)=%.4f top1(tags)=%.3f top1(prior)=%.3f top1(upload)=%.3f",
+		r.N, r.Covered, r.TagJS, r.PriorJS, r.UploadJS, r.TagTop1, r.PriorTop1, r.UploadTop1)
+}
+
+// Evaluate splits the filtered dataset into train/test, builds tag
+// profiles on the training half, and scores the tag predictor against
+// the baselines on the held-out half. "Actual" is each test video's own
+// reconstructed view field — the same observable the paper has.
+func Evaluate(world *geo.World, records []dataset.Record, pop [][]int, pyt []float64, cfg EvalConfig) (*EvalResult, error) {
+	if cfg.TestFrac <= 0 || cfg.TestFrac >= 1 {
+		return nil, fmt.Errorf("tagviews: TestFrac %v outside (0,1)", cfg.TestFrac)
+	}
+	if len(records) != len(pop) {
+		return nil, fmt.Errorf("tagviews: %d records but %d pop vectors", len(records), len(pop))
+	}
+	if len(records) < 10 {
+		return nil, fmt.Errorf("tagviews: %d records is too few to evaluate", len(records))
+	}
+
+	src := xrand.NewSource(cfg.Seed)
+	perm := src.Perm(len(records))
+	nTest := int(cfg.TestFrac * float64(len(records)))
+	if nTest == 0 {
+		nTest = 1
+	}
+	testIdx := perm[:nTest]
+	trainIdx := perm[nTest:]
+
+	trainRecs := make([]dataset.Record, len(trainIdx))
+	trainPop := make([][]int, len(trainIdx))
+	for i, j := range trainIdx {
+		trainRecs[i] = records[j]
+		trainPop[i] = pop[j]
+	}
+	a, err := Build(world, trainRecs, trainPop, pyt)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := NewPredictor(a, cfg.Weighting)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &EvalResult{}
+	prior := dist.Normalize(pyt)
+	for _, j := range testIdx {
+		r := &records[j]
+		actual, err := reconstruct.ViewsFloat(pop[j], pyt, float64(r.TotalViews))
+		if err != nil {
+			continue
+		}
+		guess, covered := pred.Predict(r.Tags)
+		if covered {
+			res.Covered++
+		}
+		upload := uploadGravity(world, r.Uploader, prior)
+
+		tagJS, err := dist.JS(guess, actual)
+		if err != nil {
+			return nil, err
+		}
+		priorJS, err := dist.JS(prior, actual)
+		if err != nil {
+			return nil, err
+		}
+		uploadJS, err := dist.JS(upload, actual)
+		if err != nil {
+			return nil, err
+		}
+		res.TagJS += tagJS
+		res.PriorJS += priorJS
+		res.UploadJS += uploadJS
+
+		top := dist.ArgMax(actual)
+		if dist.ArgMax(guess) == top {
+			res.TagTop1++
+		}
+		if dist.ArgMax(prior) == top {
+			res.PriorTop1++
+		}
+		if dist.ArgMax(upload) == top {
+			res.UploadTop1++
+		}
+		res.N++
+	}
+	if res.N == 0 {
+		return nil, fmt.Errorf("tagviews: no test video could be scored")
+	}
+	n := float64(res.N)
+	res.TagJS /= n
+	res.PriorJS /= n
+	res.UploadJS /= n
+	res.TagTop1 /= n
+	res.PriorTop1 /= n
+	res.UploadTop1 /= n
+	return res, nil
+}
+
+// uploadGravity is the tag-blind baseline: most of the mass on the
+// uploader's country, the remainder on the prior. Unknown or missing
+// uploader codes degrade to the prior alone.
+func uploadGravity(world *geo.World, uploader string, prior []float64) []float64 {
+	const selfMass = 0.7
+	id, ok := world.ByCode(uploader)
+	if !ok {
+		return prior
+	}
+	out := make([]float64, len(prior))
+	for c := range out {
+		out[c] = (1 - selfMass) * prior[c]
+	}
+	out[id] += selfMass
+	return out
+}

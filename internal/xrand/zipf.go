@@ -1,0 +1,164 @@
+package xrand
+
+import "math"
+
+// Zipf samples ranks in [0, n) with probability proportional to
+// 1/(rank+1)^s, i.e. a bounded Zipf (zeta) distribution. It precomputes
+// the CDF once, so sampling is O(log n) by binary search; construction is
+// O(n). This matches how the repository uses Zipf: a fixed vocabulary or
+// catalog is built once and sampled many times.
+type Zipf struct {
+	cdf []float64
+	src *Source
+}
+
+// NewZipf returns a bounded Zipf sampler over n ranks with exponent s.
+// It panics if n <= 0 or s < 0.
+func NewZipf(src *Source, s float64, n int) *Zipf {
+	if n <= 0 {
+		panic("xrand: NewZipf with non-positive n")
+	}
+	if s < 0 {
+		panic("xrand: NewZipf with negative exponent")
+	}
+	cdf := make([]float64, n)
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += math.Pow(float64(i+1), -s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf, src: src}
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Rank draws one rank in [0, N()).
+func (z *Zipf) Rank() int {
+	u := z.src.Float64()
+	return searchCDF(z.cdf, u)
+}
+
+// CDF returns the cumulative probability of ranks 0..rank. It returns 0
+// for negative ranks and 1 beyond the last rank.
+func (z *Zipf) CDF(rank int) float64 {
+	if rank < 0 {
+		return 0
+	}
+	if rank >= len(z.cdf) {
+		return 1
+	}
+	return z.cdf[rank]
+}
+
+// Prob returns the probability mass of the given rank.
+func (z *Zipf) Prob(rank int) float64 {
+	if rank < 0 || rank >= len(z.cdf) {
+		return 0
+	}
+	if rank == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[rank] - z.cdf[rank-1]
+}
+
+func searchCDF(cdf []float64, u float64) int {
+	lo, hi := 0, len(cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Categorical samples indices in [0, len(weights)) with probability
+// proportional to the (non-negative) weights, via a precomputed CDF.
+type Categorical struct {
+	cdf []float64
+	src *Source
+}
+
+// NewCategorical builds a categorical sampler from weights. It panics if
+// weights is empty, contains a negative entry, or sums to zero.
+func NewCategorical(src *Source, weights []float64) *Categorical {
+	if len(weights) == 0 {
+		panic("xrand: NewCategorical with empty weights")
+	}
+	cdf := make([]float64, len(weights))
+	var sum float64
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			panic("xrand: NewCategorical with negative or NaN weight")
+		}
+		sum += w
+		cdf[i] = sum
+	}
+	if sum == 0 {
+		panic("xrand: NewCategorical with zero total weight")
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Categorical{cdf: cdf, src: src}
+}
+
+// Draw samples one index.
+func (c *Categorical) Draw() int {
+	return searchCDF(c.cdf, c.src.Float64())
+}
+
+// N returns the number of categories.
+func (c *Categorical) N() int { return len(c.cdf) }
+
+// Multinomial distributes total units across the categories by repeated
+// categorical draws when total is small, or by a single pass of expected
+// counts plus stochastic rounding when total is large. The returned slice
+// always sums exactly to total.
+func (c *Categorical) Multinomial(total int64) []int64 {
+	out := make([]int64, len(c.cdf))
+	if total <= 0 {
+		return out
+	}
+	const exactThreshold = 2048
+	if total <= exactThreshold {
+		for i := int64(0); i < total; i++ {
+			out[c.Draw()]++
+		}
+		return out
+	}
+	// Large totals: expected value + stochastic rounding of remainders,
+	// then fix up any residual on categorical draws.
+	var assigned int64
+	prev := 0.0
+	for i, cv := range c.cdf {
+		p := cv - prev
+		prev = cv
+		exp := p * float64(total)
+		base := math.Floor(exp)
+		n := int64(base)
+		if c.src.Float64() < exp-base {
+			n++
+		}
+		out[i] = n
+		assigned += n
+	}
+	for assigned < total {
+		out[c.Draw()]++
+		assigned++
+	}
+	for assigned > total {
+		i := c.Draw()
+		if out[i] > 0 {
+			out[i]--
+			assigned--
+		}
+	}
+	return out
+}

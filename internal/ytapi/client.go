@@ -1,0 +1,186 @@
+package ytapi
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	"viewstags/internal/dataset"
+	"viewstags/internal/mapchart"
+	"viewstags/internal/tags"
+)
+
+// Client is a typed HTTP client for the (simulated) GData API. It is
+// safe for concurrent use.
+type Client struct {
+	base   string
+	key    string
+	client *http.Client
+}
+
+// NewClient builds a client for the API at base (e.g.
+// "http://127.0.0.1:8080"). httpClient may be nil for defaults; key may
+// be empty when the server does not require one.
+func NewClient(base string, key string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: base, key: key, client: httpClient}
+}
+
+// ErrStatus wraps a non-200 API response so callers can branch on the
+// HTTP code (retry on 5xx/403, give up on 4xx).
+type ErrStatus struct {
+	Code    int
+	Message string
+}
+
+// Error implements error.
+func (e *ErrStatus) Error() string {
+	return fmt.Sprintf("ytapi: HTTP %d: %s", e.Code, e.Message)
+}
+
+// Retryable reports whether the failure is worth retrying: rate-limit
+// rejections and server-side faults are; not-found and bad requests are
+// not.
+func (e *ErrStatus) Retryable() bool {
+	return e.Code == http.StatusForbidden || e.Code >= 500
+}
+
+func (c *Client) get(ctx context.Context, path string, query url.Values, out any) error {
+	if query == nil {
+		query = url.Values{}
+	}
+	query.Set("alt", "json")
+	if c.key != "" {
+		query.Set("key", c.key)
+	}
+	u := c.base + path + "?" + query.Encode()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return fmt.Errorf("ytapi: build request: %w", err)
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("ytapi: %s: %w", path, err)
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		var env struct {
+			Error APIError `json:"error"`
+		}
+		msg := resp.Status
+		if decErr := json.NewDecoder(resp.Body).Decode(&env); decErr == nil && env.Error.Message != "" {
+			msg = env.Error.Message
+		}
+		return &ErrStatus{Code: resp.StatusCode, Message: msg}
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("ytapi: decode %s: %w", path, err)
+	}
+	return nil
+}
+
+// MostPopular fetches the localized most_popular standard feed.
+func (c *Client) MostPopular(ctx context.Context, region string) ([]Entry, error) {
+	var doc FeedDoc
+	if err := c.get(ctx, "/feeds/api/standardfeeds/"+url.PathEscape(region)+"/most_popular", nil, &doc); err != nil {
+		return nil, err
+	}
+	return doc.Feed.Entries, nil
+}
+
+// Video fetches a single video entry.
+func (c *Client) Video(ctx context.Context, id string) (*Entry, error) {
+	var doc EntryDoc
+	if err := c.get(ctx, "/feeds/api/videos/"+url.PathEscape(id), nil, &doc); err != nil {
+		return nil, err
+	}
+	return &doc.Entry, nil
+}
+
+// Related fetches one page of a video's related feed. start is 1-based.
+// It returns the entries and the feed's total size.
+func (c *Client) Related(ctx context.Context, id string, start, maxResults int) ([]Entry, int, error) {
+	q := url.Values{}
+	if start != 0 {
+		// Passed through verbatim (even when invalid) so the server's
+		// validation is exercised end-to-end.
+		q.Set("start-index", strconv.Itoa(start))
+	}
+	if maxResults > 0 {
+		q.Set("max-results", strconv.Itoa(maxResults))
+	}
+	var doc FeedDoc
+	if err := c.get(ctx, "/feeds/api/videos/"+url.PathEscape(id)+"/related", q, &doc); err != nil {
+		return nil, 0, err
+	}
+	total, err := strconv.Atoi(doc.Feed.TotalResults.T)
+	if err != nil {
+		return nil, 0, fmt.Errorf("ytapi: bad totalResults %q: %w", doc.Feed.TotalResults.T, err)
+	}
+	return doc.Feed.Entries, total, nil
+}
+
+// Search fetches one page of tag-search results for term. start is
+// 1-based. It returns the entries and the result-set total.
+func (c *Client) Search(ctx context.Context, term string, start, maxResults int) ([]Entry, int, error) {
+	q := url.Values{}
+	q.Set("q", term)
+	if start != 0 {
+		q.Set("start-index", strconv.Itoa(start))
+	}
+	if maxResults > 0 {
+		q.Set("max-results", strconv.Itoa(maxResults))
+	}
+	var doc FeedDoc
+	if err := c.get(ctx, "/feeds/api/videos", q, &doc); err != nil {
+		return nil, 0, err
+	}
+	total, err := strconv.Atoi(doc.Feed.TotalResults.T)
+	if err != nil {
+		return nil, 0, fmt.Errorf("ytapi: bad totalResults %q: %w", doc.Feed.TotalResults.T, err)
+	}
+	return doc.Feed.Entries, total, nil
+}
+
+// VideoID extracts the entry's video id.
+func (e *Entry) VideoIDString() string { return e.MediaGroup.VideoID.T }
+
+// ToRecord converts a wire entry into the dataset's crawl-record schema,
+// scraping the popularity chart URL the way the paper's crawler scraped
+// watch pages. Scrape failures are not errors: a video without a
+// parsable map yields a record with no popularity data, which the §2
+// filter will count and drop.
+func (e *Entry) ToRecord() dataset.Record {
+	rec := dataset.Record{
+		VideoID: e.MediaGroup.VideoID.T,
+		Title:   e.MediaGroup.Title.T,
+		Tags:    tags.SplitTagList(e.MediaGroup.Keywords.T),
+	}
+	if len(e.MediaGroup.Category) > 0 {
+		rec.Category = e.MediaGroup.Category[0].T
+	}
+	if len(e.Authors) > 0 {
+		rec.Uploader = e.Authors[0].YtLocation.T
+	}
+	if e.Statistics != nil {
+		if n, err := strconv.ParseInt(e.Statistics.ViewCount, 10, 64); err == nil {
+			rec.TotalViews = n
+		}
+	}
+	if e.PopMap != nil {
+		if chart, err := mapchart.ParseURL(e.PopMap.URL); err == nil {
+			rec.PopCodes = chart.Codes
+			rec.PopValues = chart.Intensities
+		}
+	}
+	return rec
+}
