@@ -10,6 +10,10 @@
 package viewstags_test
 
 import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"strconv"
 	"sync"
 	"testing"
@@ -20,8 +24,10 @@ import (
 	"viewstags/internal/mapchart"
 	"viewstags/internal/pipeline"
 	"viewstags/internal/placement"
+	"viewstags/internal/profilestore"
 	"viewstags/internal/reconstruct"
 	"viewstags/internal/report"
+	"viewstags/internal/server"
 	"viewstags/internal/stats"
 	"viewstags/internal/synth"
 	"viewstags/internal/tagviews"
@@ -531,6 +537,95 @@ func BenchmarkAggregationParallel(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// serveFixture builds the HTTP serving stack (profile store + fully
+// middleware-wrapped handler) over the shared bench fixture once.
+var (
+	serveOnce sync.Once
+	serveSrv  *server.Server
+	serveErr  error
+)
+
+func serveFixture(b *testing.B) *server.Server {
+	b.Helper()
+	res := benchFixture(b)
+	serveOnce.Do(func() {
+		snap, err := profilestore.Build(res.Analysis)
+		if err != nil {
+			serveErr = err
+			return
+		}
+		store, err := profilestore.NewStore(snap)
+		if err != nil {
+			serveErr = err
+			return
+		}
+		serveSrv, serveErr = server.New(server.DefaultConfig(), store)
+	})
+	if serveErr != nil {
+		b.Fatal(serveErr)
+	}
+	return serveSrv
+}
+
+// BenchmarkServePredict measures /v1/predict through the full handler
+// stack (middleware, JSON decode, prediction, JSON encode): one video
+// per request vs a 32-video batch. The reported predictions/sec metric
+// is the acceptance quantity — batching amortizes the per-request HTTP
+// and JSON overhead, so batch-32 must beat single.
+func BenchmarkServePredict(b *testing.B) {
+	srv := serveFixture(b)
+	res := benchFixture(b)
+	cat := res.Catalog
+	var tagSets [][]string
+	for i := range cat.Videos {
+		if names := cat.Videos[i].TagNames(cat.Vocab); len(names) > 0 {
+			tagSets = append(tagSets, names)
+		}
+	}
+	makeBody := func(batch, seq int) []byte {
+		req := server.PredictRequest{Weighting: "idf", Top: 3}
+		if batch == 1 {
+			req.Tags = tagSets[seq%len(tagSets)]
+		} else {
+			req.Batch = make([]server.PredictItem, batch)
+			for j := range req.Batch {
+				req.Batch[j] = server.PredictItem{Tags: tagSets[(seq*batch+j)%len(tagSets)]}
+			}
+		}
+		body, err := json.Marshal(&req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return body
+	}
+	for _, batch := range []int{1, 32} {
+		name := "single"
+		if batch > 1 {
+			name = benchName("batch", batch)
+		}
+		b.Run(name, func(b *testing.B) {
+			h := srv.Handler()
+			// Pre-marshal a rotating set of request bodies so only the
+			// server side (ServeHTTP) is timed, not the client encode.
+			bodies := make([][]byte, 256)
+			for i := range bodies {
+				bodies[i] = makeBody(batch, i)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				req := httptest.NewRequest(http.MethodPost, "/v1/predict", bytes.NewReader(bodies[i%len(bodies)]))
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+				}
+			}
+			preds := float64(b.N * batch)
+			b.ReportMetric(preds/b.Elapsed().Seconds(), "preds/sec")
 		})
 	}
 }

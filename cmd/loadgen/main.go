@@ -1,0 +1,241 @@
+// Command loadgen is the closed-loop load generator for cmd/serve: it
+// regenerates the daemon's synthetic catalog (same -videos/-seed ⇒ same
+// tag sets), replays a Zipf-distributed upload stream against
+// /v1/predict — fresh uploads are dominated by a popular head, exactly
+// the arrival process a UGC ingest sees — and reports sustained
+// throughput plus p50/p90/p99 latency from P² streaming sketches
+// (internal/stats), so the report costs O(1) memory at any request
+// count.
+//
+// Usage:
+//
+//	loadgen -url http://127.0.0.1:8091 -duration 10s -concurrency 4
+//	loadgen -url http://127.0.0.1:8091 -batch 32   # batched predicts
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"viewstags/internal/server"
+	"viewstags/internal/stats"
+	"viewstags/internal/synth"
+	"viewstags/internal/xrand"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// collector aggregates worker observations behind one mutex; at predict
+// rates the lock is uncontended enough to vanish in the HTTP cost.
+type collector struct {
+	mu       sync.Mutex
+	p50      *stats.P2Quantile
+	p90      *stats.P2Quantile
+	p99      *stats.P2Quantile
+	lat      stats.Summary
+	requests int64
+	preds    int64
+	errors   int64
+	fallback int64 // predictions answered from the prior (known=false)
+}
+
+func newCollector() (*collector, error) {
+	c := &collector{}
+	for _, q := range []struct {
+		p    **stats.P2Quantile
+		frac float64
+	}{{&c.p50, 0.5}, {&c.p90, 0.9}, {&c.p99, 0.99}} {
+		est, err := stats.NewP2Quantile(q.frac)
+		if err != nil {
+			return nil, err
+		}
+		*q.p = est
+	}
+	return c, nil
+}
+
+func (c *collector) observe(latency time.Duration, preds, fallback int64, failed bool) {
+	ms := float64(latency.Nanoseconds()) / 1e6
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.requests++
+	if failed {
+		c.errors++
+		return
+	}
+	c.p50.Add(ms)
+	c.p90.Add(ms)
+	c.p99.Add(ms)
+	c.lat.Add(ms)
+	c.preds += preds
+	c.fallback += fallback
+}
+
+func run() error {
+	var (
+		baseURL     = flag.String("url", "http://127.0.0.1:8091", "serve daemon base URL")
+		videos      = flag.Int("videos", 20000, "catalog size (must match the daemon)")
+		seed        = flag.Uint64("seed", 20110301, "catalog seed (must match the daemon)")
+		duration    = flag.Duration("duration", 10*time.Second, "test length")
+		concurrency = flag.Int("concurrency", 4, "closed-loop workers")
+		batch       = flag.Int("batch", 4, "uploads per request (1 = single predict; small batches mirror an ingest pipeline)")
+		weighting   = flag.String("weighting", "idf", "prediction weighting scheme")
+		zipfS       = flag.Float64("zipf", 1.1, "upload-stream Zipf exponent")
+	)
+	flag.Parse()
+	if *concurrency < 1 || *batch < 1 {
+		return fmt.Errorf("concurrency and batch must be >= 1")
+	}
+
+	fmt.Fprintf(os.Stderr, "regenerating %d-video catalog (seed %d)...\n", *videos, *seed)
+	cfg := synth.DefaultConfig(*videos)
+	cfg.Seed = *seed
+	cat, err := synth.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	// Tag lists of the tagged videos, the upload stream's alphabet.
+	var tagSets [][]string
+	for i := range cat.Videos {
+		if names := cat.Videos[i].TagNames(cat.Vocab); len(names) > 0 {
+			tagSets = append(tagSets, names)
+		}
+	}
+	if len(tagSets) == 0 {
+		return fmt.Errorf("catalog has no tagged videos")
+	}
+
+	// One shared transport with enough idle conns for every worker keeps
+	// the loop on hot keep-alive connections.
+	transport := &http.Transport{
+		MaxIdleConns:        *concurrency * 2,
+		MaxIdleConnsPerHost: *concurrency * 2,
+	}
+	client := &http.Client{Transport: transport, Timeout: 10 * time.Second}
+	endpoint := *baseURL + "/v1/predict"
+
+	// Fail fast when the daemon is missing or serving another catalog.
+	probe, err := predictOnce(client, endpoint, tagSets[0], *weighting, 1)
+	if err != nil {
+		return fmt.Errorf("probe: %w (is cmd/serve running at %s?)", err, *baseURL)
+	}
+	if !probe {
+		fmt.Fprintln(os.Stderr, "warning: probe tags unknown to the daemon — catalog seed/size mismatch?")
+	}
+
+	col, err := newCollector()
+	if err != nil {
+		return err
+	}
+	startWall := time.Now()
+	deadline := startWall.Add(*duration)
+	var wg sync.WaitGroup
+	for wkr := 0; wkr < *concurrency; wkr++ {
+		wg.Add(1)
+		go func(wkr int) {
+			defer wg.Done()
+			src := xrand.NewSource(uint64(wkr) + 1)
+			zipf := xrand.NewZipf(src.Fork("uploads"), *zipfS, len(tagSets))
+			var body bytes.Buffer
+			for time.Now().Before(deadline) {
+				body.Reset()
+				req := server.PredictRequest{Weighting: *weighting, Top: 3}
+				if *batch == 1 {
+					req.Tags = tagSets[zipf.Rank()]
+				} else {
+					req.Batch = make([]server.PredictItem, *batch)
+					for i := range req.Batch {
+						req.Batch[i] = server.PredictItem{Tags: tagSets[zipf.Rank()]}
+					}
+				}
+				if err := json.NewEncoder(&body).Encode(&req); err != nil {
+					col.observe(0, 0, 0, true)
+					continue
+				}
+				start := time.Now()
+				preds, fallback, err := postPredict(client, endpoint, &body)
+				col.observe(time.Since(start), preds, fallback, err != nil)
+			}
+		}(wkr)
+	}
+	wg.Wait()
+
+	elapsed := time.Since(startWall)
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	fmt.Printf("requests      %d (%.0f req/s, %d errors)\n",
+		col.requests, float64(col.requests)/elapsed.Seconds(), col.errors)
+	fmt.Printf("predictions   %d (%.0f preds/s, batch=%d, %d prior-fallbacks)\n",
+		col.preds, float64(col.preds)/elapsed.Seconds(), *batch, col.fallback)
+	fmt.Printf("latency ms    mean=%.3f p50=%.3f p90=%.3f p99=%.3f max=%.3f\n",
+		col.lat.Mean(), col.p50.Value(), col.p90.Value(), col.p99.Value(), col.lat.Max())
+	if col.preds == 0 {
+		return fmt.Errorf("no successful predictions")
+	}
+	return nil
+}
+
+// postPredict sends one request and returns (#predictions, #fallbacks).
+func postPredict(client *http.Client, endpoint string, body io.Reader) (int64, int64, error) {
+	resp, err := client.Post(endpoint, "application/json", body)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return 0, 0, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var pr server.PredictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		return 0, 0, err
+	}
+	var preds, fallback int64
+	if pr.Result != nil {
+		preds = 1
+		if !pr.Result.Known {
+			fallback = 1
+		}
+	}
+	for i := range pr.Results {
+		preds++
+		if !pr.Results[i].Known {
+			fallback++
+		}
+	}
+	return preds, fallback, nil
+}
+
+// predictOnce round-trips a single probe request.
+func predictOnce(client *http.Client, endpoint string, tags []string, weighting string, top int) (bool, error) {
+	var body bytes.Buffer
+	if err := json.NewEncoder(&body).Encode(server.PredictRequest{Tags: tags, Weighting: weighting, Top: top}); err != nil {
+		return false, err
+	}
+	resp, err := client.Post(endpoint, "application/json", &body)
+	if err != nil {
+		return false, err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		return false, fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(b))
+	}
+	var pr server.PredictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		return false, err
+	}
+	return pr.Result != nil && pr.Result.Known, nil
+}

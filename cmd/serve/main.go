@@ -1,0 +1,110 @@
+// Command serve is the online geo-prediction daemon: it builds tag
+// geographic profiles (from a synthetic catalog, or from a crawled
+// dataset file when one is supplied) into an internal/profilestore
+// snapshot and serves predictions, replica-placement recommendations
+// and cache-preload advisories over HTTP (see internal/server for the
+// API).
+//
+// Usage:
+//
+//	serve -addr 127.0.0.1:8091 -videos 20000
+//	serve -addr 127.0.0.1:8091 -dataset crawl.jsonl
+//
+// SIGINT/SIGTERM triggers a graceful shutdown that drains in-flight
+// requests.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"viewstags/internal/alexa"
+	"viewstags/internal/pipeline"
+	"viewstags/internal/profilestore"
+	"viewstags/internal/server"
+	"viewstags/internal/tagviews"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8091", "listen address")
+		videos      = flag.Int("videos", 20000, "synthetic catalog size (ignored with -dataset)")
+		seed        = flag.Uint64("seed", 20110301, "synthetic generation seed")
+		datasetPath = flag.String("dataset", "", "crawled JSONL dataset (empty = synthesize)")
+		weighting   = flag.String("weighting", "idf", "weighting for catalog preload predictions")
+		maxInflight = flag.Int("max-inflight", 256, "concurrent request bound")
+		maxBatch    = flag.Int("max-batch", 1024, "max videos per batched predict")
+		logRequests = flag.Bool("log-requests", false, "log every request")
+		grace       = flag.Duration("grace", 10*time.Second, "shutdown drain timeout")
+	)
+	flag.Parse()
+
+	w, err := tagviews.ParseWeighting(*weighting)
+	if err != nil {
+		return err
+	}
+
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+	start := time.Now()
+	var res *pipeline.Result
+	if *datasetPath != "" {
+		logger.Printf("loading dataset %s...", *datasetPath)
+		res, err = pipeline.FromFile(*datasetPath, alexa.DefaultConfig())
+	} else {
+		logger.Printf("generating %d-video synthetic catalog (seed %d)...", *videos, *seed)
+		res, err = pipeline.FromSynthetic(*videos, *seed, alexa.DefaultConfig())
+	}
+	if err != nil {
+		return err
+	}
+
+	snap, err := profilestore.Build(res.Analysis)
+	if err != nil {
+		return err
+	}
+	store, err := profilestore.NewStore(snap)
+	if err != nil {
+		return err
+	}
+	logger.Printf("profile store: %d tags over %d countries (built in %s)",
+		snap.NumTags(), snap.World().N(), time.Since(start).Round(time.Millisecond))
+
+	cfg := server.DefaultConfig()
+	cfg.MaxInFlight = *maxInflight
+	cfg.MaxBatch = *maxBatch
+	cfg.Logger = logger
+	cfg.LogRequests = *logRequests
+	srv, err := server.New(cfg, store)
+	if err != nil {
+		return err
+	}
+
+	// With a synthetic catalog the daemon can also serve preload
+	// advisories: precompute every video's predicted demand field.
+	if res.Catalog != nil {
+		if err := srv.SetCatalog(res.Catalog, snap.PredictCatalog(res.Catalog, w)); err != nil {
+			return err
+		}
+		logger.Printf("preload advisories enabled over %d catalog videos", len(res.Catalog.Videos))
+	} else {
+		logger.Printf("no synthetic catalog: /v1/preload disabled")
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	logger.Printf("serving on http://%s (predict/place/preload; ^C to drain)", *addr)
+	return srv.Run(ctx, *addr, *grace)
+}

@@ -4,11 +4,12 @@
 // reconstructs per-country view distributions from quantized Map-Chart
 // popularity vectors, aggregates them per tag, and uses tag geographic
 // profiles as predictive markers for view placement and proactive
-// geographic caching.
+// geographic caching — served online by an HTTP placement service
+// (internal/server over internal/profilestore, run by cmd/serve).
 //
-// See DESIGN.md for the system inventory, EXPERIMENTS.md for the
-// paper-vs-measured record, and bench_test.go for the per-figure
-// regeneration harness. The root package carries no code — the library
-// lives under internal/, the binaries under cmd/, and runnable examples
-// under examples/.
+// See DESIGN.md for the system inventory (§4 covers the serving
+// layer), EXPERIMENTS.md for the paper-vs-measured record, and
+// bench_test.go for the per-figure regeneration harness. The root
+// package carries no code — the library lives under internal/, the
+// binaries under cmd/, and runnable examples under examples/.
 package viewstags

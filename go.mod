@@ -1,0 +1,3 @@
+module viewstags
+
+go 1.21

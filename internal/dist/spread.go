@@ -1,0 +1,60 @@
+package dist
+
+import "fmt"
+
+// Spread is the paper's §3 taxonomy of tag geographies: concentrated on
+// one country (Fig. 3's "favela"), clustered on a language community,
+// or following the world distribution of YouTube users (Fig. 2's
+// "pop").
+type Spread int
+
+// Spread classes. Enums start at one so the zero value is invalid.
+const (
+	SpreadInvalid Spread = iota
+	SpreadLocal
+	SpreadRegional
+	SpreadGlobal
+)
+
+// String returns the class name.
+func (s Spread) String() string {
+	switch s {
+	case SpreadLocal:
+		return "local"
+	case SpreadRegional:
+		return "regional"
+	case SpreadGlobal:
+		return "global"
+	default:
+		return fmt.Sprintf("Spread(%d)", int(s))
+	}
+}
+
+// Classification thresholds. A majority-mass country makes a tag local;
+// otherwise the perplexity decides between a language-cluster footprint
+// and a world-following one. Against the default world, the traffic
+// prior has perplexity ≈ 33 countries and a 0.8-mass language cluster
+// ≈ 14, so the boundary sits between the two.
+const (
+	localTopShare      = 0.5
+	regionalPerplexity = 18
+)
+
+// Classify assigns a weight vector to a Spread class from its shape
+// alone: SpreadLocal when one country holds at least half the mass,
+// SpreadRegional when the mass lives in a compact country cluster, and
+// SpreadGlobal otherwise. A zero-mass vector classifies global (it
+// carries no concentration evidence).
+func Classify(xs []float64) Spread {
+	top := ArgMax(xs)
+	if top < 0 {
+		return SpreadGlobal
+	}
+	if xs[top]/Sum(xs) >= localTopShare {
+		return SpreadLocal
+	}
+	if EffectiveCountries(xs) <= regionalPerplexity {
+		return SpreadRegional
+	}
+	return SpreadGlobal
+}

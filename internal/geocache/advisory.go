@@ -1,0 +1,94 @@
+package geocache
+
+import (
+	"fmt"
+	"sort"
+
+	"viewstags/internal/geo"
+	"viewstags/internal/synth"
+)
+
+// PreloadAdvisory answers the online form of the push-placement
+// question a per-country edge cache asks at provisioning time: "which
+// videos should I warm my slots with?" It returns the catalog indices
+// the given push policy would preload into country c's cache,
+// highest-demand first — exactly the sets Simulator.push installs, so
+// the HTTP advisory endpoint and the offline simulation can never
+// disagree.
+//
+// predicted is the tag-predicted per-video view distribution slice
+// (indexed by catalog video index, nil entries = unpredicted); it is
+// only consulted for PolicyTagPush. Reactive policies (LRU/LFU/hybrid)
+// have no push set and are rejected.
+func PreloadAdvisory(cat *synth.Catalog, predicted [][]float64, policy PolicyKind, country geo.CountryID, slots int) ([]int, error) {
+	if int(country) < 0 || int(country) >= cat.World.N() {
+		return nil, fmt.Errorf("geocache: country %d out of range", int(country))
+	}
+	if slots < 0 {
+		return nil, fmt.Errorf("geocache: negative slot budget %d", slots)
+	}
+	if slots == 0 {
+		return nil, nil
+	}
+	switch policy {
+	case PolicyPopPush:
+		return cat.TopByViews(slots), nil
+	case PolicyOracle:
+		return cat.TopInCountry(country, slots), nil
+	case PolicyTagPush:
+		if predicted == nil {
+			return nil, fmt.Errorf("geocache: PolicyTagPush requires predictions")
+		}
+		if len(predicted) != len(cat.Videos) {
+			return nil, fmt.Errorf("geocache: %d predictions for %d videos", len(predicted), len(cat.Videos))
+		}
+		return tagPushSelect(cat, predicted, int(country), slots), nil
+	default:
+		return nil, fmt.Errorf("geocache: policy %v has no push set", policy)
+	}
+}
+
+// ParsePolicy resolves a policy name as used on the wire ("lru", "lfu",
+// "pop-push", "tag-push", "oracle-push", "hybrid").
+func ParsePolicy(name string) (PolicyKind, error) {
+	for _, p := range []PolicyKind{
+		PolicyLRU, PolicyLFU, PolicyPopPush, PolicyTagPush, PolicyOracle, PolicyHybrid,
+	} {
+		if p.String() == name {
+			return p, nil
+		}
+	}
+	return PolicyInvalid, fmt.Errorf("geocache: unknown policy %q", name)
+}
+
+// tagPushSelect picks the top `slots` videos for country c by
+// tag-predicted demand score (predicted share × total views),
+// deterministic with index tiebreak.
+func tagPushSelect(cat *synth.Catalog, predicted [][]float64, c, slots int) []int {
+	type scored struct {
+		v     int
+		score float64
+	}
+	cand := make([]scored, 0, len(cat.Videos))
+	for v := range cat.Videos {
+		p := predicted[v]
+		if p == nil || p[c] <= 0 {
+			continue
+		}
+		cand = append(cand, scored{v: v, score: p[c] * float64(cat.Videos[v].TotalViews)})
+	}
+	sort.Slice(cand, func(a, b int) bool {
+		if cand[a].score != cand[b].score {
+			return cand[a].score > cand[b].score
+		}
+		return cand[a].v < cand[b].v
+	})
+	if slots > len(cand) {
+		slots = len(cand)
+	}
+	out := make([]int, slots)
+	for i := 0; i < slots; i++ {
+		out[i] = cand[i].v
+	}
+	return out
+}

@@ -2,7 +2,6 @@ package geocache
 
 import (
 	"fmt"
-	"sort"
 
 	"viewstags/internal/geo"
 	"viewstags/internal/synth"
@@ -307,32 +306,11 @@ func (s *Simulator) push(policy PolicyKind, caches []cache, slots int) error {
 			return fmt.Errorf("geocache: PolicyTagPush requires SetPredictions")
 		}
 		// Demand score of video v in country c: predicted share × total
-		// views. Select top `slots` per country.
-		type scored struct {
-			v     int
-			score float64
-		}
+		// views. Select top `slots` per country (shared with the online
+		// advisory path, see advisory.go).
 		for c := 0; c < nC; c++ {
-			cand := make([]scored, 0, len(s.cat.Videos))
-			for v := range s.cat.Videos {
-				p := s.predicted[v]
-				if p == nil || p[c] <= 0 {
-					continue
-				}
-				cand = append(cand, scored{v: v, score: p[c] * float64(s.cat.Videos[v].TotalViews)})
-			}
-			sort.Slice(cand, func(a, b int) bool {
-				if cand[a].score != cand[b].score {
-					return cand[a].score > cand[b].score
-				}
-				return cand[a].v < cand[b].v
-			})
-			n := slots
-			if n > len(cand) {
-				n = len(cand)
-			}
-			for _, sc := range cand[:n] {
-				caches[c].preload(sc.v)
+			for _, v := range tagPushSelect(s.cat, s.predicted, c, slots) {
+				caches[c].preload(v)
 			}
 		}
 	}

@@ -17,7 +17,6 @@ package placement
 
 import (
 	"fmt"
-	"sort"
 
 	"viewstags/internal/dist"
 	"viewstags/internal/geo"
@@ -101,19 +100,7 @@ func NewEvaluator(cat *synth.Catalog, cfg Config) (*Evaluator, error) {
 		return nil, fmt.Errorf("placement: replicas %d outside [1, %d]", cfg.Replicas, cat.World.N())
 	}
 	e := &Evaluator{cat: cat, dm: cat.World.DistanceMatrix(), cfg: cfg}
-	traffic := cat.World.Traffic()
-	order := make([]geo.CountryID, cat.World.N())
-	for i := range order {
-		order[i] = geo.CountryID(i)
-	}
-	sort.Slice(order, func(a, b int) bool {
-		ta, tb := traffic[order[a]], traffic[order[b]]
-		if ta != tb {
-			return ta > tb
-		}
-		return order[a] < order[b]
-	})
-	e.popularOrder = order
+	e.popularOrder = trafficOrder(cat.World)
 	return e, nil
 }
 
@@ -172,19 +159,7 @@ func (e *Evaluator) Placements(s Strategy, v int) ([]geo.CountryID, error) {
 
 // nearestTo returns home plus the r−1 geographically nearest countries.
 func (e *Evaluator) nearestTo(home geo.CountryID, r int) []geo.CountryID {
-	n := e.cat.World.N()
-	order := make([]geo.CountryID, 0, n)
-	for c := 0; c < n; c++ {
-		order = append(order, geo.CountryID(c))
-	}
-	sort.Slice(order, func(a, b int) bool {
-		da, db := e.dm[home][order[a]], e.dm[home][order[b]]
-		if da != db {
-			return da < db
-		}
-		return order[a] < order[b]
-	})
-	return order[:r]
+	return nearestCountries(e.dm, home, r)
 }
 
 // topCountries returns the r highest-mass countries of a demand field.

@@ -1,0 +1,27 @@
+package profilestore
+
+import (
+	"viewstags/internal/synth"
+	"viewstags/internal/tagviews"
+)
+
+// PredictCatalog computes the tag-predicted demand field of every video
+// in a catalog against this snapshot: the [][]float64 shape the
+// placement evaluator, the cache simulator and the serving layer's
+// preload advisories all consume. Untagged videos and videos whose tags
+// are all unknown get a nil entry ("no prediction"), matching the
+// offline harnesses' treatment.
+func (s *Snapshot) PredictCatalog(cat *synth.Catalog, w tagviews.Weighting) [][]float64 {
+	predicted := make([][]float64, len(cat.Videos))
+	for i := range cat.Videos {
+		names := cat.Videos[i].TagNames(cat.Vocab)
+		if len(names) == 0 {
+			continue
+		}
+		buf := make([]float64, s.nC)
+		if s.PredictInto(buf, names, w) {
+			predicted[i] = buf
+		}
+	}
+	return predicted
+}

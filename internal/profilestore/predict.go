@@ -1,0 +1,71 @@
+package profilestore
+
+import (
+	"math"
+
+	"viewstags/internal/tagviews"
+)
+
+// PredictInto writes the predicted view distribution for a video
+// carrying the given tag names into dst (length = world size) and
+// reports whether any tag was known. It reproduces
+// tagviews.Predictor.Predict exactly — same weighting schemes, same
+// harmonic rank discount, same traffic-prior fallback — but runs
+// against the snapshot's interned ids and contiguous vectors and
+// allocates nothing, which is what lets the HTTP hot path batch
+// thousands of predictions per second per core.
+//
+// Unknown tags are skipped; when no tag is known dst receives the
+// normalized traffic prior and the return is false.
+func (s *Snapshot) PredictInto(dst []float64, tagNames []string, w tagviews.Weighting) bool {
+	for i := range dst {
+		dst[i] = 0
+	}
+	var wSum float64
+	n := float64(s.records)
+	for rank, t := range tagNames {
+		id, ok := s.Lookup(t)
+		if !ok {
+			continue
+		}
+		p := &s.profiles[id]
+		// Zero-mass tags carry no signal (mirrors the offline
+		// predictor's guard; their stored vector is all-zero).
+		if p.TotalViews <= 0 {
+			continue
+		}
+		var weight float64
+		switch w {
+		case tagviews.WeightUniform:
+			weight = 1
+		case tagviews.WeightByViews:
+			weight = p.TotalViews
+		case tagviews.WeightIDF:
+			df := float64(p.Videos)
+			if df <= 0 {
+				continue
+			}
+			weight = math.Log(1 + n/df)
+		}
+		if weight <= 0 {
+			continue
+		}
+		// Uploaders front-load topical tags; harmonic rank discounting
+		// mirrors the offline predictor.
+		weight /= float64(rank + 1)
+		vec := s.Vec(id)
+		for c, x := range vec {
+			dst[c] += weight * x
+		}
+		wSum += weight
+	}
+	if wSum == 0 {
+		copy(dst, s.prior)
+		return false
+	}
+	inv := 1 / wSum
+	for i := range dst {
+		dst[i] *= inv
+	}
+	return true
+}

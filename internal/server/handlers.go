@@ -1,0 +1,350 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"viewstags/internal/dist"
+	"viewstags/internal/geo"
+	"viewstags/internal/geocache"
+	"viewstags/internal/placement"
+	"viewstags/internal/profilestore"
+	"viewstags/internal/tagviews"
+)
+
+// maxBodyBytes bounds request bodies; a maximal batch of tag lists fits
+// comfortably.
+const maxBodyBytes = 4 << 20
+
+// CountryShare is one (country, share) pair of a predicted
+// distribution, ISO alpha-2 on the wire.
+type CountryShare struct {
+	Country string  `json:"country"`
+	Share   float64 `json:"share"`
+}
+
+// PredictItem is one video's tag list inside a batched predict call.
+type PredictItem struct {
+	Tags []string `json:"tags"`
+}
+
+// PredictRequest is the /v1/predict wire request. Exactly one of Tags
+// (single) or Batch must be set.
+type PredictRequest struct {
+	Tags      []string      `json:"tags,omitempty"`
+	Batch     []PredictItem `json:"batch,omitempty"`
+	Weighting string        `json:"weighting,omitempty"` // uniform | by-views | idf (default)
+	Top       int           `json:"top,omitempty"`       // countries returned per result (default 5)
+}
+
+// PredictResult is one video's prediction.
+type PredictResult struct {
+	// Known reports whether any tag was found; false means the result
+	// is the traffic-prior fallback.
+	Known bool           `json:"known"`
+	Top   []CountryShare `json:"top"`
+}
+
+// PredictResponse is the /v1/predict wire response: Result for a single
+// call, Results for a batch.
+type PredictResponse struct {
+	Weighting string          `json:"weighting"`
+	Result    *PredictResult  `json:"result,omitempty"`
+	Results   []PredictResult `json:"results,omitempty"`
+}
+
+// PlaceRequest is the /v1/place wire request.
+type PlaceRequest struct {
+	Tags      []string `json:"tags,omitempty"`
+	Upload    string   `json:"upload"`             // uploader country, ISO alpha-2
+	Strategy  string   `json:"strategy,omitempty"` // home | popular | predicted (default)
+	Replicas  int      `json:"replicas,omitempty"` // default 3
+	Weighting string   `json:"weighting,omitempty"`
+}
+
+// PlaceResponse is the /v1/place wire response.
+type PlaceResponse struct {
+	Strategy string   `json:"strategy"`
+	Known    bool     `json:"known"` // whether tag demand informed the answer
+	Replicas []string `json:"replicas"`
+}
+
+// PreloadRequest is the /v1/preload wire request.
+type PreloadRequest struct {
+	Country string `json:"country"`          // ISO alpha-2
+	Policy  string `json:"policy,omitempty"` // pop-push | tag-push (default) | oracle-push
+	Slots   int    `json:"slots,omitempty"`  // default 64
+}
+
+// PreloadResponse is the /v1/preload wire response: the video ids to
+// warm the country's cache with, highest demand first.
+type PreloadResponse struct {
+	Country string   `json:"country"`
+	Policy  string   `json:"policy"`
+	Videos  []string `json:"videos"`
+}
+
+// TagInfo is one entry of /v1/tags.
+type TagInfo struct {
+	Name       string  `json:"name"`
+	Videos     int     `json:"videos"`
+	TotalViews float64 `json:"total_views"`
+	Spread     string  `json:"spread"`
+	TopCountry string  `json:"top_country"`
+	TopShare   float64 `json:"top_share"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeBody decodes a JSON body with a size cap and strict fields, so
+// typos in request shapes fail loudly instead of silently defaulting.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return false
+	}
+	return true
+}
+
+func requirePost(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return false
+	}
+	return true
+}
+
+// topShares renders the k highest-share countries of a prediction.
+func topShares(snap *profilestore.Snapshot, p []float64, k int) []CountryShare {
+	if k <= 0 {
+		k = 5
+	}
+	_, top := dist.TopShare(p, k)
+	out := make([]CountryShare, len(top))
+	world := snap.World()
+	for i, c := range top {
+		out[i] = CountryShare{Country: world.Country(geo.CountryID(c)).Code, Share: p[c]}
+	}
+	return out
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req PredictRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	weighting, err := tagviews.ParseWeighting(req.Weighting)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	single := len(req.Tags) > 0
+	if single && len(req.Batch) > 0 {
+		writeError(w, http.StatusBadRequest, "set either tags or batch, not both")
+		return
+	}
+	if !single && len(req.Batch) == 0 {
+		writeError(w, http.StatusBadRequest, "empty request: provide tags or batch")
+		return
+	}
+	if len(req.Batch) > s.cfg.MaxBatch {
+		writeError(w, http.StatusBadRequest, "batch of %d exceeds limit %d", len(req.Batch), s.cfg.MaxBatch)
+		return
+	}
+
+	snap := s.store.Load()
+	bufp := s.scratch.Get().(*[]float64)
+	defer s.scratch.Put(bufp)
+	buf := *bufp
+
+	resp := PredictResponse{Weighting: weighting.String()}
+	if single {
+		known := snap.PredictInto(buf, req.Tags, weighting)
+		resp.Result = &PredictResult{Known: known, Top: topShares(snap, buf, req.Top)}
+		s.metrics.Predictions.Add(1)
+	} else {
+		resp.Results = make([]PredictResult, len(req.Batch))
+		for i := range req.Batch {
+			if len(req.Batch[i].Tags) == 0 {
+				writeError(w, http.StatusBadRequest, "batch item %d has no tags", i)
+				return
+			}
+			known := snap.PredictInto(buf, req.Batch[i].Tags, weighting)
+			resp.Results[i] = PredictResult{Known: known, Top: topShares(snap, buf, req.Top)}
+		}
+		s.metrics.Predictions.Add(int64(len(req.Batch)))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req PlaceRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	world := s.world()
+	upload, ok := world.ByCode(req.Upload)
+	if !ok {
+		writeError(w, http.StatusBadRequest, "unknown upload country %q", req.Upload)
+		return
+	}
+	if req.Strategy == "" {
+		req.Strategy = placement.StrategyPredicted.String()
+	}
+	strategy, err := placement.ParseStrategy(req.Strategy)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	weighting, err := tagviews.ParseWeighting(req.Weighting)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	replicas := req.Replicas
+	if replicas == 0 {
+		replicas = placement.DefaultConfig().Replicas
+	}
+
+	snap := s.store.Load()
+	var demand []float64
+	known := false
+	if len(req.Tags) > 0 {
+		bufp := s.scratch.Get().(*[]float64)
+		defer s.scratch.Put(bufp)
+		known = snap.PredictInto(*bufp, req.Tags, weighting)
+		if known {
+			demand = *bufp
+		}
+		// All tags unknown: leave demand nil so StrategyPredicted takes
+		// the home fallback, matching the offline Evaluator's treatment
+		// of unpredicted videos (the prior is a prediction of nothing).
+	}
+	sites, err := s.rec.Recommend(strategy, upload, demand, replicas)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp := PlaceResponse{Strategy: strategy.String(), Known: known, Replicas: make([]string, len(sites))}
+	for i, c := range sites {
+		resp.Replicas[i] = world.Country(c).Code
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handlePreload(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req PreloadRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	s.mu.RLock()
+	cat, predicted := s.cat, s.predicted
+	s.mu.RUnlock()
+	if cat == nil {
+		writeError(w, http.StatusServiceUnavailable, "no catalog loaded: preload advisories need synthetic ground truth")
+		return
+	}
+	country, ok := cat.World.ByCode(req.Country)
+	if !ok {
+		writeError(w, http.StatusBadRequest, "unknown country %q", req.Country)
+		return
+	}
+	if req.Policy == "" {
+		req.Policy = geocache.PolicyTagPush.String()
+	}
+	policy, err := geocache.ParsePolicy(req.Policy)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	slots := req.Slots
+	if slots == 0 {
+		slots = 64
+	}
+	vids, err := geocache.PreloadAdvisory(cat, predicted, policy, country, slots)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp := PreloadResponse{Country: req.Country, Policy: policy.String(), Videos: make([]string, len(vids))}
+	for i, v := range vids {
+		resp.Videos[i] = cat.Videos[v].ID
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleTags(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	k := 20
+	if v := r.URL.Query().Get("k"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, "invalid k %q", v)
+			return
+		}
+		k = n
+	}
+	snap := s.store.Load()
+	world := snap.World()
+	top := snap.TopProfiles(k)
+	out := make([]TagInfo, len(top))
+	for i, p := range top {
+		info := TagInfo{
+			Name:       p.Name,
+			Videos:     p.Videos,
+			TotalViews: p.TotalViews,
+			Spread:     p.Spread.String(),
+			TopShare:   p.TopShare,
+		}
+		if int(p.TopCountry) >= 0 && int(p.TopCountry) < world.N() {
+			info.TopCountry = world.Country(p.TopCountry).Code
+		}
+		out[i] = info
+	}
+	writeJSON(w, http.StatusOK, map[string][]TagInfo{"tags": out})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.metrics.Snapshot())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	snap := s.store.Load()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"tags":      snap.NumTags(),
+		"records":   snap.Records(),
+		"countries": snap.World().N(),
+	})
+}

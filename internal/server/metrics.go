@@ -1,0 +1,87 @@
+package server
+
+import "sync/atomic"
+
+// RouteMetrics holds one route's counters. All fields are atomics;
+// read them with Load.
+type RouteMetrics struct {
+	Requests  atomic.Int64
+	Errors    atomic.Int64
+	LatencyNs atomic.Int64 // summed wall time, for mean latency
+}
+
+// Metrics is the server's counter set. It deliberately stays at
+// atomic-counter granularity — cheap enough to leave on at load-test
+// rates; percentiles belong to the load generator's P² sketches.
+type Metrics struct {
+	Predict RouteMetrics
+	Place   RouteMetrics
+	Preload RouteMetrics
+	Other   RouteMetrics
+
+	InFlight atomic.Int64
+	Rejected atomic.Int64
+	// Predictions counts individual predictions served — a batch of k
+	// adds k, so throughput comparisons across batch sizes stay honest.
+	Predictions atomic.Int64
+}
+
+// NewMetrics returns a zeroed counter set.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+func (m *Metrics) route(path string) *RouteMetrics {
+	switch path {
+	case "/v1/predict":
+		return &m.Predict
+	case "/v1/place":
+		return &m.Place
+	case "/v1/preload":
+		return &m.Preload
+	default:
+		return &m.Other
+	}
+}
+
+// RouteSnapshot is one route's counters at a point in time.
+type RouteSnapshot struct {
+	Requests  int64   `json:"requests"`
+	Errors    int64   `json:"errors"`
+	MeanMs    float64 `json:"mean_ms"`
+	LatencyNs int64   `json:"-"`
+}
+
+// Snapshot is the JSON shape of /v1/stats.
+type Snapshot struct {
+	Predict     RouteSnapshot `json:"predict"`
+	Place       RouteSnapshot `json:"place"`
+	Preload     RouteSnapshot `json:"preload"`
+	Other       RouteSnapshot `json:"other"`
+	InFlight    int64         `json:"in_flight"`
+	Rejected    int64         `json:"rejected"`
+	Predictions int64         `json:"predictions"`
+}
+
+func snapRoute(m *RouteMetrics) RouteSnapshot {
+	s := RouteSnapshot{
+		Requests:  m.Requests.Load(),
+		Errors:    m.Errors.Load(),
+		LatencyNs: m.LatencyNs.Load(),
+	}
+	if s.Requests > 0 {
+		s.MeanMs = float64(s.LatencyNs) / float64(s.Requests) / 1e6
+	}
+	return s
+}
+
+// Snapshot captures all counters.
+func (m *Metrics) Snapshot() Snapshot {
+	return Snapshot{
+		Predict:     snapRoute(&m.Predict),
+		Place:       snapRoute(&m.Place),
+		Preload:     snapRoute(&m.Preload),
+		Other:       snapRoute(&m.Other),
+		InFlight:    m.InFlight.Load(),
+		Rejected:    m.Rejected.Load(),
+		Predictions: m.Predictions.Load(),
+	}
+}

@@ -1,0 +1,95 @@
+package server
+
+import (
+	"net/http"
+	"runtime/debug"
+	"time"
+)
+
+// statusWriter captures the response code for logging and metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// chain wraps the mux in the middleware stack, innermost first:
+// metrics ← recovery ← logging ← concurrency limit. The limiter sits
+// outermost so a saturated server sheds load before doing any work.
+func (s *Server) chain(next http.Handler) http.Handler {
+	h := s.withMetrics(next)
+	h = s.withRecovery(h)
+	if s.cfg.LogRequests {
+		h = s.withLogging(h)
+	}
+	return s.withLimit(h)
+}
+
+// withLimit bounds in-flight requests with a semaphore; requests beyond
+// the bound get an immediate 503 with Retry-After, which keeps tail
+// latency flat under overload instead of queueing without bound.
+// Liveness and observability endpoints bypass the limiter — a loaded
+// server must still answer its health checker and expose the counters
+// that explain the overload.
+func (s *Server) withLimit(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" || r.URL.Path == "/v1/stats" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+			next.ServeHTTP(w, r)
+		default:
+			s.metrics.Rejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "server at capacity", http.StatusServiceUnavailable)
+		}
+	})
+}
+
+// withRecovery converts handler panics into 500s so one poisoned
+// request cannot take the daemon down.
+func (s *Server) withRecovery(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.logger.Printf("server: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+				http.Error(w, "internal error", http.StatusInternalServerError)
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// withLogging emits one access-log line per request.
+func (s *Server) withLogging(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		s.logger.Printf("server: %s %s %d %s", r.Method, r.URL.Path, sw.status, time.Since(start))
+	})
+}
+
+// withMetrics counts requests, errors and latency per route.
+func (s *Server) withMetrics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		m := s.metrics.route(r.URL.Path)
+		s.metrics.InFlight.Add(1)
+		defer s.metrics.InFlight.Add(-1)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		m.Requests.Add(1)
+		m.LatencyNs.Add(time.Since(start).Nanoseconds())
+		if sw.status >= 400 {
+			m.Errors.Add(1)
+		}
+	})
+}

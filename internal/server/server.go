@@ -1,0 +1,198 @@
+// Package server is the online serving layer for the paper's closing
+// conjecture: an HTTP/JSON service that answers, at interactive
+// latency, "where will this fresh upload be watched, and where should
+// its replicas and cache copies go?"
+//
+// Endpoints:
+//
+//	POST /v1/predict  — tag-based view-distribution prediction, single
+//	                    or batched, all three tagviews weightings
+//	POST /v1/place    — replica-placement recommendation (internal/placement)
+//	POST /v1/preload  — per-country edge-cache preload advisory
+//	                    (internal/geocache push policies)
+//	GET  /v1/tags     — highest-volume tag profiles
+//	GET  /v1/stats    — request counters per route
+//	GET  /healthz     — liveness + snapshot shape
+//
+// The hot path reads tag profiles from an internal/profilestore
+// snapshot — lock-free, allocation-free per prediction — so a single
+// core sustains tens of thousands of predictions per second; batching
+// amortizes the HTTP+JSON overhead further (see BenchmarkServePredict).
+package server
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"viewstags/internal/geo"
+	"viewstags/internal/placement"
+	"viewstags/internal/profilestore"
+	"viewstags/internal/synth"
+	"viewstags/internal/tagviews"
+)
+
+// Config parameterizes the service.
+type Config struct {
+	// MaxInFlight bounds concurrently served requests; excess requests
+	// are rejected with 503 rather than queued, so overload degrades
+	// crisply (default 256).
+	MaxInFlight int
+	// MaxBatch bounds the videos accepted in one batched predict call
+	// (default 1024).
+	MaxBatch int
+	// Logger receives one line per request when LogRequests is set, and
+	// panic reports always. Nil uses the standard logger.
+	Logger *log.Logger
+	// LogRequests enables per-request access logging (off by default:
+	// at load-test rates the log write dominates the handler).
+	LogRequests bool
+}
+
+// DefaultConfig returns the standard serving configuration.
+func DefaultConfig() Config {
+	return Config{MaxInFlight: 256, MaxBatch: 1024}
+}
+
+// Server wires the store, the placement recommender and the optional
+// catalog-backed preload advisor behind the HTTP mux.
+type Server struct {
+	cfg     Config
+	store   *profilestore.Store
+	rec     *placement.Recommender
+	metrics *Metrics
+	logger  *log.Logger
+	sem     chan struct{}
+	handler http.Handler
+
+	// scratch recycles per-request prediction buffers.
+	scratch sync.Pool
+
+	// Catalog state for /v1/preload (absent when serving a crawled
+	// dataset with no synthetic ground truth).
+	mu        sync.RWMutex
+	cat       *synth.Catalog
+	predicted [][]float64
+}
+
+// New builds a server over a profile store. The world is taken from the
+// store's current snapshot.
+func New(cfg Config, store *profilestore.Store) (*Server, error) {
+	if store == nil {
+		return nil, fmt.Errorf("server: nil store")
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = DefaultConfig().MaxInFlight
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = DefaultConfig().MaxBatch
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = log.Default()
+	}
+	world := store.Load().World()
+	s := &Server{
+		cfg:     cfg,
+		store:   store,
+		rec:     placement.NewRecommender(world),
+		metrics: NewMetrics(),
+		logger:  logger,
+		sem:     make(chan struct{}, cfg.MaxInFlight),
+	}
+	nC := world.N()
+	s.scratch.New = func() any {
+		buf := make([]float64, nC)
+		return &buf
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/predict", s.handlePredict)
+	mux.HandleFunc("/v1/place", s.handlePlace)
+	mux.HandleFunc("/v1/preload", s.handlePreload)
+	mux.HandleFunc("/v1/tags", s.handleTags)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealth)
+	s.handler = s.chain(mux)
+	return s, nil
+}
+
+// SetCatalog installs the synthetic catalog and its per-video predicted
+// demand fields, enabling /v1/preload (and oracle advisories).
+func (s *Server) SetCatalog(cat *synth.Catalog, predicted [][]float64) error {
+	if cat != nil && predicted != nil && len(predicted) != len(cat.Videos) {
+		return fmt.Errorf("server: %d predictions for %d videos", len(predicted), len(cat.Videos))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cat = cat
+	s.predicted = predicted
+	return nil
+}
+
+// Store returns the underlying profile store. For hot reloads prefer
+// Reload, which also refreshes the catalog's preload predictions — a
+// bare Store().Swap leaves /v1/preload ranking by the old snapshot.
+func (s *Server) Store() *profilestore.Store { return s.store }
+
+// Reload installs a freshly built snapshot and, when a catalog is
+// loaded, recomputes its per-video predicted demand against the new
+// profiles — keeping /v1/predict and /v1/preload consistent with each
+// other across a hot reload.
+func (s *Server) Reload(snap *profilestore.Snapshot, w tagviews.Weighting) error {
+	if _, err := s.store.Swap(snap); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cat != nil {
+		s.predicted = snap.PredictCatalog(s.cat, w)
+	}
+	return nil
+}
+
+// Metrics returns the server's counters.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Handler returns the fully middleware-wrapped HTTP handler.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// world returns the current snapshot's country table.
+func (s *Server) world() *geo.World { return s.store.Load().World() }
+
+// Run serves on addr until ctx is canceled, then shuts down gracefully,
+// draining in-flight requests for up to grace.
+func (s *Server) Run(ctx context.Context, addr string, grace time.Duration) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, ln, grace)
+}
+
+// Serve is Run over a caller-supplied listener — the race-free way to
+// serve an ephemeral port (listen on ":0", read the address, Serve).
+// It owns the listener and closes it on shutdown.
+func (s *Server) Serve(ctx context.Context, ln net.Listener, grace time.Duration) error {
+	srv := &http.Server{
+		Handler:           s.handler,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		return fmt.Errorf("server: shutdown: %w", err)
+	}
+	<-errc // always http.ErrServerClosed after a clean Shutdown
+	return nil
+}

@@ -37,6 +37,21 @@ func (w Weighting) String() string {
 	}
 }
 
+// ParseWeighting resolves a weighting-scheme name as used on the wire
+// ("uniform", "by-views", "idf"); the empty string selects WeightIDF,
+// the scheme the E5 ablation found strongest.
+func ParseWeighting(name string) (Weighting, error) {
+	if name == "" {
+		return WeightIDF, nil
+	}
+	for _, w := range []Weighting{WeightUniform, WeightByViews, WeightIDF} {
+		if w.String() == name {
+			return w, nil
+		}
+	}
+	return WeightingInvalid, fmt.Errorf("tagviews: unknown weighting %q", name)
+}
+
 // Predictor predicts a video's geographic view distribution from its
 // tags, using the tag profiles of an Analysis (the training corpus).
 type Predictor struct {
@@ -67,6 +82,11 @@ func (p *Predictor) Predict(tagNames []string) ([]float64, bool) {
 	for rank, t := range tagNames {
 		views, ok := p.a.tagViews[t]
 		if !ok {
+			continue
+		}
+		// Zero-mass tags (all carrying records had zero views) have no
+		// geographic signal to contribute and would poison the mixture.
+		if p.a.tagTotal[t] <= 0 {
 			continue
 		}
 		var w float64

@@ -126,10 +126,17 @@ func (a *Analysis) TagProfile(name string) (*TagProfile, bool) {
 func (a *Analysis) profileFor(name string, views []float64) *TagProfile {
 	p := dist.Normalize(views)
 	top := dist.ArgMax(p)
-	js, err := dist.JS(views, a.Pyt)
-	if err != nil {
-		// Both vectors are world-sized by construction.
-		panic("tagviews: " + err.Error())
+	// A tag can aggregate to zero mass when every carrying record had
+	// zero total views — legal in crawled datasets, so degrade to an
+	// all-zero profile rather than panic on the undefined divergence.
+	var js float64
+	if dist.Sum(views) > 0 {
+		var err error
+		js, err = dist.JS(views, a.Pyt)
+		if err != nil {
+			// Both vectors are world-sized by construction.
+			panic("tagviews: " + err.Error())
+		}
 	}
 	eff := dist.EffectiveCountries(views)
 	prof := &TagProfile{
@@ -145,8 +152,10 @@ func (a *Analysis) profileFor(name string, views []float64) *TagProfile {
 	if top >= 0 {
 		prof.TopShare = p[top]
 	}
-	// EffectiveCountries is 2^H by definition, so H = log2(eff).
-	prof.Entropy = math.Log2(eff)
+	if eff > 0 {
+		// EffectiveCountries is 2^H by definition, so H = log2(eff).
+		prof.Entropy = math.Log2(eff)
+	}
 	return prof
 }
 
