@@ -20,7 +20,9 @@ import (
 
 	"viewstags/internal/alexa"
 	"viewstags/internal/dist"
+	"viewstags/internal/geo"
 	"viewstags/internal/geocache"
+	"viewstags/internal/ingest"
 	"viewstags/internal/mapchart"
 	"viewstags/internal/pipeline"
 	"viewstags/internal/placement"
@@ -626,6 +628,58 @@ func BenchmarkServePredict(b *testing.B) {
 			}
 			preds := float64(b.N * batch)
 			b.ReportMetric(preds/b.Elapsed().Seconds(), "preds/sec")
+		})
+	}
+}
+
+// BenchmarkIngestFold measures one full epoch of the streaming write
+// path — accumulate a batch of view events, drain the sharded deltas,
+// Rebuild the snapshot copy-on-write, swap it in — at two touch widths:
+// a hot head of 100 tags and the whole vocabulary. The copy-on-write
+// contract says cost scales with touched tags plus O(tags) bookkeeping,
+// so the two runs bound a production fold's latency from both sides.
+func BenchmarkIngestFold(b *testing.B) {
+	res := benchFixture(b)
+	base, err := profilestore.Build(res.Analysis)
+	if err != nil {
+		b.Fatal(err)
+	}
+	names := res.Analysis.TagNames()
+	nC := res.World.N()
+	for _, touch := range []int{100, len(names)} {
+		b.Run(benchName("touch", touch), func(b *testing.B) {
+			store, err := profilestore.NewStore(base)
+			if err != nil {
+				b.Fatal(err)
+			}
+			acc, err := ingest.NewAccumulator(store, 1<<30)
+			if err != nil {
+				b.Fatal(err)
+			}
+			events := make([]ingest.Event, touch)
+			for i := range events {
+				events[i] = ingest.Event{
+					Video:   "bench-" + strconv.Itoa(i),
+					Tags:    []string{names[i%len(names)]},
+					Country: geo.CountryID(i % nC),
+					Views:   1,
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := acc.Add(events); err != nil {
+					b.Fatal(err)
+				}
+				deltas, n, _ := acc.Drain()
+				next, err := profilestore.Rebuild(store.Load(), deltas, n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := store.Swap(next); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N)*float64(touch)/b.Elapsed().Seconds(), "events/sec")
 		})
 	}
 }

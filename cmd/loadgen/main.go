@@ -1,16 +1,24 @@
 // Command loadgen is the closed-loop load generator for cmd/serve: it
 // regenerates the daemon's synthetic catalog (same -videos/-seed ⇒ same
-// tag sets), replays a Zipf-distributed upload stream against
-// /v1/predict — fresh uploads are dominated by a popular head, exactly
-// the arrival process a UGC ingest sees — and reports sustained
+// video ids and tag sets), replays a Zipf-distributed upload stream
+// against /v1/predict — fresh uploads are dominated by a popular head,
+// exactly the arrival process a UGC ingest sees — and reports sustained
 // throughput plus p50/p90/p99 latency from P² streaming sketches
 // (internal/stats), so the report costs O(1) memory at any request
 // count.
 //
+// With -ingest-frac > 0 it runs in mixed read/write mode: that fraction
+// of requests become POST /v1/ingest batches of live view events (video
+// id, tags, traffic-weighted viewing country, view delta; first-drawn
+// videos are flagged as uploads), so the write path — accumulation,
+// backpressure, and the periodic snapshot folds it triggers — shows up
+// in its own p50/p90/p99 block next to the read path's.
+//
 // Usage:
 //
 //	loadgen -url http://127.0.0.1:8091 -duration 10s -concurrency 4
-//	loadgen -url http://127.0.0.1:8091 -batch 32   # batched predicts
+//	loadgen -url http://127.0.0.1:8091 -batch 32        # batched predicts
+//	loadgen -url http://127.0.0.1:8091 -ingest-frac 0.2 # mixed read/write
 package main
 
 import (
@@ -22,6 +30,7 @@ import (
 	"net/http"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"viewstags/internal/server"
@@ -46,8 +55,9 @@ type collector struct {
 	p99      *stats.P2Quantile
 	lat      stats.Summary
 	requests int64
-	preds    int64
+	items    int64 // predictions served / events accepted
 	errors   int64
+	shed     int64 // 503s: limiter or ingest backpressure
 	fallback int64 // predictions answered from the prior (known=false)
 }
 
@@ -66,11 +76,15 @@ func newCollector() (*collector, error) {
 	return c, nil
 }
 
-func (c *collector) observe(latency time.Duration, preds, fallback int64, failed bool) {
+func (c *collector) observe(latency time.Duration, items, fallback int64, failed, wasShed bool) {
 	ms := float64(latency.Nanoseconds()) / 1e6
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.requests++
+	if wasShed {
+		c.shed++
+		return
+	}
 	if failed {
 		c.errors++
 		return
@@ -79,8 +93,31 @@ func (c *collector) observe(latency time.Duration, preds, fallback int64, failed
 	c.p90.Add(ms)
 	c.p99.Add(ms)
 	c.lat.Add(ms)
-	c.preds += preds
+	c.items += items
 	c.fallback += fallback
+}
+
+// report prints one collector's block; itemNoun is "predictions" or
+// "events".
+func (c *collector) report(label, itemNoun string, elapsed time.Duration, batch int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fmt.Printf("%s requests  %d (%.0f req/s, %d errors, %d shed)\n",
+		label, c.requests, float64(c.requests)/elapsed.Seconds(), c.errors, c.shed)
+	extra := ""
+	if itemNoun == "predictions" {
+		extra = fmt.Sprintf(", %d prior-fallbacks", c.fallback)
+	}
+	fmt.Printf("%s %-9s %d (%.0f/s, batch=%d%s)\n",
+		label, itemNoun, c.items, float64(c.items)/elapsed.Seconds(), batch, extra)
+	fmt.Printf("%s latency ms mean=%.3f p50=%.3f p90=%.3f p99=%.3f max=%.3f\n",
+		label, c.lat.Mean(), c.p50.Value(), c.p90.Value(), c.p99.Value(), c.lat.Max())
+}
+
+// uploadItem is one catalog video as the upload/view stream sees it.
+type uploadItem struct {
+	id   string
+	tags []string
 }
 
 func run() error {
@@ -90,13 +127,17 @@ func run() error {
 		seed        = flag.Uint64("seed", 20110301, "catalog seed (must match the daemon)")
 		duration    = flag.Duration("duration", 10*time.Second, "test length")
 		concurrency = flag.Int("concurrency", 4, "closed-loop workers")
-		batch       = flag.Int("batch", 4, "uploads per request (1 = single predict; small batches mirror an ingest pipeline)")
+		batch       = flag.Int("batch", 4, "items per request (1 = single predict; small batches mirror an ingest pipeline)")
 		weighting   = flag.String("weighting", "idf", "prediction weighting scheme")
 		zipfS       = flag.Float64("zipf", 1.1, "upload-stream Zipf exponent")
+		ingestFrac  = flag.Float64("ingest-frac", 0, "fraction of requests that are /v1/ingest event batches (0 = read-only)")
 	)
 	flag.Parse()
 	if *concurrency < 1 || *batch < 1 {
 		return fmt.Errorf("concurrency and batch must be >= 1")
+	}
+	if *ingestFrac < 0 || *ingestFrac > 1 {
+		return fmt.Errorf("ingest-frac must be in [0, 1]")
 	}
 
 	fmt.Fprintf(os.Stderr, "regenerating %d-video catalog (seed %d)...\n", *videos, *seed)
@@ -106,16 +147,18 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	// Tag lists of the tagged videos, the upload stream's alphabet.
-	var tagSets [][]string
+	// Tagged videos: the alphabet of both the upload replay (reads) and
+	// the view-event stream (writes).
+	var items []uploadItem
 	for i := range cat.Videos {
 		if names := cat.Videos[i].TagNames(cat.Vocab); len(names) > 0 {
-			tagSets = append(tagSets, names)
+			items = append(items, uploadItem{id: cat.Videos[i].ID, tags: names})
 		}
 	}
-	if len(tagSets) == 0 {
+	if len(items) == 0 {
 		return fmt.Errorf("catalog has no tagged videos")
 	}
+	countryCodes := cat.World.Codes()
 
 	// One shared transport with enough idle conns for every worker keeps
 	// the loop on hot keep-alive connections.
@@ -124,10 +167,11 @@ func run() error {
 		MaxIdleConnsPerHost: *concurrency * 2,
 	}
 	client := &http.Client{Transport: transport, Timeout: 10 * time.Second}
-	endpoint := *baseURL + "/v1/predict"
+	predictURL := *baseURL + "/v1/predict"
+	ingestURL := *baseURL + "/v1/ingest"
 
 	// Fail fast when the daemon is missing or serving another catalog.
-	probe, err := predictOnce(client, endpoint, tagSets[0], *weighting, 1)
+	probe, err := predictOnce(client, predictURL, items[0].tags, *weighting, 1)
 	if err != nil {
 		return fmt.Errorf("probe: %w (is cmd/serve running at %s?)", err, *baseURL)
 	}
@@ -135,9 +179,20 @@ func run() error {
 		fmt.Fprintln(os.Stderr, "warning: probe tags unknown to the daemon — catalog seed/size mismatch?")
 	}
 
-	col, err := newCollector()
+	reads, err := newCollector()
 	if err != nil {
 		return err
+	}
+	writes, err := newCollector()
+	if err != nil {
+		return err
+	}
+	// seen marks videos already announced as uploads — shared across
+	// workers (the daemon's corpus is one, so a video must be flagged
+	// Upload at most once regardless of which worker draws it first).
+	var seen []atomic.Bool
+	if *ingestFrac > 0 {
+		seen = make([]atomic.Bool, len(items))
 	}
 	startWall := time.Now()
 	deadline := startWall.Add(*duration)
@@ -147,42 +202,96 @@ func run() error {
 		go func(wkr int) {
 			defer wg.Done()
 			src := xrand.NewSource(uint64(wkr) + 1)
-			zipf := xrand.NewZipf(src.Fork("uploads"), *zipfS, len(tagSets))
+			zipf := xrand.NewZipf(src.Fork("uploads"), *zipfS, len(items))
+			viewer := xrand.NewCategorical(src.Fork("viewers"), cat.World.Traffic())
+			mix := src.Fork("mix")
+			views := src.Fork("views")
 			var body bytes.Buffer
 			for time.Now().Before(deadline) {
 				body.Reset()
-				req := server.PredictRequest{Weighting: *weighting, Top: 3}
-				if *batch == 1 {
-					req.Tags = tagSets[zipf.Rank()]
-				} else {
-					req.Batch = make([]server.PredictItem, *batch)
-					for i := range req.Batch {
-						req.Batch[i] = server.PredictItem{Tags: tagSets[zipf.Rank()]}
+				if mix.Bernoulli(*ingestFrac) {
+					req := server.IngestRequest{Events: make([]server.IngestEvent, *batch)}
+					var flagged []int // videos Upload-flagged in this batch
+					for i := range req.Events {
+						v := zipf.Rank()
+						// CAS claims the one-time Upload flag across all
+						// workers; a shed or failed batch releases it
+						// below so the announcement is retried.
+						upload := seen[v].CompareAndSwap(false, true)
+						if upload {
+							flagged = append(flagged, v)
+						}
+						req.Events[i] = server.IngestEvent{
+							Video:   items[v].id,
+							Tags:    items[v].tags,
+							Country: countryCodes[viewer.Draw()],
+							Views:   float64(1 + views.Intn(50)),
+							Upload:  upload,
+						}
 					}
+					encodeErr := json.NewEncoder(&body).Encode(&req)
+					var accepted int64
+					var shed bool
+					var err error = encodeErr
+					if encodeErr == nil {
+						start := time.Now()
+						accepted, shed, err = postIngest(client, ingestURL, &body)
+						writes.observe(time.Since(start), accepted, 0, err != nil, shed)
+					} else {
+						writes.observe(0, 0, 0, true, false)
+					}
+					if err != nil || shed {
+						for _, v := range flagged {
+							seen[v].Store(false)
+						}
+					}
+				} else {
+					req := server.PredictRequest{Weighting: *weighting, Top: 3}
+					if *batch == 1 {
+						req.Tags = items[zipf.Rank()].tags
+					} else {
+						req.Batch = make([]server.PredictItem, *batch)
+						for i := range req.Batch {
+							req.Batch[i] = server.PredictItem{Tags: items[zipf.Rank()].tags}
+						}
+					}
+					if err := json.NewEncoder(&body).Encode(&req); err != nil {
+						reads.observe(0, 0, 0, true, false)
+						continue
+					}
+					start := time.Now()
+					preds, fallback, err := postPredict(client, predictURL, &body)
+					reads.observe(time.Since(start), preds, fallback, err != nil, false)
 				}
-				if err := json.NewEncoder(&body).Encode(&req); err != nil {
-					col.observe(0, 0, 0, true)
-					continue
-				}
-				start := time.Now()
-				preds, fallback, err := postPredict(client, endpoint, &body)
-				col.observe(time.Since(start), preds, fallback, err != nil)
 			}
 		}(wkr)
 	}
 	wg.Wait()
 
 	elapsed := time.Since(startWall)
-	col.mu.Lock()
-	defer col.mu.Unlock()
-	fmt.Printf("requests      %d (%.0f req/s, %d errors)\n",
-		col.requests, float64(col.requests)/elapsed.Seconds(), col.errors)
-	fmt.Printf("predictions   %d (%.0f preds/s, batch=%d, %d prior-fallbacks)\n",
-		col.preds, float64(col.preds)/elapsed.Seconds(), *batch, col.fallback)
-	fmt.Printf("latency ms    mean=%.3f p50=%.3f p90=%.3f p99=%.3f max=%.3f\n",
-		col.lat.Mean(), col.p50.Value(), col.p90.Value(), col.p99.Value(), col.lat.Max())
-	if col.preds == 0 {
-		return fmt.Errorf("no successful predictions")
+	if *ingestFrac < 1 {
+		reads.report("read ", "predictions", elapsed, *batch)
+	}
+	if *ingestFrac > 0 {
+		writes.report("write", "events", elapsed, *batch)
+	}
+	// Success means each requested stream actually flowed: reads unless
+	// the mix is pure-write, writes whenever a write fraction was asked.
+	if *ingestFrac < 1 {
+		reads.mu.Lock()
+		preds := reads.items
+		reads.mu.Unlock()
+		if preds == 0 {
+			return fmt.Errorf("no successful predictions")
+		}
+	}
+	if *ingestFrac > 0 {
+		writes.mu.Lock()
+		events := writes.items
+		writes.mu.Unlock()
+		if events == 0 {
+			return fmt.Errorf("no accepted ingest events")
+		}
 	}
 	return nil
 }
@@ -216,6 +325,30 @@ func postPredict(client *http.Client, endpoint string, body io.Reader) (int64, i
 		}
 	}
 	return preds, fallback, nil
+}
+
+// postIngest sends one event batch and returns (#accepted, shed). A 503
+// is backpressure — the daemon shedding load by design — reported
+// separately from errors.
+func postIngest(client *http.Client, endpoint string, body io.Reader) (int64, bool, error) {
+	resp, err := client.Post(endpoint, "application/json", body)
+	if err != nil {
+		return 0, false, err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return 0, true, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return 0, false, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var ir server.IngestResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
+		return 0, false, err
+	}
+	return int64(ir.Accepted), false, nil
 }
 
 // predictOnce round-trips a single probe request.

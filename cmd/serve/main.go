@@ -2,16 +2,23 @@
 // geographic profiles (from a synthetic catalog, or from a crawled
 // dataset file when one is supplied) into an internal/profilestore
 // snapshot and serves predictions, replica-placement recommendations
-// and cache-preload advisories over HTTP (see internal/server for the
-// API).
+// and cache-preload advisories over HTTP (see API.md for the wire
+// reference and OPERATIONS.md for running it in production shape).
+//
+// With ingestion enabled (the default), the daemon is self-updating: it
+// accepts live view events on POST /v1/ingest and folds them into the
+// serving snapshot every -ingest-interval via internal/ingest, so tag
+// profiles track the live stream without a restart or batch reload.
 //
 // Usage:
 //
 //	serve -addr 127.0.0.1:8091 -videos 20000
 //	serve -addr 127.0.0.1:8091 -dataset crawl.jsonl
+//	serve -addr 127.0.0.1:8091 -ingest-interval 2s -ingest-buffer 1000000
+//	serve -addr 127.0.0.1:8091 -ingest-interval 0   # read-only daemon
 //
 // SIGINT/SIGTERM triggers a graceful shutdown that drains in-flight
-// requests.
+// requests and folds any accepted-but-unfolded events.
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"time"
 
 	"viewstags/internal/alexa"
+	"viewstags/internal/ingest"
 	"viewstags/internal/pipeline"
 	"viewstags/internal/profilestore"
 	"viewstags/internal/server"
@@ -45,10 +53,12 @@ func run() error {
 		seed        = flag.Uint64("seed", 20110301, "synthetic generation seed")
 		datasetPath = flag.String("dataset", "", "crawled JSONL dataset (empty = synthesize)")
 		weighting   = flag.String("weighting", "idf", "weighting for catalog preload predictions")
-		maxInflight = flag.Int("max-inflight", 256, "concurrent request bound")
-		maxBatch    = flag.Int("max-batch", 1024, "max videos per batched predict")
-		logRequests = flag.Bool("log-requests", false, "log every request")
-		grace       = flag.Duration("grace", 10*time.Second, "shutdown drain timeout")
+		maxInflight  = flag.Int("max-inflight", 256, "concurrent request bound")
+		maxBatch     = flag.Int("max-batch", 1024, "max items per batched predict or ingest")
+		logRequests  = flag.Bool("log-requests", false, "log every request")
+		grace        = flag.Duration("grace", 10*time.Second, "shutdown drain timeout")
+		ingestEvery  = flag.Duration("ingest-interval", 3*time.Second, "fold interval for live view events (0 disables /v1/ingest)")
+		ingestBuffer = flag.Int("ingest-buffer", 1<<20, "max tag attributions (events x tags) buffered between folds")
 	)
 	flag.Parse()
 
@@ -105,6 +115,49 @@ func run() error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	logger.Printf("serving on http://%s (predict/place/preload; ^C to drain)", *addr)
-	return srv.Run(ctx, *addr, *grace)
+
+	// The streaming write path: accumulate /v1/ingest events and fold
+	// them into fresh snapshots in the background. The compactor runs on
+	// its own context, canceled only after the HTTP server has fully
+	// drained — events accepted during the grace window still get their
+	// final fold, keeping the "acked means folded by shutdown" promise.
+	var compactorDone chan struct{}
+	var compactorStop context.CancelFunc
+	if *ingestEvery > 0 {
+		acc, err := ingest.NewAccumulator(store, *ingestBuffer)
+		if err != nil {
+			return err
+		}
+		if err := srv.EnableIngest(acc); err != nil {
+			return err
+		}
+		comp, err := ingest.NewCompactor(acc, *ingestEvery, func(d []profilestore.TagDelta, n int) error {
+			return srv.ApplyDeltas(d, n, w)
+		}, logger)
+		if err != nil {
+			return err
+		}
+		var compCtx context.Context
+		compCtx, compactorStop = context.WithCancel(context.Background())
+		defer compactorStop() // idempotent; the drain path cancels first
+		compactorDone = make(chan struct{})
+		go func() {
+			defer close(compactorDone)
+			comp.Run(compCtx)
+		}()
+		logger.Printf("ingest enabled: folding every %s, buffer %d events", *ingestEvery, *ingestBuffer)
+	} else {
+		logger.Printf("ingest disabled (-ingest-interval 0): /v1/ingest answers 503")
+	}
+
+	logger.Printf("serving on http://%s (predict/ingest/place/preload; ^C to drain)", *addr)
+	err = srv.Run(ctx, *addr, *grace)
+	if compactorDone != nil {
+		// The listener is closed and in-flight requests are drained;
+		// stop the compactor now so its shutdown path folds everything
+		// accepted up to and including the grace window.
+		compactorStop()
+		<-compactorDone
+	}
+	return err
 }

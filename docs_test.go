@@ -1,0 +1,105 @@
+// Documentation conformance tests: the API reference must cover every
+// registered route, and every package must carry a doc comment. These
+// run in the ordinary test suite, so CI's doc lint is just `go test`.
+package viewstags_test
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"viewstags/internal/server"
+)
+
+// TestAPIDocCoversEveryRoute enumerates the server's route table
+// against API.md: each registered path must appear in a markdown
+// heading, so a new endpoint cannot ship undocumented (and the doc
+// cannot reference the mux indirectly — both derive from
+// server.Routes()).
+func TestAPIDocCoversEveryRoute(t *testing.T) {
+	raw, err := os.ReadFile("API.md")
+	if err != nil {
+		t.Fatalf("API.md missing: %v", err)
+	}
+	doc := string(raw)
+	var headings []string
+	for _, line := range strings.Split(doc, "\n") {
+		if strings.HasPrefix(line, "#") {
+			headings = append(headings, line)
+		}
+	}
+	routes := server.Routes()
+	if len(routes) == 0 {
+		t.Fatal("server registers no routes")
+	}
+	for _, route := range routes {
+		found := false
+		for _, h := range headings {
+			if strings.Contains(h, route) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("route %s registered by internal/server but not documented in an API.md heading", route)
+		}
+	}
+}
+
+// TestEveryPackageHasDocComment is the doc-comment lint: every package
+// in the module (including cmd mains and examples) must open with a
+// package-level doc comment on at least one of its files.
+func TestEveryPackageHasDocComment(t *testing.T) {
+	pkgDirs := map[string]bool{}
+	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			pkgDirs[filepath.Dir(path)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgDirs) < 10 {
+		t.Fatalf("only %d package dirs found — walk broken?", len(pkgDirs))
+	}
+	for dir := range pkgDirs {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		documented := false
+		var files []string
+		fset := token.NewFileSet()
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			files = append(files, name)
+			f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.PackageClauseOnly)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", dir, name, err)
+			}
+			if f.Doc != nil && len(strings.TrimSpace(f.Doc.Text())) > 0 {
+				documented = true
+				break
+			}
+		}
+		if len(files) > 0 && !documented {
+			t.Errorf("package %s has no package doc comment on any of %v", dir, files)
+		}
+	}
+}

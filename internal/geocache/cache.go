@@ -9,6 +9,11 @@
 // popularity, static push by tag-predicted per-country demand (the
 // paper's proposal), and an oracle push by true per-country demand
 // (the upper bound).
+//
+// PreloadAdvisory is the online half: it answers a single country's
+// "what should I warm my slots with?" using exactly the push sets the
+// simulator installs, which is what the serving layer's /v1/preload
+// endpoint exposes — the simulation and the service cannot disagree.
 package geocache
 
 // cache is the minimal interface a per-country cache node implements.

@@ -1,0 +1,86 @@
+package ingest
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"viewstags/internal/profilestore"
+)
+
+// InstallFunc folds a drained epoch's deltas into the current serving
+// snapshot and installs the result atomically. internal/server's
+// ApplyDeltas is the canonical implementation — the same helper a batch
+// Reload uses, so preload advisories are recomputed identically on both
+// paths and the two cannot drift.
+type InstallFunc func(deltas []profilestore.TagDelta, newRecords int) error
+
+// Compactor drives the epoch loop: every interval it drains the
+// accumulator and hands the deltas to the installer; each successful
+// install advances the accumulator's epoch. Empty epochs are skipped,
+// so a quiet stream causes no snapshot churn.
+type Compactor struct {
+	acc      *Accumulator
+	interval time.Duration
+	install  InstallFunc
+	logger   *log.Logger
+}
+
+// NewCompactor wires a compactor. interval <= 0 selects the default of
+// 3s; a nil logger uses the standard one.
+func NewCompactor(acc *Accumulator, interval time.Duration, install InstallFunc, logger *log.Logger) (*Compactor, error) {
+	if acc == nil {
+		return nil, fmt.Errorf("ingest: nil accumulator")
+	}
+	if install == nil {
+		return nil, fmt.Errorf("ingest: nil install func")
+	}
+	if interval <= 0 {
+		interval = 3 * time.Second
+	}
+	if logger == nil {
+		logger = log.Default()
+	}
+	return &Compactor{acc: acc, interval: interval, install: install, logger: logger}, nil
+}
+
+// FoldNow drains and installs one epoch synchronously. It reports
+// whether a fold happened (false: nothing pending). Exposed for tests
+// and for operators that want a fold on demand (e.g. before a drain).
+func (c *Compactor) FoldNow() (bool, error) {
+	deltas, newRecords, _ := c.acc.Drain()
+	if len(deltas) == 0 && newRecords == 0 {
+		return false, nil
+	}
+	start := time.Now()
+	if err := c.install(deltas, newRecords); err != nil {
+		// The drained deltas are lost; the stream continues. This only
+		// fires on programming errors (shape mismatches), not load.
+		return false, fmt.Errorf("ingest: fold install: %w", err)
+	}
+	c.acc.noteFold(time.Since(start), len(deltas))
+	return true, nil
+}
+
+// Run folds every interval until ctx is canceled, then performs one
+// final fold so a graceful shutdown doesn't strand accepted events.
+// Install errors are logged, not fatal: one bad epoch must not stop the
+// stream.
+func (c *Compactor) Run(ctx context.Context) {
+	tick := time.NewTicker(c.interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			if _, err := c.FoldNow(); err != nil {
+				c.logger.Printf("%v", err)
+			}
+			return
+		case <-tick.C:
+			if _, err := c.FoldNow(); err != nil {
+				c.logger.Printf("%v", err)
+			}
+		}
+	}
+}

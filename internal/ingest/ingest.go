@@ -1,0 +1,273 @@
+// Package ingest is the streaming write path of the serving layer: it
+// turns a continuous stream of per-video view events into the periodic
+// immutable snapshot swaps internal/profilestore readers already
+// understand, so tag profiles track live upload and viewing activity
+// instead of waiting for an offline batch rebuild.
+//
+// The design splits the write path in two, mirroring an LSM memtable:
+//
+//   - An Accumulator absorbs events at request rate into sharded
+//     mutable per-tag delta counters (one mutex per shard, tag ids
+//     interned against the live profilestore snapshot so repeat tags
+//     stay cheap). Readers of the serving store never see — or wait
+//     on — any of this state.
+//
+//   - A Compactor periodically drains the accumulated deltas, folds
+//     them into a fresh snapshot via profilestore.Rebuild
+//     (copy-on-write: untouched tags share vectors with the base), and
+//     installs the result through the same atomic swap a batch reload
+//     uses. Each successful fold advances the accumulator's epoch.
+//
+// Backpressure is explicit: the accumulator bounds the events buffered
+// between folds, and Add fails fast with ErrBufferFull once the bound
+// is hit — the HTTP layer translates that into 503 + Retry-After, the
+// same crisp overload behavior as the concurrency limiter.
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"viewstags/internal/geo"
+	"viewstags/internal/profilestore"
+)
+
+// numShards must stay a power of two so the hash→shard map is a mask.
+const numShards = 16
+
+// MaxEventTags bounds the tags one event may carry. Each distinct tag
+// allocates a per-country vector in the accumulator and, once folded, a
+// permanent profile in every subsequent snapshot — so tag count, not
+// event count, is what drives memory, and an event is not allowed to
+// smuggle an unbounded vocabulary past the batch limits.
+const MaxEventTags = 64
+
+// ErrBufferFull is returned by Add when the accumulator already holds
+// the configured maximum of unfolded tag attributions (Σ len(Tags)
+// over buffered events — the quantity that actually bounds memory).
+// Callers should shed load (HTTP: 503 + Retry-After) and retry after
+// the next fold.
+var ErrBufferFull = errors.New("ingest: delta buffer full, retry after next fold")
+
+// Event is one view-stream observation: Views additional views of video
+// Video, watched from Country, attributed to the video's Tags. Upload
+// marks the first observation of a freshly uploaded video; it bumps the
+// training-corpus size (the IDF numerator) and each tag's
+// document-frequency count, deduplicated per epoch by video id — so an
+// Upload event must carry a Video id (Add rejects it otherwise).
+type Event struct {
+	Video   string
+	Tags    []string
+	Country geo.CountryID
+	Views   float64
+	Upload  bool
+}
+
+// tagAcc is one tag's unfolded delta.
+type tagAcc struct {
+	id     int32 // interning hint into the snapshot current at first touch
+	views  []float64
+	total  float64
+	videos int
+}
+
+// shard is one mutex-guarded slice of the delta map. Tags and upload
+// video ids hash to shards independently.
+type shard struct {
+	mu      sync.Mutex
+	tags    map[string]*tagAcc
+	uploads map[string]bool // video ids counted as new records this epoch
+}
+
+// Stats is a point-in-time summary of the accumulator, surfaced by the
+// server's /v1/stats and /healthz.
+type Stats struct {
+	Epoch      uint64  `json:"epoch"`   // completed folds
+	Events     int64   `json:"events"`  // events accepted since start
+	Dropped    int64   `json:"dropped"` // events rejected by backpressure
+	// Pending counts buffered tag attributions (Σ len(Tags) over events
+	// awaiting the next fold) — the unit the buffer bound is in.
+	Pending    int64   `json:"pending"`
+	LastFoldMs float64 `json:"last_fold_ms"`
+	LastTags   int64   `json:"last_fold_tags"` // tags touched by the last fold
+}
+
+// Accumulator absorbs events between folds. All methods are safe for
+// concurrent use.
+type Accumulator struct {
+	store  *profilestore.Store
+	nC     int
+	buffer int64
+	seed   maphash.Seed
+	shards [numShards]shard
+
+	pending atomic.Int64
+	events  atomic.Int64
+	dropped atomic.Int64
+	epoch   atomic.Uint64
+
+	lastFoldNs atomic.Int64
+	lastTags   atomic.Int64
+}
+
+// NewAccumulator sizes an accumulator against the store it will fold
+// into. buffer bounds the unfolded tag attributions (Σ len(Tags)) held
+// between folds; <= 0 selects the default of 1<<20.
+func NewAccumulator(store *profilestore.Store, buffer int) (*Accumulator, error) {
+	if store == nil {
+		return nil, fmt.Errorf("ingest: nil store")
+	}
+	if buffer <= 0 {
+		buffer = 1 << 20
+	}
+	a := &Accumulator{
+		store:  store,
+		nC:     store.Load().World().N(),
+		buffer: int64(buffer),
+		seed:   maphash.MakeSeed(),
+	}
+	for i := range a.shards {
+		a.shards[i].tags = make(map[string]*tagAcc)
+		a.shards[i].uploads = make(map[string]bool)
+	}
+	return a, nil
+}
+
+func (a *Accumulator) shardOf(s string) *shard {
+	return &a.shards[maphash.String(a.seed, s)&(numShards-1)]
+}
+
+// Add validates and absorbs a batch of events. It is the single
+// validation layer for event semantics (the HTTP handler only resolves
+// country codes), and it is all-or-nothing: a malformed event or a
+// buffer overflow rejects the whole batch before any event is applied.
+func (a *Accumulator) Add(events []Event) error {
+	charge := int64(0) // tag attributions this batch will buffer
+	for i := range events {
+		e := &events[i]
+		if len(e.Tags) == 0 {
+			return fmt.Errorf("ingest: event %d has no tags", i)
+		}
+		if len(e.Tags) > MaxEventTags {
+			return fmt.Errorf("ingest: event %d has %d tags, limit %d", i, len(e.Tags), MaxEventTags)
+		}
+		for _, tag := range e.Tags {
+			if tag == "" {
+				return fmt.Errorf("ingest: event %d has an empty tag", i)
+			}
+		}
+		if int(e.Country) < 0 || int(e.Country) >= a.nC {
+			return fmt.Errorf("ingest: event %d country %d out of range", i, int(e.Country))
+		}
+		if e.Views < 0 {
+			return fmt.Errorf("ingest: event %d has negative views", i)
+		}
+		if e.Upload && e.Video == "" {
+			return fmt.Errorf("ingest: event %d is an upload without a video id", i)
+		}
+		charge += int64(len(e.Tags))
+	}
+	if n := a.pending.Add(charge); n > a.buffer {
+		a.pending.Add(-charge)
+		a.dropped.Add(int64(len(events)))
+		return ErrBufferFull
+	}
+	snap := a.store.Load()
+	for i := range events {
+		e := &events[i]
+		newUpload := false
+		if e.Upload {
+			vs := a.shardOf(e.Video)
+			vs.mu.Lock()
+			if !vs.uploads[e.Video] {
+				vs.uploads[e.Video] = true
+				newUpload = true
+			}
+			vs.mu.Unlock()
+		}
+		for _, tag := range e.Tags {
+			sh := a.shardOf(tag)
+			sh.mu.Lock()
+			acc := sh.tags[tag]
+			if acc == nil {
+				acc = &tagAcc{id: -1, views: make([]float64, a.nC)}
+				// Interning hint: resolve once against the snapshot
+				// current at first touch; Rebuild revalidates it.
+				if id, ok := snap.Lookup(tag); ok {
+					acc.id = id
+				}
+				sh.tags[tag] = acc
+			}
+			acc.views[e.Country] += e.Views
+			acc.total += e.Views
+			if newUpload {
+				acc.videos++
+			}
+			sh.mu.Unlock()
+		}
+	}
+	a.events.Add(int64(len(events)))
+	return nil
+}
+
+// Drain atomically takes everything accumulated since the last drain
+// and resets the buffer: the per-tag deltas (in unspecified order), the
+// number of distinct freshly uploaded videos, and the buffered charge
+// released (tag attributions). The caller owns the returned slices.
+func (a *Accumulator) Drain() (deltas []profilestore.TagDelta, newRecords int, released int64) {
+	for i := range a.shards {
+		sh := &a.shards[i]
+		sh.mu.Lock()
+		for name, acc := range sh.tags {
+			deltas = append(deltas, profilestore.TagDelta{
+				Name:   name,
+				ID:     acc.id,
+				Views:  acc.views,
+				Total:  acc.total,
+				Videos: acc.videos,
+			})
+		}
+		newRecords += len(sh.uploads)
+		if len(sh.tags) > 0 {
+			sh.tags = make(map[string]*tagAcc)
+		}
+		if len(sh.uploads) > 0 {
+			sh.uploads = make(map[string]bool)
+		}
+		sh.mu.Unlock()
+	}
+	// Events that arrive between the per-shard drains above and this
+	// subtraction are either fully in the fresh maps (counted toward the
+	// next fold) or fully in the drained ones; pending only steers
+	// backpressure, so the transient skew is harmless.
+	released = a.pending.Load()
+	a.pending.Add(-released)
+	return deltas, newRecords, released
+}
+
+// noteFold records a completed fold's bookkeeping.
+func (a *Accumulator) noteFold(d time.Duration, tags int) {
+	a.epoch.Add(1)
+	a.lastFoldNs.Store(d.Nanoseconds())
+	a.lastTags.Store(int64(tags))
+}
+
+// Epoch returns the number of completed folds. An event accepted now is
+// visible to predictions once Epoch has advanced past its Add.
+func (a *Accumulator) Epoch() uint64 { return a.epoch.Load() }
+
+// Stats snapshots the accumulator's counters.
+func (a *Accumulator) Stats() Stats {
+	return Stats{
+		Epoch:      a.epoch.Load(),
+		Events:     a.events.Load(),
+		Dropped:    a.dropped.Load(),
+		Pending:    a.pending.Load(),
+		LastFoldMs: float64(a.lastFoldNs.Load()) / 1e6,
+		LastTags:   a.lastTags.Load(),
+	}
+}

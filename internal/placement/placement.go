@@ -13,6 +13,12 @@
 //   - Predicted: replicas in the countries with the highest tag-predicted
 //     demand (the paper's proposal applied to storage).
 //   - Oracle: replicas placed with ground-truth demand (lower bound).
+//
+// Evaluator scores the strategies offline against a catalog's ground
+// truth; Recommender is the online adapter behind the serving layer's
+// /v1/place endpoint, answering one upload at a time from a demand
+// vector the profile store predicts (oracle is rejected there — it
+// needs ground truth a live service doesn't have).
 package placement
 
 import (

@@ -3,8 +3,9 @@
 // immutable, sharded, read-optimized in-memory store the HTTP placement
 // service queries on its hot path.
 //
-// Layout: tag names are interned to dense int32 ids at build time; all
-// per-country vectors live in one contiguous normalized backing array
+// Layout: tag names are interned to dense int32 ids at build time; each
+// tag's normalized per-country vector is one entry of a per-snapshot
+// vector table. Build backs the whole table with one contiguous slab
 // (id*C .. id*C+C), so a predict touches two cache-friendly slabs — the
 // shard's name index and the vector slab — and allocates nothing.
 // Lookups hash into one of a power-of-two number of shards, which keeps
@@ -12,9 +13,13 @@
 //
 // The store itself is a single atomic pointer to an immutable Snapshot.
 // Readers never lock: they load the pointer once per request and work
-// against that frozen view, while a reloader builds a fresh Snapshot
-// from new tagviews output and swaps it in (see Store.Swap) — the hot
-// path for catalog refreshes without draining traffic.
+// against that frozen view, while a writer installs a fresh Snapshot
+// and swaps it in (see Store.Swap) — the hot path for catalog refreshes
+// without draining traffic. Fresh snapshots come from two paths: Build
+// re-aggregates a full tagviews.Analysis (batch reload), while Rebuild
+// folds streamed view-event deltas into an existing snapshot
+// copy-on-write, sharing every untouched tag vector with its base (the
+// ingestion path; see Rebuild).
 package profilestore
 
 import (
@@ -58,10 +63,13 @@ type Snapshot struct {
 	records  int // training-corpus size, the IDF numerator
 	shards   [numShards]shard
 	profiles []Profile
-	vecs     []float64 // profiles[i]'s normalized field = vecs[i*nC:(i+1)*nC]
-	prior    []float64 // normalized traffic prior, the unknown-tag fallback
-	byViews  []int32   // profile ids by TotalViews descending (name tiebreak)
-	seed     maphash.Seed
+	// vecTab[i] is profiles[i]'s normalized field. Build points every
+	// entry into one contiguous slab; Rebuild replaces only the touched
+	// tags' entries and aliases the rest into its base snapshot.
+	vecTab  [][]float64
+	prior   []float64 // normalized traffic prior, the unknown-tag fallback
+	byViews []int32   // profile ids by TotalViews descending (name tiebreak)
+	seed    maphash.Seed
 }
 
 // Build constructs a Snapshot from a tag analysis. Profile ids are
@@ -79,9 +87,13 @@ func Build(an *tagviews.Analysis) (*Snapshot, error) {
 		nC:       nC,
 		records:  an.N(),
 		profiles: make([]Profile, len(names)),
-		vecs:     make([]float64, len(names)*nC),
+		vecTab:   make([][]float64, len(names)),
 		prior:    dist.Normalize(an.Pyt),
 		seed:     maphash.MakeSeed(),
+	}
+	slab := make([]float64, len(names)*nC)
+	for i := range s.vecTab {
+		s.vecTab[i] = slab[i*nC : (i+1)*nC : (i+1)*nC]
 	}
 
 	workers := runtime.GOMAXPROCS(0)
@@ -120,10 +132,10 @@ func Build(an *tagviews.Analysis) (*Snapshot, error) {
 					TopShare:   p.TopShare,
 				}
 				// Normalize straight into the slab — this loop owns
-				// vecs[i*nC:(i+1)*nC] exclusively, and a transient
-				// dist.Normalize copy per tag would be the build's
-				// dominant allocation at paper-scale vocabularies.
-				vec := s.vecs[i*nC : (i+1)*nC]
+				// vecTab[i] exclusively, and a transient dist.Normalize
+				// copy per tag would be the build's dominant allocation
+				// at paper-scale vocabularies.
+				vec := s.vecTab[i]
 				if t := dist.Sum(p.Views); t > 0 {
 					for c, x := range p.Views {
 						vec[c] = x / t
@@ -187,10 +199,9 @@ func (s *Snapshot) Lookup(name string) (int32, bool) {
 func (s *Snapshot) Profile(id int32) *Profile { return &s.profiles[id] }
 
 // Vec returns tag id's normalized geographic field. The slice aliases
-// the snapshot's backing array; callers must not modify it.
-func (s *Snapshot) Vec(id int32) []float64 {
-	return s.vecs[int(id)*s.nC : (int(id)+1)*s.nC]
-}
+// the snapshot's backing storage (possibly shared with the snapshot it
+// was incrementally rebuilt from); callers must not modify it.
+func (s *Snapshot) Vec(id int32) []float64 { return s.vecTab[id] }
 
 // Prior returns the snapshot's normalized traffic prior (the fallback
 // prediction). The slice is shared; do not modify.

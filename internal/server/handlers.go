@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -9,6 +10,7 @@ import (
 	"viewstags/internal/dist"
 	"viewstags/internal/geo"
 	"viewstags/internal/geocache"
+	"viewstags/internal/ingest"
 	"viewstags/internal/placement"
 	"viewstags/internal/profilestore"
 	"viewstags/internal/tagviews"
@@ -84,6 +86,35 @@ type PreloadResponse struct {
 	Country string   `json:"country"`
 	Policy  string   `json:"policy"`
 	Videos  []string `json:"videos"`
+}
+
+// IngestEvent is one view observation inside a /v1/ingest batch: Views
+// additional views of video Video from Country, attributed to Tags.
+// Upload marks the first observation of a fresh upload (it grows the
+// training corpus and each tag's document frequency, deduplicated by
+// video id within a fold epoch).
+type IngestEvent struct {
+	Video   string   `json:"video,omitempty"`
+	Tags    []string `json:"tags"`
+	Country string   `json:"country"` // ISO alpha-2
+	Views   float64  `json:"views"`
+	Upload  bool     `json:"upload,omitempty"`
+}
+
+// IngestRequest is the /v1/ingest wire request.
+type IngestRequest struct {
+	Events []IngestEvent `json:"events"`
+}
+
+// IngestResponse acknowledges an accepted batch. Epoch is the number of
+// completed folds at acceptance time: the events become visible to
+// /v1/predict once the served epoch exceeds it.
+type IngestResponse struct {
+	Accepted int    `json:"accepted"`
+	Epoch    uint64 `json:"epoch"`
+	// Pending is the buffered tag attributions (Σ tags over events)
+	// awaiting the next fold — the unit -ingest-buffer bounds.
+	Pending int64 `json:"pending"`
 }
 
 // TagInfo is one entry of /v1/tags.
@@ -300,6 +331,66 @@ func (s *Server) handlePreload(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	if s.ing == nil {
+		writeError(w, http.StatusServiceUnavailable, "ingest disabled: daemon started without an event stream (-ingest-interval 0)")
+		return
+	}
+	var req IngestRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Events) == 0 {
+		writeError(w, http.StatusBadRequest, "empty request: provide events")
+		return
+	}
+	if len(req.Events) > s.cfg.MaxBatch {
+		writeError(w, http.StatusBadRequest, "batch of %d events exceeds limit %d", len(req.Events), s.cfg.MaxBatch)
+		return
+	}
+	// The handler only resolves country codes; all event semantics
+	// (tag presence and caps, view signs, upload-needs-video) are
+	// validated in one place, Accumulator.Add, whose non-backpressure
+	// errors map to 400 below.
+	world := s.world()
+	events := make([]ingest.Event, len(req.Events))
+	for i := range req.Events {
+		e := &req.Events[i]
+		country, ok := world.ByCode(e.Country)
+		if !ok {
+			writeError(w, http.StatusBadRequest, "event %d: unknown country %q", i, e.Country)
+			return
+		}
+		events[i] = ingest.Event{
+			Video:   e.Video,
+			Tags:    e.Tags,
+			Country: country,
+			Views:   e.Views,
+			Upload:  e.Upload,
+		}
+	}
+	if err := s.ing.Add(events); err != nil {
+		if errors.Is(err, ingest.ErrBufferFull) {
+			// Same crisp shedding as the concurrency limiter: the buffer
+			// clears at the next fold, so "soon" is the right retry hint.
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	st := s.ing.Stats()
+	writeJSON(w, http.StatusOK, IngestResponse{
+		Accepted: len(events),
+		Epoch:    st.Epoch,
+		Pending:  st.Pending,
+	})
+}
+
 func (s *Server) handleTags(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		w.Header().Set("Allow", http.MethodGet)
@@ -335,16 +426,34 @@ func (s *Server) handleTags(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string][]TagInfo{"tags": out})
 }
 
+// statsPayload is the /v1/stats wire shape: the per-route counters,
+// plus the ingest stream's accumulator stats when the write path is
+// enabled.
+type statsPayload struct {
+	Snapshot
+	Stream *ingest.Stats `json:"stream,omitempty"`
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.metrics.Snapshot())
+	p := statsPayload{Snapshot: s.metrics.Snapshot()}
+	if s.ing != nil {
+		st := s.ing.Stats()
+		p.Stream = &st
+		p.Events = st.Events // single source: the accumulator
+	}
+	writeJSON(w, http.StatusOK, p)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	snap := s.store.Load()
-	writeJSON(w, http.StatusOK, map[string]any{
+	h := map[string]any{
 		"status":    "ok",
 		"tags":      snap.NumTags(),
 		"records":   snap.Records(),
 		"countries": snap.World().N(),
-	})
+	}
+	if s.ing != nil {
+		h["epoch"] = s.ing.Epoch()
+	}
+	writeJSON(w, http.StatusOK, h)
 }

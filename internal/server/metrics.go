@@ -15,6 +15,7 @@ type RouteMetrics struct {
 // rates; percentiles belong to the load generator's P² sketches.
 type Metrics struct {
 	Predict RouteMetrics
+	Ingest  RouteMetrics
 	Place   RouteMetrics
 	Preload RouteMetrics
 	Other   RouteMetrics
@@ -23,6 +24,8 @@ type Metrics struct {
 	Rejected atomic.Int64
 	// Predictions counts individual predictions served — a batch of k
 	// adds k, so throughput comparisons across batch sizes stay honest.
+	// (The write-path analogue, accepted events, is owned by the ingest
+	// accumulator; the stats handler surfaces it from there.)
 	Predictions atomic.Int64
 }
 
@@ -33,6 +36,8 @@ func (m *Metrics) route(path string) *RouteMetrics {
 	switch path {
 	case "/v1/predict":
 		return &m.Predict
+	case "/v1/ingest":
+		return &m.Ingest
 	case "/v1/place":
 		return &m.Place
 	case "/v1/preload":
@@ -50,15 +55,20 @@ type RouteSnapshot struct {
 	LatencyNs int64   `json:"-"`
 }
 
-// Snapshot is the JSON shape of /v1/stats.
+// Snapshot is the JSON shape of /v1/stats (wrapped with the ingest
+// stream stats by the handler when the write path is enabled).
 type Snapshot struct {
 	Predict     RouteSnapshot `json:"predict"`
+	Ingest      RouteSnapshot `json:"ingest"`
 	Place       RouteSnapshot `json:"place"`
 	Preload     RouteSnapshot `json:"preload"`
 	Other       RouteSnapshot `json:"other"`
 	InFlight    int64         `json:"in_flight"`
 	Rejected    int64         `json:"rejected"`
 	Predictions int64         `json:"predictions"`
+	// Events mirrors the ingest accumulator's accepted-event count;
+	// the handler fills it (the Metrics struct holds no copy).
+	Events int64 `json:"events"`
 }
 
 func snapRoute(m *RouteMetrics) RouteSnapshot {
@@ -77,6 +87,7 @@ func snapRoute(m *RouteMetrics) RouteSnapshot {
 func (m *Metrics) Snapshot() Snapshot {
 	return Snapshot{
 		Predict:     snapRoute(&m.Predict),
+		Ingest:      snapRoute(&m.Ingest),
 		Place:       snapRoute(&m.Place),
 		Preload:     snapRoute(&m.Preload),
 		Other:       snapRoute(&m.Other),

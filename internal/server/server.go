@@ -3,21 +3,28 @@
 // latency, "where will this fresh upload be watched, and where should
 // its replicas and cache copies go?"
 //
-// Endpoints:
+// Endpoints (see API.md at the repository root for the full wire
+// reference — request/response schemas, error envelope, limiter and
+// backpressure semantics):
 //
 //	POST /v1/predict  — tag-based view-distribution prediction, single
 //	                    or batched, all three tagviews weightings
+//	POST /v1/ingest   — batched live view events, folded into the
+//	                    serving snapshot by the ingest compactor
 //	POST /v1/place    — replica-placement recommendation (internal/placement)
 //	POST /v1/preload  — per-country edge-cache preload advisory
 //	                    (internal/geocache push policies)
 //	GET  /v1/tags     — highest-volume tag profiles
-//	GET  /v1/stats    — request counters per route
-//	GET  /healthz     — liveness + snapshot shape
+//	GET  /v1/stats    — request counters per route + ingest stream stats
+//	GET  /healthz     — liveness + snapshot shape + fold epoch
 //
-// The hot path reads tag profiles from an internal/profilestore
+// The read path loads tag profiles from an internal/profilestore
 // snapshot — lock-free, allocation-free per prediction — so a single
 // core sustains tens of thousands of predictions per second; batching
 // amortizes the HTTP+JSON overhead further (see BenchmarkServePredict).
+// The write path (internal/ingest) accumulates view events off the read
+// path and installs fresh snapshots through the same atomic swap a
+// batch Reload uses, so readers never block on ingestion.
 package server
 
 import (
@@ -30,11 +37,29 @@ import (
 	"time"
 
 	"viewstags/internal/geo"
+	"viewstags/internal/ingest"
 	"viewstags/internal/placement"
 	"viewstags/internal/profilestore"
 	"viewstags/internal/synth"
 	"viewstags/internal/tagviews"
 )
+
+// routes is the canonical list of registered paths. New builds the mux
+// from it and Routes exposes it, so the mux, /v1/stats routing and the
+// API.md coverage test all share one source of truth.
+var routes = []string{
+	"/v1/predict",
+	"/v1/ingest",
+	"/v1/place",
+	"/v1/preload",
+	"/v1/tags",
+	"/v1/stats",
+	"/healthz",
+}
+
+// Routes returns every route path the server registers, in registration
+// order. Documentation tests enumerate this against API.md.
+func Routes() []string { return append([]string(nil), routes...) }
 
 // Config parameterizes the service.
 type Config struct {
@@ -72,8 +97,14 @@ type Server struct {
 	// scratch recycles per-request prediction buffers.
 	scratch sync.Pool
 
-	// Catalog state for /v1/preload (absent when serving a crawled
-	// dataset with no synthetic ground truth).
+	// ing is the streaming write path's accumulator; nil until
+	// EnableIngest, which keeps /v1/ingest answering 503 ("disabled")
+	// on read-only deployments.
+	ing *ingest.Accumulator
+
+	// mu serializes snapshot installs (batch Reload and ingest folds)
+	// and guards the catalog state for /v1/preload (absent when serving
+	// a crawled dataset with no synthetic ground truth).
 	mu        sync.RWMutex
 	cat       *synth.Catalog
 	predicted [][]float64
@@ -110,14 +141,35 @@ func New(cfg Config, store *profilestore.Store) (*Server, error) {
 		return &buf
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/predict", s.handlePredict)
-	mux.HandleFunc("/v1/place", s.handlePlace)
-	mux.HandleFunc("/v1/preload", s.handlePreload)
-	mux.HandleFunc("/v1/tags", s.handleTags)
-	mux.HandleFunc("/v1/stats", s.handleStats)
-	mux.HandleFunc("/healthz", s.handleHealth)
+	for _, path := range routes {
+		mux.HandleFunc(path, s.handlerFor(path))
+	}
 	s.handler = s.chain(mux)
 	return s, nil
+}
+
+// handlerFor resolves a routes entry to its handler. Keeping this a
+// total switch over the same list the mux iterates means a route cannot
+// be registered without a handler or vice versa.
+func (s *Server) handlerFor(path string) http.HandlerFunc {
+	switch path {
+	case "/v1/predict":
+		return s.handlePredict
+	case "/v1/ingest":
+		return s.handleIngest
+	case "/v1/place":
+		return s.handlePlace
+	case "/v1/preload":
+		return s.handlePreload
+	case "/v1/tags":
+		return s.handleTags
+	case "/v1/stats":
+		return s.handleStats
+	case "/healthz":
+		return s.handleHealth
+	default:
+		panic("server: route " + path + " has no handler")
+	}
 }
 
 // SetCatalog installs the synthetic catalog and its per-video predicted
@@ -138,16 +190,53 @@ func (s *Server) SetCatalog(cat *synth.Catalog, predicted [][]float64) error {
 // bare Store().Swap leaves /v1/preload ranking by the old snapshot.
 func (s *Server) Store() *profilestore.Store { return s.store }
 
+// EnableIngest attaches the streaming write path: /v1/ingest starts
+// accepting events into acc. The caller runs the compactor that drains
+// acc (normally ingest.Compactor over ApplyDeltas); the server only
+// feeds it. Call before serving traffic.
+func (s *Server) EnableIngest(acc *ingest.Accumulator) error {
+	if acc == nil {
+		return fmt.Errorf("server: nil accumulator")
+	}
+	s.ing = acc
+	return nil
+}
+
 // Reload installs a freshly built snapshot and, when a catalog is
 // loaded, recomputes its per-video predicted demand against the new
 // profiles — keeping /v1/predict and /v1/preload consistent with each
-// other across a hot reload.
+// other across a hot reload. Reload and the ingest fold path
+// (ApplyDeltas) share installLocked, so the two cannot drift.
 func (s *Server) Reload(snap *profilestore.Snapshot, w tagviews.Weighting) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.installLocked(snap, w)
+}
+
+// ApplyDeltas folds accumulated ingest deltas into the currently served
+// snapshot (profilestore.Rebuild, copy-on-write) and installs the
+// result. It is the ingest.InstallFunc the compactor drives, holding
+// the install lock across load+rebuild+swap so a concurrent batch
+// Reload cannot interleave and lose either update.
+func (s *Server) ApplyDeltas(deltas []profilestore.TagDelta, newRecords int, w tagviews.Weighting) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	next, err := profilestore.Rebuild(s.store.Load(), deltas, newRecords)
+	if err != nil {
+		return err
+	}
+	return s.installLocked(next, w)
+}
+
+// installLocked is the one snapshot-install path: atomically swap the
+// serving snapshot and recompute the catalog's preload predictions
+// against it. Callers hold s.mu, which serializes installs and keeps
+// /v1/predict and /v1/preload mutually consistent — predict readers
+// are lock-free and simply observe the swap.
+func (s *Server) installLocked(snap *profilestore.Snapshot, w tagviews.Weighting) error {
 	if _, err := s.store.Swap(snap); err != nil {
 		return err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.cat != nil {
 		s.predicted = snap.PredictCatalog(s.cat, w)
 	}
