@@ -11,14 +11,17 @@ package viewstags_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"viewstags/internal/alexa"
+	"viewstags/internal/cluster"
 	"viewstags/internal/dist"
 	"viewstags/internal/geo"
 	"viewstags/internal/geocache"
@@ -680,6 +683,106 @@ func BenchmarkIngestFold(b *testing.B) {
 				}
 			}
 			b.ReportMetric(float64(b.N)*float64(touch)/b.Elapsed().Seconds(), "events/sec")
+		})
+	}
+}
+
+// BenchmarkClusterGatewayPredict measures /v1/predict through the
+// cluster edge: a gateway scatter-gathering three in-process shard
+// daemons over real loopback HTTP, alongside BenchmarkServePredict's
+// single-node numbers (same request shapes, same preds/sec metric).
+// The parallel driver reflects the tier's design point — concurrent
+// clients amortize the per-request fan-out latency, so aggregate
+// throughput tracks shard capacity rather than one request's 3-way
+// round trip. CI uploads both benches as the gateway-vs-single-node
+// throughput artifact.
+func BenchmarkClusterGatewayPredict(b *testing.B) {
+	res := benchFixture(b)
+	const shards = 3
+	ring, err := cluster.NewRing(shards, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	targets := make([]string, shards)
+	for i := 0; i < shards; i++ {
+		i := i
+		snap, err := profilestore.BuildOwned(res.Analysis, func(name string) bool { return ring.Owner(name) == i })
+		if err != nil {
+			b.Fatal(err)
+		}
+		store, err := profilestore.NewStore(snap)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := server.DefaultConfig()
+		cfg.ShardIndex = i
+		cfg.ShardCount = shards
+		cfg.RingSignature = ring.Signature()
+		srv, err := server.New(cfg, store)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		targets[i] = ts.URL
+	}
+	g, err := cluster.NewGateway(cluster.DefaultGatewayConfig(), targets)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := g.Sync(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+
+	cat := res.Catalog
+	var tagSets [][]string
+	for i := range cat.Videos {
+		if names := cat.Videos[i].TagNames(cat.Vocab); len(names) > 0 {
+			tagSets = append(tagSets, names)
+		}
+	}
+	makeBody := func(batch, seq int) []byte {
+		req := server.PredictRequest{Weighting: "idf", Top: 3}
+		if batch == 1 {
+			req.Tags = tagSets[seq%len(tagSets)]
+		} else {
+			req.Batch = make([]server.PredictItem, batch)
+			for j := range req.Batch {
+				req.Batch[j] = server.PredictItem{Tags: tagSets[(seq*batch+j)%len(tagSets)]}
+			}
+		}
+		body, err := json.Marshal(&req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return body
+	}
+	for _, batch := range []int{1, 32} {
+		name := "single"
+		if batch > 1 {
+			name = benchName("batch", batch)
+		}
+		b.Run(name, func(b *testing.B) {
+			h := g.Handler()
+			bodies := make([][]byte, 256)
+			for i := range bodies {
+				bodies[i] = makeBody(batch, i)
+			}
+			var seq atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := int(seq.Add(1))
+					req := httptest.NewRequest(http.MethodPost, "/v1/predict", bytes.NewReader(bodies[i%len(bodies)]))
+					rec := httptest.NewRecorder()
+					h.ServeHTTP(rec, req)
+					if rec.Code != http.StatusOK {
+						b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+					}
+				}
+			})
+			preds := float64(b.N * batch)
+			b.ReportMetric(preds/b.Elapsed().Seconds(), "preds/sec")
 		})
 	}
 }

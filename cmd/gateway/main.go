@@ -1,0 +1,102 @@
+// Command gateway is the cluster edge for a tag-partitioned serving
+// tier: given the base URLs of N shard daemons (each started as
+// cmd/serve -shard i/N over the same dataset), it scatter-gathers
+// partial predictions into exact merged answers on /v1/predict, routes
+// /v1/ingest events to the shards that own their tags, merges /v1/tags,
+// and reports per-shard health and the cluster's minimum fold epoch on
+// /healthz and /v1/stats (see API.md "Gateway routes" and OPERATIONS.md
+// "Cluster topology").
+//
+// Usage:
+//
+//	gateway -addr 127.0.0.1:8090 \
+//	        -shards http://127.0.0.1:8091,http://127.0.0.1:8092,http://127.0.0.1:8093
+//
+// At startup the gateway syncs against every shard's /internal/meta —
+// shard identity, ring signature, country table and prior must all
+// agree — retrying for -sync-wait so it can be started before (or
+// while) the shards come up. SIGINT/SIGTERM drains gracefully.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"viewstags/internal/cluster"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gateway:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8090", "listen address")
+		shards      = flag.String("shards", "", "comma-separated shard base URLs, in shard order (target i must run -shard i/n)")
+		maxInflight = flag.Int("max-inflight", 256, "concurrent request bound")
+		maxBatch    = flag.Int("max-batch", 1024, "max items per batched predict or ingest")
+		logRequests = flag.Bool("log-requests", false, "log every request")
+		grace       = flag.Duration("grace", 10*time.Second, "shutdown drain timeout")
+		healthEvery = flag.Duration("health-interval", time.Second, "shard health poll cadence")
+		syncWait    = flag.Duration("sync-wait", 30*time.Second, "how long to retry the startup shard sync")
+	)
+	flag.Parse()
+	if *shards == "" {
+		return fmt.Errorf("no -shards given")
+	}
+	var targets []string
+	for _, t := range strings.Split(*shards, ",") {
+		if t = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(t), "/")); t != "" {
+			targets = append(targets, t)
+		}
+	}
+	if len(targets) == 0 {
+		return fmt.Errorf("no usable targets in -shards %q", *shards)
+	}
+
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+	cfg := cluster.DefaultGatewayConfig()
+	cfg.MaxInFlight = *maxInflight
+	cfg.MaxBatch = *maxBatch
+	cfg.Logger = logger
+	cfg.LogRequests = *logRequests
+	cfg.HealthInterval = *healthEvery
+	g, err := cluster.NewGateway(cfg, targets)
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Sync with retry: shards build their profile stores at startup, so
+	// give a freshly launched cluster time to assemble before giving up.
+	deadline := time.Now().Add(*syncWait)
+	for {
+		err = g.Sync(ctx)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) || ctx.Err() != nil {
+			return fmt.Errorf("shard sync: %w", err)
+		}
+		logger.Printf("gateway: sync not ready (%v), retrying...", err)
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(time.Second):
+		}
+	}
+	logger.Printf("gateway: synced %d shards, serving on http://%s (^C to drain)", len(targets), *addr)
+	return g.Run(ctx, *addr, *grace)
+}

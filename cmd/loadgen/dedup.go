@@ -1,0 +1,41 @@
+package main
+
+import "sync/atomic"
+
+// uploadDedup coordinates the one-time Upload announcement per catalog
+// video across all workers: the daemon's corpus is one, so a video must
+// be flagged Upload on at most one *successful* ingest batch no matter
+// which workers draw it or how often batches are shed.
+//
+// The protocol is strict CAS ownership. claim(v) atomically takes the
+// flag; the winner — and only the winner — either confirms the claim
+// (its batch was accepted, the flag stays set forever) or releases it
+// (its batch was shed or failed, so the announcement must be retried by
+// whoever claims next). release is itself a CAS(true→false), not a
+// blind store: a blind store could clear a flag it no longer owns —
+// e.g. a worker that erroneously released twice would wipe out the
+// claim of a concurrently successful worker, and the video would be
+// announced (and its document-frequency counted) twice.
+type uploadDedup struct {
+	flags []atomic.Bool
+}
+
+func newUploadDedup(n int) *uploadDedup {
+	return &uploadDedup{flags: make([]atomic.Bool, n)}
+}
+
+// claim attempts to take ownership of video v's announcement. Exactly
+// one concurrent caller wins; the winner must later release on failure
+// and do nothing on success.
+func (d *uploadDedup) claim(v int) bool {
+	return d.flags[v].CompareAndSwap(false, true)
+}
+
+// release returns v's claim after a failed announcement, re-arming it
+// for the next worker that draws the video. It reports whether the
+// release actually happened; false means the flag was not held — a
+// protocol violation by the caller (released without claiming, or
+// released twice), never silent double-announcement exposure.
+func (d *uploadDedup) release(v int) bool {
+	return d.flags[v].CompareAndSwap(true, false)
+}

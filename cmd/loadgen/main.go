@@ -29,8 +29,8 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"viewstags/internal/server"
@@ -131,6 +131,7 @@ func run() error {
 		weighting   = flag.String("weighting", "idf", "prediction weighting scheme")
 		zipfS       = flag.Float64("zipf", 1.1, "upload-stream Zipf exponent")
 		ingestFrac  = flag.Float64("ingest-frac", 0, "fraction of requests that are /v1/ingest event batches (0 = read-only)")
+		targetsFlag = flag.String("targets", "", "comma-separated base URLs to spread workers across (overrides -url; e.g. several gateways, or shards driven directly)")
 	)
 	flag.Parse()
 	if *concurrency < 1 || *batch < 1 {
@@ -138,6 +139,20 @@ func run() error {
 	}
 	if *ingestFrac < 0 || *ingestFrac > 1 {
 		return fmt.Errorf("ingest-frac must be in [0, 1]")
+	}
+	// Workers are pinned target[w mod n]-style, so every target gets an
+	// equal worker share and each worker keeps one hot keep-alive pool.
+	targets := []string{*baseURL}
+	if *targetsFlag != "" {
+		targets = targets[:0]
+		for _, t := range strings.Split(*targetsFlag, ",") {
+			if t = strings.TrimSuffix(strings.TrimSpace(t), "/"); t != "" {
+				targets = append(targets, t)
+			}
+		}
+		if len(targets) == 0 {
+			return fmt.Errorf("no usable targets in -targets %q", *targetsFlag)
+		}
 	}
 
 	fmt.Fprintf(os.Stderr, "regenerating %d-video catalog (seed %d)...\n", *videos, *seed)
@@ -167,16 +182,16 @@ func run() error {
 		MaxIdleConnsPerHost: *concurrency * 2,
 	}
 	client := &http.Client{Transport: transport, Timeout: 10 * time.Second}
-	predictURL := *baseURL + "/v1/predict"
-	ingestURL := *baseURL + "/v1/ingest"
 
-	// Fail fast when the daemon is missing or serving another catalog.
-	probe, err := predictOnce(client, predictURL, items[0].tags, *weighting, 1)
-	if err != nil {
-		return fmt.Errorf("probe: %w (is cmd/serve running at %s?)", err, *baseURL)
-	}
-	if !probe {
-		fmt.Fprintln(os.Stderr, "warning: probe tags unknown to the daemon — catalog seed/size mismatch?")
+	// Fail fast when a daemon is missing or serving another catalog.
+	for _, target := range targets {
+		probe, err := predictOnce(client, target+"/v1/predict", items[0].tags, *weighting, 1)
+		if err != nil {
+			return fmt.Errorf("probe: %w (is cmd/serve or cmd/gateway running at %s?)", err, target)
+		}
+		if !probe {
+			fmt.Fprintf(os.Stderr, "warning: probe tags unknown at %s — catalog seed/size mismatch, or a lone shard holding a partial vocabulary?\n", target)
+		}
 	}
 
 	reads, err := newCollector()
@@ -187,12 +202,11 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	// seen marks videos already announced as uploads — shared across
-	// workers (the daemon's corpus is one, so a video must be flagged
-	// Upload at most once regardless of which worker draws it first).
-	var seen []atomic.Bool
+	// dedup coordinates the one-time Upload flag per video across all
+	// workers — CAS claim/release ownership, see dedup.go.
+	var dedup *uploadDedup
 	if *ingestFrac > 0 {
-		seen = make([]atomic.Bool, len(items))
+		dedup = newUploadDedup(len(items))
 	}
 	startWall := time.Now()
 	deadline := startWall.Add(*duration)
@@ -201,6 +215,8 @@ func run() error {
 		wg.Add(1)
 		go func(wkr int) {
 			defer wg.Done()
+			predictURL := targets[wkr%len(targets)] + "/v1/predict"
+			ingestURL := targets[wkr%len(targets)] + "/v1/ingest"
 			src := xrand.NewSource(uint64(wkr) + 1)
 			zipf := xrand.NewZipf(src.Fork("uploads"), *zipfS, len(items))
 			viewer := xrand.NewCategorical(src.Fork("viewers"), cat.World.Traffic())
@@ -211,13 +227,14 @@ func run() error {
 				body.Reset()
 				if mix.Bernoulli(*ingestFrac) {
 					req := server.IngestRequest{Events: make([]server.IngestEvent, *batch)}
-					var flagged []int // videos Upload-flagged in this batch
+					var flagged []int // videos this worker's claims cover
 					for i := range req.Events {
 						v := zipf.Rank()
-						// CAS claims the one-time Upload flag across all
-						// workers; a shed or failed batch releases it
-						// below so the announcement is retried.
-						upload := seen[v].CompareAndSwap(false, true)
+						// claim takes the one-time Upload flag across all
+						// workers; a shed or failed batch releases exactly
+						// the claims this worker holds (CAS ownership, see
+						// dedup.go) so the announcement is retried.
+						upload := dedup.claim(v)
 						if upload {
 							flagged = append(flagged, v)
 						}
@@ -242,7 +259,11 @@ func run() error {
 					}
 					if err != nil || shed {
 						for _, v := range flagged {
-							seen[v].Store(false)
+							if !dedup.release(v) {
+								// Unreachable while the claim protocol
+								// holds; loudly visible if it regresses.
+								fmt.Fprintf(os.Stderr, "loadgen: BUG: released upload claim %d twice\n", v)
+							}
 						}
 					}
 				} else {

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"viewstags/internal/xrand"
+)
+
+// TestUploadDedupOwnership drives the claim/release protocol the worker
+// loop uses from many goroutines against a flaky in-process "daemon"
+// (it sheds a third of batches), under -race, and asserts the invariant
+// the dedup exists for: every video's Upload flag reaches the server on
+// at most one successful batch, no matter how claims and releases
+// interleave across workers.
+func TestUploadDedupOwnership(t *testing.T) {
+	const videos, workers, iters = 64, 8, 4000
+	dedup := newUploadDedup(videos)
+	var announced [videos]atomic.Int64 // successful upload announcements
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			src := xrand.NewSource(uint64(w) + 1)
+			draws := src.Fork("draws")
+			fate := src.Fork("fate")
+			for i := 0; i < iters; i++ {
+				v := draws.Intn(videos)
+				claimed := dedup.claim(v)
+				// The "request": sheds ~1/3 of the time, like a daemon
+				// under backpressure.
+				ok := !fate.Bernoulli(1.0 / 3)
+				if ok {
+					if claimed {
+						announced[v].Add(1)
+					}
+				} else if claimed {
+					if !dedup.release(v) {
+						t.Errorf("video %d: release failed while holding the claim", v)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	for v := range announced {
+		if n := announced[v].Load(); n > 1 {
+			t.Errorf("video %d announced as upload %d times — corpus double-count", v, n)
+		}
+	}
+}
+
+// TestUploadDedupReleaseWithoutClaim pins release's contract: releasing
+// an unheld flag reports false (the protocol violation is surfaced, not
+// absorbed by clearing someone else's claim).
+func TestUploadDedupReleaseWithoutClaim(t *testing.T) {
+	d := newUploadDedup(2)
+	if d.release(0) {
+		t.Fatal("released a never-claimed flag")
+	}
+	if !d.claim(0) {
+		t.Fatal("claim failed on a fresh flag")
+	}
+	if !d.release(0) {
+		t.Fatal("owner release failed")
+	}
+	if d.release(0) {
+		t.Fatal("double release succeeded — this is exactly the bug CAS ownership prevents")
+	}
+}

@@ -16,6 +16,11 @@
 //	serve -addr 127.0.0.1:8091 -dataset crawl.jsonl
 //	serve -addr 127.0.0.1:8091 -ingest-interval 2s -ingest-buffer 1000000
 //	serve -addr 127.0.0.1:8091 -ingest-interval 0   # read-only daemon
+//	serve -addr 127.0.0.1:8091 -shard 0/3           # one cluster shard
+//
+// With -shard i/n the daemon serves the tag partition a shared
+// consistent-hash ring (internal/cluster) assigns shard i, for use
+// behind cmd/gateway — see OPERATIONS.md "Cluster topology".
 //
 // SIGINT/SIGTERM triggers a graceful shutdown that drains in-flight
 // requests and folds any accepted-but-unfolded events.
@@ -28,16 +33,43 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"viewstags/internal/alexa"
+	"viewstags/internal/cluster"
 	"viewstags/internal/ingest"
 	"viewstags/internal/pipeline"
 	"viewstags/internal/profilestore"
 	"viewstags/internal/server"
 	"viewstags/internal/tagviews"
 )
+
+// parseShard parses the -shard "i/n" spec (0-based index), strictly —
+// trailing garbage must fail fast, not silently join the cluster as
+// the wrong partition. The empty spec is the standalone default:
+// shard 0 of 1.
+func parseShard(spec string) (index, count int, err error) {
+	if spec == "" {
+		return 0, 1, nil
+	}
+	i, n, ok := strings.Cut(spec, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf("invalid -shard %q: want i/n, e.g. 0/3", spec)
+	}
+	if index, err = strconv.Atoi(i); err == nil {
+		count, err = strconv.Atoi(n)
+	}
+	if err != nil {
+		return 0, 0, fmt.Errorf("invalid -shard %q: want i/n, e.g. 0/3", spec)
+	}
+	if count < 1 || index < 0 || index >= count {
+		return 0, 0, fmt.Errorf("invalid -shard %q: index must be in [0, n)", spec)
+	}
+	return index, count, nil
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -48,19 +80,31 @@ func main() {
 
 func run() error {
 	var (
-		addr        = flag.String("addr", "127.0.0.1:8091", "listen address")
-		videos      = flag.Int("videos", 20000, "synthetic catalog size (ignored with -dataset)")
-		seed        = flag.Uint64("seed", 20110301, "synthetic generation seed")
-		datasetPath = flag.String("dataset", "", "crawled JSONL dataset (empty = synthesize)")
-		weighting   = flag.String("weighting", "idf", "weighting for catalog preload predictions")
+		addr         = flag.String("addr", "127.0.0.1:8091", "listen address")
+		videos       = flag.Int("videos", 20000, "synthetic catalog size (ignored with -dataset)")
+		seed         = flag.Uint64("seed", 20110301, "synthetic generation seed")
+		datasetPath  = flag.String("dataset", "", "crawled JSONL dataset (empty = synthesize)")
+		weighting    = flag.String("weighting", "idf", "weighting for catalog preload predictions")
 		maxInflight  = flag.Int("max-inflight", 256, "concurrent request bound")
 		maxBatch     = flag.Int("max-batch", 1024, "max items per batched predict or ingest")
 		logRequests  = flag.Bool("log-requests", false, "log every request")
 		grace        = flag.Duration("grace", 10*time.Second, "shutdown drain timeout")
 		ingestEvery  = flag.Duration("ingest-interval", 3*time.Second, "fold interval for live view events (0 disables /v1/ingest)")
 		ingestBuffer = flag.Int("ingest-buffer", 1<<20, "max tag attributions (events x tags) buffered between folds")
+		shardSpec    = flag.String("shard", "", "serve one tag partition as shard i/n (0-based, e.g. 0/3); empty = the whole vocabulary")
 	)
 	flag.Parse()
+
+	shardIndex, shardCount, err := parseShard(*shardSpec)
+	if err != nil {
+		return err
+	}
+	// The ring is built even standalone (n=1): /internal/meta always
+	// reports a signature, so a gateway can verify any node it fronts.
+	ring, err := cluster.NewRing(shardCount, 0)
+	if err != nil {
+		return err
+	}
 
 	w, err := tagviews.ParseWeighting(*weighting)
 	if err != nil {
@@ -81,7 +125,11 @@ func run() error {
 		return err
 	}
 
-	snap, err := profilestore.Build(res.Analysis)
+	var owns func(string) bool
+	if shardCount > 1 {
+		owns = func(name string) bool { return ring.Owner(name) == shardIndex }
+	}
+	snap, err := profilestore.BuildOwned(res.Analysis, owns)
 	if err != nil {
 		return err
 	}
@@ -89,14 +137,22 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	logger.Printf("profile store: %d tags over %d countries (built in %s)",
-		snap.NumTags(), snap.World().N(), time.Since(start).Round(time.Millisecond))
+	if shardCount > 1 {
+		logger.Printf("profile store: shard %d/%d owns %d tags over %d countries (built in %s)",
+			shardIndex, shardCount, snap.NumTags(), snap.World().N(), time.Since(start).Round(time.Millisecond))
+	} else {
+		logger.Printf("profile store: %d tags over %d countries (built in %s)",
+			snap.NumTags(), snap.World().N(), time.Since(start).Round(time.Millisecond))
+	}
 
 	cfg := server.DefaultConfig()
 	cfg.MaxInFlight = *maxInflight
 	cfg.MaxBatch = *maxBatch
 	cfg.Logger = logger
 	cfg.LogRequests = *logRequests
+	cfg.ShardIndex = shardIndex
+	cfg.ShardCount = shardCount
+	cfg.RingSignature = ring.Signature()
 	srv, err := server.New(cfg, store)
 	if err != nil {
 		return err
@@ -104,7 +160,11 @@ func run() error {
 
 	// With a synthetic catalog the daemon can also serve preload
 	// advisories: precompute every video's predicted demand field.
-	if res.Catalog != nil {
+	// A shard's partial vocabulary would bias the demand fields, so
+	// preload advisories stay a whole-vocabulary (standalone) feature.
+	if shardCount > 1 {
+		logger.Printf("shard mode: /v1/preload disabled (advisories need the whole vocabulary)")
+	} else if res.Catalog != nil {
 		if err := srv.SetCatalog(res.Catalog, snap.PredictCatalog(res.Catalog, w)); err != nil {
 			return err
 		}
@@ -128,7 +188,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		if err := srv.EnableIngest(acc); err != nil {
+		if err := srv.EnableIngest(acc, *ingestEvery); err != nil {
 			return err
 		}
 		comp, err := ingest.NewCompactor(acc, *ingestEvery, func(d []profilestore.TagDelta, n int) error {

@@ -1,0 +1,37 @@
+package main
+
+import "testing"
+
+// TestParseShard pins the -shard spec grammar, in particular that
+// trailing garbage fails fast instead of silently joining the cluster
+// as the wrong partition.
+func TestParseShard(t *testing.T) {
+	cases := []struct {
+		spec     string
+		index, n int
+		wantErr  bool
+	}{
+		{"", 0, 1, false},
+		{"0/3", 0, 3, false},
+		{"2/3", 2, 3, false},
+		{"3/3", 0, 0, true},  // index out of range
+		{"-1/3", 0, 0, true}, // negative index
+		{"0/0", 0, 0, true},  // no shards
+		{"1/3/6", 0, 0, true},
+		{"0/32x", 0, 0, true},
+		{"a/3", 0, 0, true},
+		{"1", 0, 0, true},
+		{"1/", 0, 0, true},
+		{" 1/3", 0, 0, true},
+	}
+	for _, c := range cases {
+		index, n, err := parseShard(c.spec)
+		if (err != nil) != c.wantErr {
+			t.Errorf("parseShard(%q): err=%v, wantErr=%v", c.spec, err, c.wantErr)
+			continue
+		}
+		if !c.wantErr && (index != c.index || n != c.n) {
+			t.Errorf("parseShard(%q) = (%d, %d), want (%d, %d)", c.spec, index, n, c.index, c.n)
+		}
+	}
+}

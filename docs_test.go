@@ -11,14 +11,16 @@ import (
 	"strings"
 	"testing"
 
+	"viewstags/internal/cluster"
 	"viewstags/internal/server"
 )
 
-// TestAPIDocCoversEveryRoute enumerates the server's route table
-// against API.md: each registered path must appear in a markdown
-// heading, so a new endpoint cannot ship undocumented (and the doc
-// cannot reference the mux indirectly — both derive from
-// server.Routes()).
+// TestAPIDocCoversEveryRoute enumerates both route tables — the
+// daemon's (internal/server, public + shard-internal) and the cluster
+// gateway's (internal/cluster) — against API.md: each registered path
+// must appear in a markdown heading, so a new endpoint cannot ship
+// undocumented (and the doc cannot reference the muxes indirectly —
+// all derive from server.Routes() / cluster.GatewayRoutes()).
 func TestAPIDocCoversEveryRoute(t *testing.T) {
 	raw, err := os.ReadFile("API.md")
 	if err != nil {
@@ -31,20 +33,28 @@ func TestAPIDocCoversEveryRoute(t *testing.T) {
 			headings = append(headings, line)
 		}
 	}
-	routes := server.Routes()
-	if len(routes) == 0 {
-		t.Fatal("server registers no routes")
+	tables := []struct {
+		owner  string
+		routes []string
+	}{
+		{"internal/server", server.Routes()},
+		{"internal/cluster (gateway)", cluster.GatewayRoutes()},
 	}
-	for _, route := range routes {
-		found := false
-		for _, h := range headings {
-			if strings.Contains(h, route) {
-				found = true
-				break
-			}
+	for _, table := range tables {
+		if len(table.routes) == 0 {
+			t.Fatalf("%s registers no routes", table.owner)
 		}
-		if !found {
-			t.Errorf("route %s registered by internal/server but not documented in an API.md heading", route)
+		for _, route := range table.routes {
+			found := false
+			for _, h := range headings {
+				if strings.Contains(h, route) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("route %s registered by %s but not documented in an API.md heading", route, table.owner)
+			}
 		}
 	}
 }

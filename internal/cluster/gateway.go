@@ -1,0 +1,360 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"viewstags/internal/server"
+)
+
+// gatewayRoutes is the canonical list of paths the gateway registers —
+// the client-facing subset of the single-node surface that is
+// meaningful at the cluster edge. Placement and preload stay
+// shard-local: they need catalog ground truth the gateway does not
+// hold.
+var gatewayRoutes = []string{
+	"/v1/predict",
+	"/v1/ingest",
+	"/v1/tags",
+	"/v1/stats",
+	"/healthz",
+}
+
+// GatewayRoutes returns every route path the gateway registers, in
+// registration order. Documentation tests enumerate this against
+// API.md, exactly like server.Routes.
+func GatewayRoutes() []string { return append([]string(nil), gatewayRoutes...) }
+
+// GatewayConfig parameterizes the gateway.
+type GatewayConfig struct {
+	// MaxInFlight and MaxBatch mirror server.Config: the same limiter
+	// middleware bounds concurrent requests, and the same batch cap
+	// bounds predict items / ingest events per call.
+	MaxInFlight int
+	MaxBatch    int
+	Logger      *log.Logger
+	LogRequests bool
+	// HealthInterval is the background shard-poll cadence (default 1s).
+	HealthInterval time.Duration
+	// FailThreshold is how many consecutive shard-call failures mark a
+	// shard down (default 3). A down shard is shed from, not called: the
+	// gateway answers 503 immediately instead of stacking timeouts.
+	FailThreshold int
+	// ShardTimeout bounds each scatter call (default 5s).
+	ShardTimeout time.Duration
+}
+
+// DefaultGatewayConfig returns the standard gateway configuration.
+func DefaultGatewayConfig() GatewayConfig {
+	return GatewayConfig{
+		MaxInFlight:    256,
+		MaxBatch:       1024,
+		HealthInterval: time.Second,
+		FailThreshold:  3,
+		ShardTimeout:   5 * time.Second,
+	}
+}
+
+// shardState is the gateway's live view of one shard, updated by every
+// scatter call and by the background health poll. All fields are
+// atomics: the serving path reads them lock-free.
+type shardState struct {
+	epoch   atomic.Uint64
+	records atomic.Int64
+	fails   atomic.Int64 // consecutive failures
+	down    atomic.Bool
+}
+
+// Gateway is the cluster edge: it owns request semantics (validation,
+// batching, backpressure) and the merge arithmetic, scatter-gathering
+// the shard tier's partial results. Construct with NewGateway, then
+// Sync before serving.
+type Gateway struct {
+	cfg     GatewayConfig
+	targets []string
+	ring    *Ring
+	client  *http.Client
+	metrics *server.Metrics
+	logger  *log.Logger
+	handler http.Handler
+	shards  []*shardState
+
+	// Global (unpartitioned) state learned from the shards at Sync:
+	// the country table and the traffic prior, identical on every
+	// shard by construction.
+	codes     []string
+	codeIndex map[string]int
+	prior     []float64
+
+	// scratch recycles per-request merge buffers (country-vector size).
+	scratch sync.Pool
+}
+
+// NewGateway wires a gateway over the shard target base URLs, in shard
+// order: targets[i] must be the daemon started with -shard i/len. Call
+// Sync before serving traffic.
+func NewGateway(cfg GatewayConfig, targets []string) (*Gateway, error) {
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("cluster: gateway needs at least one shard target")
+	}
+	def := DefaultGatewayConfig()
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = def.MaxInFlight
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = def.MaxBatch
+	}
+	if cfg.HealthInterval <= 0 {
+		cfg.HealthInterval = def.HealthInterval
+	}
+	if cfg.FailThreshold <= 0 {
+		cfg.FailThreshold = def.FailThreshold
+	}
+	if cfg.ShardTimeout <= 0 {
+		cfg.ShardTimeout = def.ShardTimeout
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = log.Default()
+	}
+	ring, err := NewRing(len(targets), 0)
+	if err != nil {
+		return nil, err
+	}
+	g := &Gateway{
+		cfg:     cfg,
+		targets: append([]string(nil), targets...),
+		ring:    ring,
+		metrics: server.NewMetrics(),
+		logger:  cfg.Logger,
+		shards:  make([]*shardState, len(targets)),
+		client: &http.Client{
+			Timeout: cfg.ShardTimeout,
+			Transport: &http.Transport{
+				// The gateway fans every request out to every shard;
+				// keep enough hot connections per shard for the whole
+				// in-flight bound.
+				MaxIdleConns:        cfg.MaxInFlight * 2,
+				MaxIdleConnsPerHost: cfg.MaxInFlight * 2,
+			},
+		},
+	}
+	for i := range g.shards {
+		g.shards[i] = &shardState{}
+	}
+	mux := http.NewServeMux()
+	for _, path := range gatewayRoutes {
+		mux.HandleFunc(path, g.handlerFor(path))
+	}
+	g.handler = server.NewMiddleware(cfg.MaxInFlight, g.metrics, cfg.Logger, cfg.LogRequests).Wrap(mux)
+	return g, nil
+}
+
+// handlerFor resolves a gatewayRoutes entry to its handler — the same
+// total-switch pattern server uses, so a route cannot be registered
+// without a handler.
+func (g *Gateway) handlerFor(path string) http.HandlerFunc {
+	switch path {
+	case "/v1/predict":
+		return g.handlePredict
+	case "/v1/ingest":
+		return g.handleIngest
+	case "/v1/tags":
+		return g.handleTags
+	case "/v1/stats":
+		return g.handleStats
+	case "/healthz":
+		return g.handleHealth
+	default:
+		panic("cluster: gateway route " + path + " has no handler")
+	}
+}
+
+// Sync interrogates every shard's /internal/meta and pins the cluster
+// contract: each target must identify as the expected shard of the
+// expected count, carry the gateway's ring signature, and agree on the
+// country table and traffic prior (the globals partial predictions are
+// merged with). Returns the first violation — a gateway must not serve
+// over a topology it cannot prove consistent.
+func (g *Gateway) Sync(ctx context.Context) error {
+	sig := g.ring.Signature()
+	for i, target := range g.targets {
+		var meta server.InternalMetaResponse
+		if err := g.getJSON(ctx, target+"/internal/meta", &meta); err != nil {
+			return fmt.Errorf("cluster: shard %d (%s): %w", i, target, err)
+		}
+		if meta.Shards != len(g.targets) || meta.Index != i {
+			return fmt.Errorf("cluster: shard %d (%s) identifies as shard %d of %d, want %d of %d",
+				i, target, meta.Index, meta.Shards, i, len(g.targets))
+		}
+		if meta.RingSignature != sig {
+			return fmt.Errorf("cluster: shard %d (%s) ring signature %q, gateway has %q — partitioned with a different ring",
+				i, target, meta.RingSignature, sig)
+		}
+		if g.codes == nil {
+			g.codes = meta.Countries
+			g.prior = meta.Prior
+			g.codeIndex = make(map[string]int, len(g.codes))
+			for c, code := range g.codes {
+				g.codeIndex[code] = c
+			}
+		} else if !slices.Equal(g.codes, meta.Countries) || !slices.Equal(g.prior, meta.Prior) {
+			return fmt.Errorf("cluster: shard %d (%s) disagrees with shard 0 on the country table or prior — different datasets?", i, target)
+		}
+		g.shards[i].epoch.Store(meta.Epoch)
+		g.shards[i].records.Store(int64(meta.Records))
+	}
+	if len(g.codes) == 0 {
+		return fmt.Errorf("cluster: shards report an empty country table")
+	}
+	nC := len(g.codes)
+	g.scratch.New = func() any {
+		buf := make([]float64, nC)
+		return &buf
+	}
+	return nil
+}
+
+// Handler returns the fully middleware-wrapped HTTP handler.
+func (g *Gateway) Handler() http.Handler { return g.handler }
+
+// Metrics returns the gateway's counters.
+func (g *Gateway) Metrics() *server.Metrics { return g.metrics }
+
+// Run serves on addr until ctx is canceled, polling shard health in the
+// background, then shuts down gracefully, draining in-flight requests
+// for up to grace.
+func (g *Gateway) Run(ctx context.Context, addr string, grace time.Duration) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return g.Serve(ctx, ln, grace)
+}
+
+// Serve is Run over a caller-supplied listener.
+func (g *Gateway) Serve(ctx context.Context, ln net.Listener, grace time.Duration) error {
+	pollCtx, stopPoll := context.WithCancel(ctx)
+	defer stopPoll()
+	go g.healthLoop(pollCtx)
+	return server.ServeHandler(ctx, ln, g.handler, grace)
+}
+
+// healthLoop refreshes shard state every HealthInterval until ctx ends.
+func (g *Gateway) healthLoop(ctx context.Context) {
+	tick := time.NewTicker(g.cfg.HealthInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			g.RefreshHealth(ctx)
+		}
+	}
+}
+
+// RefreshHealth probes every shard's /internal/meta once, concurrently,
+// updating epochs, record counts and up/down state. A probe success
+// immediately revives a down shard; failures accumulate toward
+// FailThreshold like any other shard call. Exposed so tests (and
+// operators embedding the gateway) can force a poll instead of waiting
+// out the interval.
+func (g *Gateway) RefreshHealth(ctx context.Context) {
+	var wg sync.WaitGroup
+	for i := range g.targets {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var meta server.InternalMetaResponse
+			if err := g.getJSON(ctx, g.targets[i]+"/internal/meta", &meta); err != nil {
+				g.markFail(i)
+				return
+			}
+			g.shards[i].records.Store(int64(meta.Records))
+			g.markOK(i, meta.Epoch)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// markOK records a successful shard interaction and its observed epoch.
+func (g *Gateway) markOK(i int, epoch uint64) {
+	s := g.shards[i]
+	s.fails.Store(0)
+	if s.down.CompareAndSwap(true, false) {
+		g.logger.Printf("cluster: shard %d (%s) back up", i, g.targets[i])
+	}
+	// Epochs only move forward; a stale concurrent read must not
+	// regress the tracked value.
+	for {
+		cur := s.epoch.Load()
+		if epoch <= cur || s.epoch.CompareAndSwap(cur, epoch) {
+			return
+		}
+	}
+}
+
+// markFail counts a failed shard interaction; FailThreshold consecutive
+// failures take the shard out of rotation until a call or probe
+// succeeds.
+func (g *Gateway) markFail(i int) {
+	s := g.shards[i]
+	if s.fails.Add(1) >= int64(g.cfg.FailThreshold) {
+		if s.down.CompareAndSwap(false, true) {
+			g.logger.Printf("cluster: shard %d (%s) marked down after %d consecutive failures",
+				i, g.targets[i], g.cfg.FailThreshold)
+		}
+	}
+}
+
+// minEpoch returns the lowest epoch any shard has reported — the
+// cluster's conservative fold horizon: an ingested batch is predictable
+// everywhere once minEpoch passes the epoch in its ack.
+func (g *Gateway) minEpoch() uint64 {
+	min := g.shards[0].epoch.Load()
+	for _, s := range g.shards[1:] {
+		if e := s.epoch.Load(); e < min {
+			min = e
+		}
+	}
+	return min
+}
+
+// statusError is a non-200 shard reply to a GET: a protocol answer
+// (the shard is up and talking), not a transport failure — callers use
+// the distinction to keep shed responses from counting toward
+// down-marking.
+type statusError struct {
+	url  string
+	code int
+}
+
+func (e *statusError) Error() string { return fmt.Sprintf("GET %s: status %d", e.url, e.code) }
+
+// getJSON is a GET + decode round-trip against a shard URL. Non-200
+// statuses come back as *statusError.
+func (g *Gateway) getJSON(ctx context.Context, url string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return &statusError{url: url, code: resp.StatusCode}
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

@@ -1,0 +1,544 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+
+	"viewstags/internal/dist"
+	"viewstags/internal/ingest"
+	"viewstags/internal/server"
+	"viewstags/internal/tagviews"
+)
+
+// shardReply is one shard's answer to a scatter call: the decoded-later
+// body plus the transport-level facts the gather step branches on.
+type shardReply struct {
+	shard      int
+	status     int
+	retryAfter string
+	body       []byte
+	err        error
+}
+
+// postShard round-trips one POST against a shard, feeding the health
+// tracker. Non-2xx statuses are returned for the caller to map — they
+// are protocol answers (shed, malformed), not transport failures, so
+// they do not count toward marking the shard down.
+func (g *Gateway) postShard(ctx context.Context, shard int, path string, body []byte) shardReply {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, g.targets[shard]+path, bytes.NewReader(body))
+	if err != nil {
+		return shardReply{shard: shard, err: err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := g.client.Do(req)
+	if err != nil {
+		// A canceled client context aborts every in-flight shard call;
+		// that says nothing about shard health, so it must not count
+		// toward down-marking (a handful of impatient clients would
+		// otherwise shed the whole cluster).
+		if ctx.Err() == nil {
+			g.markFail(shard)
+		}
+		return shardReply{shard: shard, err: err}
+	}
+	defer func() { _ = resp.Body.Close() }()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		if ctx.Err() == nil {
+			g.markFail(shard)
+		}
+		return shardReply{shard: shard, err: err}
+	}
+	return shardReply{
+		shard:      shard,
+		status:     resp.StatusCode,
+		retryAfter: resp.Header.Get("Retry-After"),
+		body:       raw,
+	}
+}
+
+// scatter posts one body per involved shard concurrently and gathers
+// the replies. bodies[i] == nil skips shard i.
+func (g *Gateway) scatter(ctx context.Context, path string, bodies [][]byte) []shardReply {
+	replies := make([]shardReply, len(bodies))
+	var wg sync.WaitGroup
+	for i, body := range bodies {
+		if body == nil {
+			replies[i] = shardReply{shard: i, status: -1}
+			continue
+		}
+		wg.Add(1)
+		go func(i int, body []byte) {
+			defer wg.Done()
+			replies[i] = g.postShard(ctx, i, path, body)
+		}(i, body)
+	}
+	wg.Wait()
+	return replies
+}
+
+// shedIfDown answers 503 when any of the needed shards is marked down —
+// the health-based shedding path: a request that must touch a dead
+// shard is rejected immediately instead of stacking connect timeouts
+// onto every client. needed == nil means "all shards".
+func (g *Gateway) shedIfDown(w http.ResponseWriter, needed []bool) bool {
+	for i, s := range g.shards {
+		if needed != nil && !needed[i] {
+			continue
+		}
+		if s.down.Load() {
+			server.SetRetryAfter(w, g.cfg.HealthInterval)
+			server.WriteError(w, http.StatusServiceUnavailable, "shard %d (%s) is down", i, g.targets[i])
+			return true
+		}
+	}
+	return false
+}
+
+// topShares renders the k highest-share countries of a merged
+// prediction — the gateway analogue of the server-side helper, over the
+// synced country table.
+func (g *Gateway) topShares(p []float64, k int) []server.CountryShare {
+	if k <= 0 {
+		k = 5
+	}
+	_, top := dist.TopShare(p, k)
+	out := make([]server.CountryShare, len(top))
+	for i, c := range top {
+		out[i] = server.CountryShare{Country: g.codes[c], Share: p[c]}
+	}
+	return out
+}
+
+func (g *Gateway) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if !server.RequirePost(w, r) {
+		return
+	}
+	var req server.PredictRequest
+	if !server.DecodeBody(w, r, &req) {
+		return
+	}
+	parsed, err := tagviews.ParseWeighting(req.Weighting)
+	if err != nil {
+		server.WriteError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	weighting := parsed.String()
+	single := len(req.Tags) > 0
+	if single && len(req.Batch) > 0 {
+		server.WriteError(w, http.StatusBadRequest, "set either tags or batch, not both")
+		return
+	}
+	if !single && len(req.Batch) == 0 {
+		server.WriteError(w, http.StatusBadRequest, "empty request: provide tags or batch")
+		return
+	}
+	if len(req.Batch) > g.cfg.MaxBatch {
+		server.WriteError(w, http.StatusBadRequest, "batch of %d exceeds limit %d", len(req.Batch), g.cfg.MaxBatch)
+		return
+	}
+	var items [][]string
+	if single {
+		items = [][]string{req.Tags}
+	} else {
+		items = make([][]string, len(req.Batch))
+		for i := range req.Batch {
+			if len(req.Batch[i].Tags) == 0 {
+				server.WriteError(w, http.StatusBadRequest, "batch item %d has no tags", i)
+				return
+			}
+			items[i] = req.Batch[i].Tags
+		}
+	}
+	if g.shedIfDown(w, nil) {
+		return
+	}
+
+	// Every shard sees every item's full tag list: it skips tags it
+	// does not own, but needs the original positions for the harmonic
+	// rank discount (see profilestore.PredictPartialInto).
+	body, err := json.Marshal(server.InternalPredictRequest{Items: items, Weighting: weighting})
+	if err != nil {
+		server.WriteError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	bodies := make([][]byte, len(g.targets))
+	for i := range bodies {
+		bodies[i] = body
+	}
+	partials := make([]server.InternalPredictResponse, len(g.targets))
+	for _, rep := range g.scatter(r.Context(), "/internal/predict", bodies) {
+		if !g.gatherOK(w, rep, &partials[rep.shard]) {
+			return
+		}
+		if len(partials[rep.shard].Partials) != len(items) {
+			server.WriteError(w, http.StatusBadGateway, "shard %d returned %d partials for %d items",
+				rep.shard, len(partials[rep.shard].Partials), len(items))
+			return
+		}
+		g.markOK(rep.shard, partials[rep.shard].Epoch)
+	}
+
+	// Merge: add the partial sums, add the weight masses, divide —
+	// falling back to the shared prior when no shard knew any tag.
+	bufp := g.scratch.Get().(*[]float64)
+	defer g.scratch.Put(bufp)
+	buf := *bufp
+	results := make([]server.PredictResult, len(items))
+	for i := range items {
+		for c := range buf {
+			buf[c] = 0
+		}
+		var wSum float64
+		for s := range partials {
+			part := partials[s].Partials[i]
+			wSum += part.WeightSum
+			for c, x := range part.Sum {
+				buf[c] += x
+			}
+		}
+		if wSum == 0 {
+			copy(buf, g.prior)
+			results[i] = server.PredictResult{Known: false, Top: g.topShares(buf, req.Top)}
+			continue
+		}
+		inv := 1 / wSum
+		for c := range buf {
+			buf[c] *= inv
+		}
+		results[i] = server.PredictResult{Known: true, Top: g.topShares(buf, req.Top)}
+	}
+	g.metrics.Predictions.Add(int64(len(items)))
+
+	resp := server.PredictResponse{Weighting: weighting}
+	if single {
+		resp.Result = &results[0]
+	} else {
+		resp.Results = results
+	}
+	server.WriteJSON(w, http.StatusOK, resp)
+}
+
+// gatherOK maps one shard reply onto the client response: transport
+// failures become 502, shard sheds (503) are propagated with the
+// shard's Retry-After, shard 400s are forwarded verbatim (the gateway
+// mirrors shard-side validation, so these indicate a version skew worth
+// surfacing, not hiding). Returns false when the reply ended the
+// request; on true, out holds the decoded body. Skipped shards
+// (status -1) are ignored.
+func (g *Gateway) gatherOK(w http.ResponseWriter, rep shardReply, out any) bool {
+	switch {
+	case rep.status == -1:
+		return true
+	case rep.err != nil:
+		server.WriteError(w, http.StatusBadGateway, "shard %d (%s): %v", rep.shard, g.targets[rep.shard], rep.err)
+		return false
+	case rep.status == http.StatusServiceUnavailable:
+		if rep.retryAfter != "" {
+			w.Header().Set("Retry-After", rep.retryAfter)
+		} else {
+			server.SetRetryAfter(w, 0)
+		}
+		server.WriteError(w, http.StatusServiceUnavailable, "shard %d shedding: %s", rep.shard, errText(rep.body))
+		return false
+	case rep.status != http.StatusOK:
+		server.WriteError(w, http.StatusBadGateway, "shard %d returned %d: %s", rep.shard, rep.status, errText(rep.body))
+		return false
+	}
+	if err := json.Unmarshal(rep.body, out); err != nil {
+		g.markFail(rep.shard)
+		server.WriteError(w, http.StatusBadGateway, "shard %d: undecodable response: %v", rep.shard, err)
+		return false
+	}
+	return true
+}
+
+// errText extracts the error envelope's message for propagation.
+func errText(body []byte) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return string(bytes.TrimSpace(body))
+}
+
+func (g *Gateway) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if !server.RequirePost(w, r) {
+		return
+	}
+	var req server.IngestRequest
+	if !server.DecodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Events) == 0 {
+		server.WriteError(w, http.StatusBadRequest, "empty request: provide events")
+		return
+	}
+	if len(req.Events) > g.cfg.MaxBatch {
+		server.WriteError(w, http.StatusBadRequest, "batch of %d events exceeds limit %d", len(req.Events), g.cfg.MaxBatch)
+		return
+	}
+	// Validate the whole batch up front, mirroring Accumulator.Add: the
+	// batch is all-or-nothing across shards, so nothing may be
+	// dispatched until every event would be accepted everywhere.
+	for i := range req.Events {
+		e := &req.Events[i]
+		if len(e.Tags) == 0 {
+			server.WriteError(w, http.StatusBadRequest, "event %d has no tags", i)
+			return
+		}
+		if len(e.Tags) > ingest.MaxEventTags {
+			server.WriteError(w, http.StatusBadRequest, "event %d has %d tags, limit %d", i, len(e.Tags), ingest.MaxEventTags)
+			return
+		}
+		for _, tag := range e.Tags {
+			if tag == "" {
+				server.WriteError(w, http.StatusBadRequest, "event %d has an empty tag", i)
+				return
+			}
+		}
+		if _, ok := g.codeIndex[e.Country]; !ok {
+			server.WriteError(w, http.StatusBadRequest, "event %d: unknown country %q", i, e.Country)
+			return
+		}
+		if e.Views < 0 {
+			server.WriteError(w, http.StatusBadRequest, "event %d has negative views", i)
+			return
+		}
+		if e.Upload && e.Video == "" {
+			server.WriteError(w, http.StatusBadRequest, "event %d is an upload without a video id", i)
+			return
+		}
+	}
+
+	// Partition: each event's tags split by ring owner; an upload is
+	// announced to every shard — as the Upload flag on the sub-event
+	// where the shard owns tags, as a bare video-id announcement where
+	// it owns none — because the training-corpus size is global and
+	// every shard must count every new upload.
+	perShard := make([]server.InternalIngestRequest, len(g.targets))
+	tagsByShard := make([][]string, len(g.targets))
+	for i := range req.Events {
+		e := &req.Events[i]
+		for s := range tagsByShard {
+			tagsByShard[s] = tagsByShard[s][:0]
+		}
+		for _, tag := range e.Tags {
+			s := g.ring.Owner(tag)
+			tagsByShard[s] = append(tagsByShard[s], tag)
+		}
+		for s := range perShard {
+			if len(tagsByShard[s]) > 0 {
+				perShard[s].Events = append(perShard[s].Events, server.IngestEvent{
+					Video:   e.Video,
+					Tags:    append([]string(nil), tagsByShard[s]...),
+					Country: e.Country,
+					Views:   e.Views,
+					Upload:  e.Upload,
+				})
+			} else if e.Upload {
+				perShard[s].Uploads = append(perShard[s].Uploads, e.Video)
+			}
+		}
+	}
+
+	needed := make([]bool, len(g.targets))
+	bodies := make([][]byte, len(g.targets))
+	for s := range perShard {
+		if len(perShard[s].Events) == 0 && len(perShard[s].Uploads) == 0 {
+			continue
+		}
+		needed[s] = true
+		body, err := json.Marshal(&perShard[s])
+		if err != nil {
+			server.WriteError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		bodies[s] = body
+	}
+	if g.shedIfDown(w, needed) {
+		return
+	}
+
+	// Gather. The sub-batches commit independently on their shards, so
+	// a mixed outcome (one shard accepted, another shed) leaves a
+	// partial application behind — the gateway reports the failure and
+	// relies on per-epoch upload dedup plus client retry to converge;
+	// see OPERATIONS.md "Cluster topology" for the contract.
+	acks := make([]server.IngestResponse, len(g.targets))
+	for _, rep := range g.scatter(r.Context(), "/internal/ingest", bodies) {
+		if rep.status == -1 {
+			continue // shard not involved: no reply, no health signal
+		}
+		if !g.gatherOK(w, rep, &acks[rep.shard]) {
+			return
+		}
+		g.markOK(rep.shard, acks[rep.shard].Epoch)
+	}
+	var pending int64
+	for s := range acks {
+		if needed[s] {
+			pending += acks[s].Pending
+		}
+	}
+	server.WriteJSON(w, http.StatusOK, server.IngestResponse{
+		Accepted: len(req.Events),
+		Epoch:    g.minEpoch(),
+		Pending:  pending,
+	})
+}
+
+func (g *Gateway) handleTags(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		server.WriteError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	k := 20
+	if v := r.URL.Query().Get("k"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			server.WriteError(w, http.StatusBadRequest, "invalid k %q", v)
+			return
+		}
+		k = n
+	}
+	if g.shedIfDown(w, nil) {
+		return
+	}
+	// Tags are partitioned, so each shard's top-k is globally correct
+	// for the tags it owns and the global top-k is a k-way merge of the
+	// per-shard lists.
+	type tagsReply struct {
+		Tags []server.TagInfo `json:"tags"`
+	}
+	merged := make([]server.TagInfo, 0, k*len(g.targets))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errc := make(chan error, len(g.targets))
+	for i := range g.targets {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var reply tagsReply
+			url := fmt.Sprintf("%s/v1/tags?k=%d", g.targets[i], k)
+			if err := g.getJSON(r.Context(), url, &reply); err != nil {
+				// Only transport failures are health signals; a non-200
+				// (e.g. the shard's limiter shedding /v1/tags) proves
+				// the shard is up, and a canceled client context proves
+				// nothing at all.
+				var se *statusError
+				if !errors.As(err, &se) && r.Context().Err() == nil {
+					g.markFail(i)
+				}
+				errc <- fmt.Errorf("shard %d: %w", i, err)
+				return
+			}
+			mu.Lock()
+			merged = append(merged, reply.Tags...)
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	select {
+	case err := <-errc:
+		var se *statusError
+		if errors.As(err, &se) && se.code == http.StatusServiceUnavailable {
+			server.SetRetryAfter(w, 0)
+			server.WriteError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
+		server.WriteError(w, http.StatusBadGateway, "%v", err)
+		return
+	default:
+	}
+	sort.Slice(merged, func(a, b int) bool {
+		if merged[a].TotalViews != merged[b].TotalViews {
+			return merged[a].TotalViews > merged[b].TotalViews
+		}
+		return merged[a].Name < merged[b].Name
+	})
+	if len(merged) > k {
+		merged = merged[:k]
+	}
+	server.WriteJSON(w, http.StatusOK, map[string][]server.TagInfo{"tags": merged})
+}
+
+// ShardStatus is one shard's entry in the gateway's /v1/stats and
+// /healthz cluster blocks.
+type ShardStatus struct {
+	Index   int    `json:"index"`
+	Target  string `json:"target"`
+	Epoch   uint64 `json:"epoch"`
+	Records int64  `json:"records"`
+	Healthy bool   `json:"healthy"`
+}
+
+// ClusterStats is the gateway's cluster-level view: per-shard status
+// plus the minimum epoch — the conservative fold horizon clients should
+// compare ingest acks against.
+type ClusterStats struct {
+	Shards  []ShardStatus `json:"shards"`
+	Epoch   uint64        `json:"epoch"`
+	Healthy int           `json:"healthy"`
+}
+
+// gatewayStats is the gateway /v1/stats wire shape.
+type gatewayStats struct {
+	server.Snapshot
+	Cluster ClusterStats `json:"cluster"`
+}
+
+// clusterStats assembles the per-shard block.
+func (g *Gateway) clusterStats() ClusterStats {
+	cs := ClusterStats{Shards: make([]ShardStatus, len(g.targets)), Epoch: g.minEpoch()}
+	for i, s := range g.shards {
+		healthy := !s.down.Load()
+		if healthy {
+			cs.Healthy++
+		}
+		cs.Shards[i] = ShardStatus{
+			Index:   i,
+			Target:  g.targets[i],
+			Epoch:   s.epoch.Load(),
+			Records: s.records.Load(),
+			Healthy: healthy,
+		}
+	}
+	return cs
+}
+
+func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
+	server.WriteJSON(w, http.StatusOK, gatewayStats{
+		Snapshot: g.metrics.Snapshot(),
+		Cluster:  g.clusterStats(),
+	})
+}
+
+func (g *Gateway) handleHealth(w http.ResponseWriter, r *http.Request) {
+	cs := g.clusterStats()
+	status := "ok"
+	if cs.Healthy < len(g.targets) {
+		// Degraded, not dead: reads and writes that avoid the down
+		// shard still serve, so the gateway stays 200 for its own
+		// liveness probe while naming the gap.
+		status = "degraded"
+	}
+	server.WriteJSON(w, http.StatusOK, map[string]any{
+		"status":    status,
+		"shards":    len(g.targets),
+		"healthy":   cs.Healthy,
+		"epoch":     cs.Epoch,
+		"countries": len(g.codes),
+	})
+}

@@ -1,0 +1,563 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"viewstags/internal/alexa"
+	"viewstags/internal/ingest"
+	"viewstags/internal/pipeline"
+	"viewstags/internal/profilestore"
+	"viewstags/internal/server"
+	"viewstags/internal/tagviews"
+)
+
+var (
+	fixOnce sync.Once
+	fixRes  *pipeline.Result
+	fixErr  error
+)
+
+func fixture(t *testing.T) *pipeline.Result {
+	t.Helper()
+	fixOnce.Do(func() {
+		fixRes, fixErr = pipeline.FromSynthetic(3000, 20110301, alexa.DefaultConfig())
+	})
+	if fixErr != nil {
+		t.Fatalf("fixture: %v", fixErr)
+	}
+	return fixRes
+}
+
+// node is one in-process cluster member: a real HTTP server over a
+// shard (or full) snapshot, with its write path attached but folded
+// manually (comp.FoldNow) for determinism.
+type node struct {
+	srv  *server.Server
+	acc  *ingest.Accumulator
+	comp *ingest.Compactor
+	ts   *httptest.Server
+}
+
+// startNode builds one shard daemon (index/count identify it; count 1 =
+// standalone full node) over the fixture, serving on a real loopback
+// listener.
+func startNode(t *testing.T, ring *Ring, index, count int) *node {
+	t.Helper()
+	res := fixture(t)
+	var owns func(string) bool
+	if count > 1 {
+		owns = func(name string) bool { return ring.Owner(name) == index }
+	}
+	snap, err := profilestore.BuildOwned(res.Analysis, owns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := profilestore.NewStore(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := server.DefaultConfig()
+	cfg.ShardIndex = index
+	cfg.ShardCount = count
+	cfg.RingSignature = ring.Signature()
+	srv, err := server.New(cfg, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := ingest.NewAccumulator(store, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.EnableIngest(acc, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	comp, err := ingest.NewCompactor(acc, time.Hour, func(d []profilestore.TagDelta, n int) error {
+		return srv.ApplyDeltas(d, n, tagviews.WeightIDF)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := &node{srv: srv, acc: acc, comp: comp, ts: httptest.NewServer(srv.Handler())}
+	t.Cleanup(n.ts.Close)
+	return n
+}
+
+// startCluster stands up `shards` shard nodes plus a synced gateway.
+func startCluster(t *testing.T, shards int) ([]*node, *Gateway) {
+	t.Helper()
+	ring, err := NewRing(shards, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := make([]*node, shards)
+	targets := make([]string, shards)
+	for i := range nodes {
+		nodes[i] = startNode(t, ring, i, shards)
+		targets[i] = nodes[i].ts.URL
+	}
+	cfg := DefaultGatewayConfig()
+	cfg.FailThreshold = 2
+	g, err := NewGateway(cfg, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Sync(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return nodes, g
+}
+
+// post round-trips one JSON request against a live URL.
+func post(t *testing.T, url string, req, out any) int {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(req); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if out != nil {
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(raw) > 0 {
+			if err := json.Unmarshal(raw, out); err != nil {
+				t.Fatalf("POST %s: decode %q: %v", url, raw, err)
+			}
+		}
+	}
+	return resp.StatusCode
+}
+
+func get(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// gatewayServer wraps a synced gateway in a live HTTP server.
+func gatewayServer(t *testing.T, g *Gateway) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(g.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// sharesOf flattens a top list for comparison.
+func sharesOf(top []server.CountryShare) map[string]float64 {
+	m := make(map[string]float64, len(top))
+	for _, cs := range top {
+		m[cs.Country] = cs.Share
+	}
+	return m
+}
+
+// TestGatewayPredictMatchesSingleNode is the tentpole acceptance test
+// at package scope: over real HTTP, a 3-shard gateway's /v1/predict
+// answers — single and batched, across all weightings, known and
+// fallback — match a single full node's within float tolerance.
+func TestGatewayPredictMatchesSingleNode(t *testing.T) {
+	res := fixture(t)
+	ringOne, err := NewRing(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := startNode(t, ringOne, 0, 1)
+	_, g := startCluster(t, 3)
+	gw := gatewayServer(t, g)
+
+	nC := res.World.N()
+	cases := [][]string{
+		{"favela", "samba"},
+		{"pop"},
+		{"pop", "music", "favela", "zz-unknown"},
+		{"zz-unknown-a", "zz-unknown-b"}, // prior fallback
+		res.Analysis.TagNames()[:30],     // spans all shards with rank discounts
+	}
+	for _, weighting := range []string{"uniform", "by-views", "idf"} {
+		for ci, tags := range cases {
+			var want, got server.PredictResponse
+			req := server.PredictRequest{Tags: tags, Weighting: weighting, Top: nC}
+			if code := post(t, full.ts.URL+"/v1/predict", req, &want); code != http.StatusOK {
+				t.Fatalf("single-node predict: %d", code)
+			}
+			if code := post(t, gw.URL+"/v1/predict", req, &got); code != http.StatusOK {
+				t.Fatalf("gateway predict: %d", code)
+			}
+			if got.Result.Known != want.Result.Known {
+				t.Fatalf("w=%s case %d: known %v vs %v", weighting, ci, got.Result.Known, want.Result.Known)
+			}
+			wantShares, gotShares := sharesOf(want.Result.Top), sharesOf(got.Result.Top)
+			if len(wantShares) != len(gotShares) {
+				t.Fatalf("w=%s case %d: %d countries vs %d", weighting, ci, len(gotShares), len(wantShares))
+			}
+			for country, share := range wantShares {
+				if math.Abs(gotShares[country]-share) > 1e-9 {
+					t.Fatalf("w=%s case %d %s: gateway %v, single %v", weighting, ci, country, gotShares[country], share)
+				}
+			}
+		}
+	}
+
+	// Batched: one request, every case as an item.
+	batchReq := server.PredictRequest{Top: 3}
+	for _, tags := range cases {
+		batchReq.Batch = append(batchReq.Batch, server.PredictItem{Tags: tags})
+	}
+	var want, got server.PredictResponse
+	if code := post(t, full.ts.URL+"/v1/predict", batchReq, &want); code != http.StatusOK {
+		t.Fatalf("single-node batch: %d", code)
+	}
+	if code := post(t, gw.URL+"/v1/predict", batchReq, &got); code != http.StatusOK {
+		t.Fatalf("gateway batch: %d", code)
+	}
+	if len(got.Results) != len(want.Results) {
+		t.Fatalf("batch shape: %d vs %d", len(got.Results), len(want.Results))
+	}
+	for i := range want.Results {
+		ws, gs := sharesOf(want.Results[i].Top), sharesOf(got.Results[i].Top)
+		for country, share := range ws {
+			if math.Abs(gs[country]-share) > 1e-9 {
+				t.Fatalf("batch item %d %s: gateway %v, single %v", i, country, gs[country], share)
+			}
+		}
+	}
+}
+
+// TestGatewayIngestEquivalence: the same upload stream pushed through
+// the gateway (split per owner) and into a single full node, folded on
+// both sides, yields matching predictions and the same corpus growth on
+// every shard.
+func TestGatewayIngestEquivalence(t *testing.T) {
+	ringOne, err := NewRing(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := startNode(t, ringOne, 0, 1)
+	nodes, g := startCluster(t, 3)
+	gw := gatewayServer(t, g)
+
+	// Multi-tag events: tag lists span shards, so every event exercises
+	// the split+announce path. zz-cluster-a/b/c hash wherever the ring
+	// puts them.
+	events := []server.IngestEvent{
+		{Video: "cl-1", Tags: []string{"zz-cluster-a", "zz-cluster-b", "zz-cluster-c"}, Country: "JP", Views: 300, Upload: true},
+		{Video: "cl-1", Tags: []string{"zz-cluster-a", "zz-cluster-b", "zz-cluster-c"}, Country: "US", Views: 100},
+		{Video: "cl-2", Tags: []string{"zz-cluster-b", "pop"}, Country: "BR", Views: 50, Upload: true},
+	}
+	var gwAck, fullAck server.IngestResponse
+	if code := post(t, gw.URL+"/v1/ingest", server.IngestRequest{Events: events}, &gwAck); code != http.StatusOK {
+		t.Fatalf("gateway ingest: %d", code)
+	}
+	if gwAck.Accepted != len(events) {
+		t.Fatalf("gateway accepted %d, want %d", gwAck.Accepted, len(events))
+	}
+	if code := post(t, full.ts.URL+"/v1/ingest", server.IngestRequest{Events: events}, &fullAck); code != http.StatusOK {
+		t.Fatalf("single-node ingest: %d", code)
+	}
+
+	recordsBefore := make([]int, len(nodes))
+	for i, n := range nodes {
+		recordsBefore[i] = n.srv.Store().Load().Records()
+	}
+	for _, n := range nodes {
+		if _, err := n.comp.FoldNow(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := full.comp.FoldNow(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every shard's corpus grew by exactly the 2 uploads — including
+	// shards owning none of the uploads' tags (the announcement path).
+	for i, n := range nodes {
+		if got := n.srv.Store().Load().Records(); got != recordsBefore[i]+2 {
+			t.Fatalf("shard %d records %d, want %d (+2 uploads)", i, got, recordsBefore[i]+2)
+		}
+	}
+
+	for _, tags := range [][]string{
+		{"zz-cluster-a"},
+		{"zz-cluster-b", "zz-cluster-c"},
+		{"zz-cluster-c", "pop", "zz-cluster-a"},
+	} {
+		var want, got server.PredictResponse
+		req := server.PredictRequest{Tags: tags, Top: 5}
+		if code := post(t, full.ts.URL+"/v1/predict", req, &want); code != http.StatusOK {
+			t.Fatalf("single predict: %d", code)
+		}
+		if code := post(t, gw.URL+"/v1/predict", req, &got); code != http.StatusOK {
+			t.Fatalf("gateway predict: %d", code)
+		}
+		if !got.Result.Known || !want.Result.Known {
+			t.Fatalf("ingested tags unknown: gw=%v single=%v", got.Result.Known, want.Result.Known)
+		}
+		ws, gs := sharesOf(want.Result.Top), sharesOf(got.Result.Top)
+		for country, share := range ws {
+			if math.Abs(gs[country]-share) > 1e-9 {
+				t.Fatalf("%v %s: gateway %v, single %v", tags, country, gs[country], share)
+			}
+		}
+	}
+}
+
+// TestGatewayEpochSkewKeepsServing pins the degraded-but-serving
+// contract: when one shard has folded ahead of the others, the gateway
+// reports the minimum epoch on /healthz and /v1/stats — the
+// conservative horizon an ingest ack must be compared against — and
+// keeps answering predictions.
+func TestGatewayEpochSkewKeepsServing(t *testing.T) {
+	nodes, g := startCluster(t, 3)
+	gw := gatewayServer(t, g)
+
+	// Advance only shard 0: direct internal ingest + fold.
+	if code := post(t, nodes[0].ts.URL+"/internal/ingest",
+		server.InternalIngestRequest{Uploads: []string{"skew-1"}}, nil); code != http.StatusOK {
+		t.Fatalf("shard ingest: %d", code)
+	}
+	if folded, err := nodes[0].comp.FoldNow(); err != nil || !folded {
+		t.Fatalf("fold: %v %v", err, folded)
+	}
+	if nodes[0].acc.Epoch() != 1 {
+		t.Fatalf("shard 0 epoch %d, want 1", nodes[0].acc.Epoch())
+	}
+	g.RefreshHealth(context.Background())
+
+	var health struct {
+		Status  string `json:"status"`
+		Epoch   uint64 `json:"epoch"`
+		Healthy int    `json:"healthy"`
+	}
+	if code := get(t, gw.URL+"/healthz", &health); code != http.StatusOK {
+		t.Fatalf("healthz: %d", code)
+	}
+	if health.Epoch != 0 {
+		t.Fatalf("healthz epoch %d, want 0 (the minimum across a 1/0/0 skew)", health.Epoch)
+	}
+	if health.Status != "ok" || health.Healthy != 3 {
+		t.Fatalf("skewed-but-healthy cluster reported %+v", health)
+	}
+
+	var stats struct {
+		Cluster ClusterStats `json:"cluster"`
+	}
+	if code := get(t, gw.URL+"/v1/stats", &stats); code != http.StatusOK {
+		t.Fatalf("stats: %d", code)
+	}
+	if stats.Cluster.Epoch != 0 {
+		t.Fatalf("stats cluster epoch %d, want 0", stats.Cluster.Epoch)
+	}
+	if stats.Cluster.Shards[0].Epoch != 1 {
+		t.Fatalf("shard 0 epoch %d in stats, want 1", stats.Cluster.Shards[0].Epoch)
+	}
+
+	// And the skewed cluster still serves reads.
+	var pr server.PredictResponse
+	if code := post(t, gw.URL+"/v1/predict", server.PredictRequest{Tags: []string{"pop"}}, &pr); code != http.StatusOK || !pr.Result.Known {
+		t.Fatalf("predict under epoch skew: code=%d known=%v", code, pr.Result != nil && pr.Result.Known)
+	}
+}
+
+// TestGatewayHealthShedding: a dead shard is detected by the poll and
+// requests that need it are shed with 503 + Retry-After instead of
+// stacking timeouts; /healthz stays 200 but reports degraded.
+func TestGatewayHealthShedding(t *testing.T) {
+	nodes, g := startCluster(t, 3)
+	gw := gatewayServer(t, g)
+
+	nodes[1].ts.Close()
+	for i := 0; i < 3; i++ { // FailThreshold is 2 in startCluster
+		g.RefreshHealth(context.Background())
+	}
+
+	var e struct {
+		Error string `json:"error"`
+	}
+	resp, err := http.Post(gw.URL+"/v1/predict", "application/json",
+		bytes.NewBufferString(`{"tags":["pop"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("predict with a dead shard: %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed without Retry-After")
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
+		t.Fatalf("shed without error envelope: %v %q", err, e.Error)
+	}
+
+	if code := post(t, gw.URL+"/v1/ingest", server.IngestRequest{Events: []server.IngestEvent{
+		{Video: "hs-1", Tags: []string{"pop"}, Country: "US", Views: 1, Upload: true},
+	}}, nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("ingest with a dead shard: %d, want 503", code)
+	}
+
+	var health struct {
+		Status  string `json:"status"`
+		Healthy int    `json:"healthy"`
+	}
+	if code := get(t, gw.URL+"/healthz", &health); code != http.StatusOK {
+		t.Fatalf("healthz: %d", code)
+	}
+	if health.Status != "degraded" || health.Healthy != 2 {
+		t.Fatalf("degraded cluster reported %+v", health)
+	}
+}
+
+// TestGatewayEmptyInputs pins the gateway-side empty-input contract: an
+// explicitly empty tags/batch/events list is a 400 at the edge — no
+// shard is ever contacted, no epoch moves.
+func TestGatewayEmptyInputs(t *testing.T) {
+	nodes, g := startCluster(t, 3)
+	gw := gatewayServer(t, g)
+	cases := []struct {
+		name string
+		path string
+		req  any
+	}{
+		{"predict empty tags", "/v1/predict", map[string]any{"tags": []string{}}},
+		{"predict empty batch", "/v1/predict", map[string]any{"batch": []any{}}},
+		{"ingest empty events", "/v1/ingest", map[string]any{"events": []any{}}},
+	}
+	for _, c := range cases {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if code := post(t, gw.URL+c.path, c.req, &e); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", c.name, code)
+		} else if e.Error == "" {
+			t.Errorf("%s: no error envelope", c.name)
+		}
+	}
+	for i, n := range nodes {
+		if n.acc.Stats().Events != 0 {
+			t.Fatalf("shard %d saw events from an empty request", i)
+		}
+	}
+}
+
+// TestGatewayTagsMerge: the merged top-k equals a single full node's
+// (tags are partitioned, so the global ranking is a k-way merge).
+func TestGatewayTagsMerge(t *testing.T) {
+	ringOne, err := NewRing(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := startNode(t, ringOne, 0, 1)
+	_, g := startCluster(t, 3)
+	gw := gatewayServer(t, g)
+
+	var want, got struct {
+		Tags []server.TagInfo `json:"tags"`
+	}
+	if code := get(t, full.ts.URL+"/v1/tags?k=25", &want); code != http.StatusOK {
+		t.Fatalf("single tags: %d", code)
+	}
+	if code := get(t, gw.URL+"/v1/tags?k=25", &got); code != http.StatusOK {
+		t.Fatalf("gateway tags: %d", code)
+	}
+	if len(got.Tags) != len(want.Tags) {
+		t.Fatalf("%d merged tags, single node has %d", len(got.Tags), len(want.Tags))
+	}
+	for i := range want.Tags {
+		if got.Tags[i].Name != want.Tags[i].Name || got.Tags[i].TotalViews != want.Tags[i].TotalViews {
+			t.Fatalf("rank %d: gateway %s (%v), single %s (%v)",
+				i, got.Tags[i].Name, got.Tags[i].TotalViews, want.Tags[i].Name, want.Tags[i].TotalViews)
+		}
+	}
+}
+
+// TestGatewaySyncRejectsMismatch: a target list whose shards identify
+// differently (wrong order ⇒ wrong indices) must fail sync.
+func TestGatewaySyncRejectsMismatch(t *testing.T) {
+	ring, err := NewRing(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := startNode(t, ring, 0, 2)
+	b := startNode(t, ring, 1, 2)
+	g, err := NewGateway(DefaultGatewayConfig(), []string{b.ts.URL, a.ts.URL}) // swapped
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Sync(context.Background()); err == nil {
+		t.Fatal("sync accepted shards in the wrong order")
+	}
+	// A 3-target gateway over 2-ring shards: ring signature mismatch.
+	g3, err := NewGateway(DefaultGatewayConfig(), []string{a.ts.URL, b.ts.URL, b.ts.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g3.Sync(context.Background()); err == nil {
+		t.Fatal("sync accepted a shard partitioned with a different ring")
+	}
+}
+
+// TestGatewayIngestSkipsDownShardWithoutReviving is the regression test
+// for the skipped-shard health bug: an ingest batch that does not
+// involve a down shard must still be accepted, and gathering the
+// replies of the shards that WERE involved must not reset the uninvolved
+// shard's down state (a skipped shard produced no health signal).
+func TestGatewayIngestSkipsDownShardWithoutReviving(t *testing.T) {
+	nodes, g := startCluster(t, 3)
+	gw := gatewayServer(t, g)
+
+	nodes[2].ts.Close()
+	for i := 0; i < 3; i++ {
+		g.RefreshHealth(context.Background())
+	}
+	if !g.shards[2].down.Load() {
+		t.Fatal("shard 2 not marked down")
+	}
+
+	// A tag owned by a live shard; no upload, so shard 2 is uninvolved.
+	tag := ""
+	for i := 0; ; i++ {
+		candidate := fmt.Sprintf("zz-skip-%d", i)
+		if owner := g.ring.Owner(candidate); owner != 2 {
+			tag = candidate
+			break
+		}
+	}
+	if code := post(t, gw.URL+"/v1/ingest", server.IngestRequest{Events: []server.IngestEvent{
+		{Tags: []string{tag}, Country: "US", Views: 5},
+	}}, nil); code != http.StatusOK {
+		t.Fatalf("ingest avoiding the down shard: %d, want 200", code)
+	}
+	if !g.shards[2].down.Load() {
+		t.Fatal("gathering uninvolved-shard replies revived the down shard")
+	}
+	// And a batch that DOES need shard 2 still sheds.
+	if code := post(t, gw.URL+"/v1/ingest", server.IngestRequest{Events: []server.IngestEvent{
+		{Video: "up-1", Tags: []string{tag}, Country: "US", Views: 5, Upload: true},
+	}}, nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("upload batch (needs every shard): %d, want 503", code)
+	}
+}

@@ -1,0 +1,117 @@
+// Package cluster is the tag-partitioned multi-node serving tier: N
+// shard daemons (cmd/serve -shard i/n) each hold the slice of the tag
+// vocabulary a shared consistent-hash ring assigns them, and a gateway
+// (cmd/gateway) scatter-gathers partial per-tag mixtures into the final
+// per-country predictions, routes ingest events to the shards that own
+// their tags, and sheds load for shards it observes down.
+//
+// The split keeps placement policy at the edge — the gateway owns
+// request semantics, merging and backpressure — while each shard runs
+// the unmodified single-node substrate (profilestore snapshot, ingest
+// accumulator, compactor) over a smaller vocabulary. Partitioning is by
+// tag identity (the same key the profile stores intern), so a tag's
+// whole profile — vector, view totals, document frequency — lives on
+// exactly one shard and partial predictions merge exactly: the weighted
+// sums the shards return add up to the single-node sum (see
+// profilestore.PredictPartialInto).
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVnodes is the virtual-node count per shard. 128 points per
+// shard keeps the tag-ownership imbalance across shards within a few
+// percent while the ring stays small enough to rebuild at startup in
+// microseconds.
+const DefaultVnodes = 128
+
+// Ring is the shared consistent-hash partition of the tag space over n
+// shards. Gateways and shards build it independently from (shards,
+// vnodes) alone — the hash is a fixed function, never seeded — so any
+// two processes configured with the same shard count agree on every
+// tag's owner without coordination. Immutable after construction and
+// safe for concurrent use.
+type Ring struct {
+	shards int
+	points []point // sorted by hash
+}
+
+// point is one virtual node: a position on the hash circle owned by a
+// shard.
+type point struct {
+	hash  uint64
+	shard int
+}
+
+// NewRing builds the ring for n shards with the given virtual-node
+// count per shard (<= 0 selects DefaultVnodes).
+func NewRing(shards, vnodes int) (*Ring, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("cluster: ring needs at least one shard, got %d", shards)
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	r := &Ring{shards: shards, points: make([]point, 0, shards*vnodes)}
+	for s := 0; s < shards; s++ {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, point{
+				hash:  hash64(fmt.Sprintf("shard-%d-vnode-%d", s, v)),
+				shard: s,
+			})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+	return r, nil
+}
+
+// hash64 is the ring's fixed hash: FNV-1a finished with a splitmix64
+// avalanche. FNV is deterministic across processes and Go versions
+// (maphash's per-process seed would break the shared-ring contract),
+// but its raw output clusters on short, similar keys — exactly what
+// vnode labels and tag names are — so the finalizer spreads the points
+// evenly around the circle.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Shards returns the shard count the ring partitions over.
+func (r *Ring) Shards() int { return r.shards }
+
+// Owner returns the shard index in [0, Shards()) that owns the tag:
+// the first virtual node at or clockwise of the tag's hash.
+func (r *Ring) Owner(tag string) int {
+	h := hash64(tag)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap past the highest point
+	}
+	return r.points[i].shard
+}
+
+// Signature fingerprints the ring's vnode table as a hex string (the
+// form /internal/meta carries). A gateway compares its signature
+// against each shard's so a shard built with a different shard count —
+// which would silently misroute tags — is caught at sync time instead
+// of corrupting merges.
+func (r *Ring) Signature() string {
+	// FNV-1a over the point stream, mixing each vnode's hash and owner.
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	sig := uint64(offset64)
+	for _, p := range r.points {
+		sig = (sig ^ p.hash) * prime64
+		sig = (sig ^ uint64(p.shard)) * prime64
+	}
+	return fmt.Sprintf("%016x", sig)
+}

@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingDeterministic pins the shared-ring contract: two rings built
+// independently with the same shard count assign every tag identically
+// and report the same signature — that is what lets a gateway and N
+// shard processes partition the vocabulary without coordination.
+func TestRingDeterministic(t *testing.T) {
+	a, err := NewRing(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing(3, DefaultVnodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Signature() != b.Signature() {
+		t.Fatalf("signatures differ: %s vs %s", a.Signature(), b.Signature())
+	}
+	for i := 0; i < 10000; i++ {
+		tag := fmt.Sprintf("tag-%d", i)
+		if a.Owner(tag) != b.Owner(tag) {
+			t.Fatalf("tag %q owned by %d on one ring, %d on the other", tag, a.Owner(tag), b.Owner(tag))
+		}
+	}
+}
+
+// TestRingMismatchDetectable: a different shard count must change the
+// signature, so the gateway's sync-time check actually catches a
+// misconfigured shard.
+func TestRingMismatchDetectable(t *testing.T) {
+	r3, _ := NewRing(3, 0)
+	r4, _ := NewRing(4, 0)
+	if r3.Signature() == r4.Signature() {
+		t.Fatal("3-shard and 4-shard rings share a signature")
+	}
+	r3b, _ := NewRing(3, 32)
+	if r3.Signature() == r3b.Signature() {
+		t.Fatal("different vnode counts share a signature")
+	}
+}
+
+// TestRingCoverageAndBalance: over a realistic vocabulary every shard
+// owns a substantial slice — no shard is starved (which would turn a
+// "3-shard" deployment into a 2-shard one) and none hogs the ring.
+func TestRingCoverageAndBalance(t *testing.T) {
+	for _, shards := range []int{2, 3, 5, 8} {
+		r, err := NewRing(shards, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make([]int, shards)
+		const n = 50000
+		for i := 0; i < n; i++ {
+			counts[r.Owner(fmt.Sprintf("vocab-%d", i))]++
+		}
+		for s, c := range counts {
+			frac := float64(c) / n
+			lo, hi := 0.5/float64(shards), 2.0/float64(shards)
+			if frac < lo || frac > hi {
+				t.Errorf("%d shards: shard %d owns %.1f%% of tags, want within [%.1f%%, %.1f%%]",
+					shards, s, 100*frac, 100*lo, 100*hi)
+			}
+		}
+	}
+}
+
+// TestRingOwnerInRange: owners always land in [0, shards), including
+// for tags that hash past the highest virtual node (the wraparound).
+func TestRingOwnerInRange(t *testing.T) {
+	r, err := NewRing(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100000; i++ {
+		if o := r.Owner(fmt.Sprintf("wrap-%d", i)); o < 0 || o >= 3 {
+			t.Fatalf("owner %d out of range", o)
+		}
+	}
+}
+
+func TestRingRejectsZeroShards(t *testing.T) {
+	if _, err := NewRing(0, 0); err == nil {
+		t.Fatal("0-shard ring accepted")
+	}
+}

@@ -86,9 +86,9 @@ type shard struct {
 // Stats is a point-in-time summary of the accumulator, surfaced by the
 // server's /v1/stats and /healthz.
 type Stats struct {
-	Epoch      uint64  `json:"epoch"`   // completed folds
-	Events     int64   `json:"events"`  // events accepted since start
-	Dropped    int64   `json:"dropped"` // events rejected by backpressure
+	Epoch   uint64 `json:"epoch"`   // completed folds
+	Events  int64  `json:"events"`  // events accepted since start
+	Dropped int64  `json:"dropped"` // events rejected by backpressure
 	// Pending counts buffered tag attributions (Σ len(Tags) over events
 	// awaiting the next fold) — the unit the buffer bound is in.
 	Pending    int64   `json:"pending"`
@@ -211,6 +211,31 @@ func (a *Accumulator) Add(events []Event) error {
 		}
 	}
 	a.events.Add(int64(len(events)))
+	return nil
+}
+
+// AddUploads registers bare upload announcements: each video id counts
+// once per fold epoch toward the training-corpus increment (Drain's
+// newRecords) without touching any tag's delta. This is the cluster
+// tier's record-replication path — the corpus size is global, so a
+// shard that owns none of a fresh upload's tags still has to learn the
+// corpus grew, or its IDF weights would drift from its peers'. A video
+// already announced this epoch (by either path) is a no-op, and the
+// buffered-attribution charge is zero: an announcement is one map entry,
+// not a per-country vector, so it rides outside the tag-attribution
+// bound.
+func (a *Accumulator) AddUploads(videos []string) error {
+	for i, v := range videos {
+		if v == "" {
+			return fmt.Errorf("ingest: upload %d has no video id", i)
+		}
+	}
+	for _, v := range videos {
+		vs := a.shardOf(v)
+		vs.mu.Lock()
+		vs.uploads[v] = true
+		vs.mu.Unlock()
+	}
 	return nil
 }
 

@@ -18,6 +18,35 @@ import (
 // Unknown tags are skipped; when no tag is known dst receives the
 // normalized traffic prior and the return is false.
 func (s *Snapshot) PredictInto(dst []float64, tagNames []string, w tagviews.Weighting) bool {
+	wSum := s.PredictPartialInto(dst, tagNames, w)
+	if wSum == 0 {
+		copy(dst, s.prior)
+		return false
+	}
+	inv := 1 / wSum
+	for i := range dst {
+		dst[i] *= inv
+	}
+	return true
+}
+
+// PredictPartialInto writes the unnormalized weighted tag mixture into
+// dst — Σ over known tags of weight·vector, with dst zeroed first — and
+// returns the weight sum, applying neither the final normalization nor
+// the prior fallback. This is the mergeable export the cluster tier is
+// built on: tags are partitioned across shards, so each shard's
+// (partial sum, weight sum) pair covers a disjoint tag subset, and a
+// gateway reconstructs the exact single-node prediction by adding the
+// vectors, adding the weight sums, and dividing (falling back to the
+// shared prior when the total weight is zero) — the same arithmetic
+// PredictInto runs locally.
+//
+// Exactness rests on two globals every partial snapshot retains in
+// full: Records (the IDF numerator n) and the harmonic rank discount,
+// which uses each tag's position in the caller's full tag list — so a
+// gateway must send the complete, original tag list to every shard, not
+// just the shard's owned subset.
+func (s *Snapshot) PredictPartialInto(dst []float64, tagNames []string, w tagviews.Weighting) float64 {
 	for i := range dst {
 		dst[i] = 0
 	}
@@ -59,13 +88,5 @@ func (s *Snapshot) PredictInto(dst []float64, tagNames []string, w tagviews.Weig
 		}
 		wSum += weight
 	}
-	if wSum == 0 {
-		copy(dst, s.prior)
-		return false
-	}
-	inv := 1 / wSum
-	for i := range dst {
-		dst[i] *= inv
-	}
-	return true
+	return wSum
 }

@@ -77,10 +77,35 @@ type Snapshot struct {
 // are identical. Vector fills run on all cores; paper-scale vocabularies
 // (~700k tags) build in well under a second.
 func Build(an *tagviews.Analysis) (*Snapshot, error) {
+	return BuildOwned(an, nil)
+}
+
+// BuildOwned constructs a Snapshot over the subset of the analysis's
+// vocabulary the owns filter admits — the partial-vocabulary build a
+// cluster shard runs (internal/cluster assigns each tag to exactly one
+// shard). A nil filter keeps everything (= Build).
+//
+// Only the tag table is partitioned: Records (the IDF numerator) and
+// the traffic prior stay global, so per-shard IDF weights and the
+// unknown-tag fallback are identical on every shard and partial
+// predictions merge exactly into the single-node answer (see
+// PredictPartialInto). Ids are interned per shard (dense over the owned
+// names, in sorted order), so a given (analysis, filter) pair builds
+// deterministically.
+func BuildOwned(an *tagviews.Analysis, owns func(name string) bool) (*Snapshot, error) {
 	if an == nil {
 		return nil, fmt.Errorf("profilestore: nil analysis")
 	}
 	names := an.TagNames()
+	if owns != nil {
+		kept := names[:0] // TagNames returns a fresh slice; filter in place
+		for _, n := range names {
+			if owns(n) {
+				kept = append(kept, n)
+			}
+		}
+		names = kept
+	}
 	nC := an.World.N()
 	s := &Snapshot{
 		world:    an.World,

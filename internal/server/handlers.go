@@ -2,7 +2,6 @@ package server
 
 import (
 	"encoding/json"
-	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -131,33 +130,41 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// WriteJSON, WriteError, DecodeBody and RequirePost are the wire-level
+// helpers every handler is built from. They are exported because the
+// cluster gateway (internal/cluster) serves the same wire protocol and
+// must encode errors, decode bodies and gate methods identically.
+
+// WriteJSON encodes v as the JSON response body with the given status.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+// WriteError writes the uniform error envelope.
+func WriteError(w http.ResponseWriter, status int, format string, args ...any) {
+	WriteJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
-// decodeBody decodes a JSON body with a size cap and strict fields, so
+// DecodeBody decodes a JSON body with a size cap and strict fields, so
 // typos in request shapes fail loudly instead of silently defaulting.
-func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+func DecodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		WriteError(w, http.StatusBadRequest, "invalid request body: %v", err)
 		return false
 	}
 	return true
 }
 
-func requirePost(w http.ResponseWriter, r *http.Request) bool {
+// RequirePost rejects non-POST methods with 405 + Allow.
+func RequirePost(w http.ResponseWriter, r *http.Request) bool {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
-		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		WriteError(w, http.StatusMethodNotAllowed, "use POST")
 		return false
 	}
 	return true
@@ -178,29 +185,29 @@ func topShares(snap *profilestore.Snapshot, p []float64, k int) []CountryShare {
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
-	if !requirePost(w, r) {
+	if !RequirePost(w, r) {
 		return
 	}
 	var req PredictRequest
-	if !decodeBody(w, r, &req) {
+	if !DecodeBody(w, r, &req) {
 		return
 	}
 	weighting, err := tagviews.ParseWeighting(req.Weighting)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		WriteError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	single := len(req.Tags) > 0
 	if single && len(req.Batch) > 0 {
-		writeError(w, http.StatusBadRequest, "set either tags or batch, not both")
+		WriteError(w, http.StatusBadRequest, "set either tags or batch, not both")
 		return
 	}
 	if !single && len(req.Batch) == 0 {
-		writeError(w, http.StatusBadRequest, "empty request: provide tags or batch")
+		WriteError(w, http.StatusBadRequest, "empty request: provide tags or batch")
 		return
 	}
 	if len(req.Batch) > s.cfg.MaxBatch {
-		writeError(w, http.StatusBadRequest, "batch of %d exceeds limit %d", len(req.Batch), s.cfg.MaxBatch)
+		WriteError(w, http.StatusBadRequest, "batch of %d exceeds limit %d", len(req.Batch), s.cfg.MaxBatch)
 		return
 	}
 
@@ -218,7 +225,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		resp.Results = make([]PredictResult, len(req.Batch))
 		for i := range req.Batch {
 			if len(req.Batch[i].Tags) == 0 {
-				writeError(w, http.StatusBadRequest, "batch item %d has no tags", i)
+				WriteError(w, http.StatusBadRequest, "batch item %d has no tags", i)
 				return
 			}
 			known := snap.PredictInto(buf, req.Batch[i].Tags, weighting)
@@ -226,21 +233,21 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		}
 		s.metrics.Predictions.Add(int64(len(req.Batch)))
 	}
-	writeJSON(w, http.StatusOK, resp)
+	WriteJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
-	if !requirePost(w, r) {
+	if !RequirePost(w, r) {
 		return
 	}
 	var req PlaceRequest
-	if !decodeBody(w, r, &req) {
+	if !DecodeBody(w, r, &req) {
 		return
 	}
 	world := s.world()
 	upload, ok := world.ByCode(req.Upload)
 	if !ok {
-		writeError(w, http.StatusBadRequest, "unknown upload country %q", req.Upload)
+		WriteError(w, http.StatusBadRequest, "unknown upload country %q", req.Upload)
 		return
 	}
 	if req.Strategy == "" {
@@ -248,12 +255,12 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 	}
 	strategy, err := placement.ParseStrategy(req.Strategy)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		WriteError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	weighting, err := tagviews.ParseWeighting(req.Weighting)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		WriteError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	replicas := req.Replicas
@@ -277,34 +284,34 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 	}
 	sites, err := s.rec.Recommend(strategy, upload, demand, replicas)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		WriteError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	resp := PlaceResponse{Strategy: strategy.String(), Known: known, Replicas: make([]string, len(sites))}
 	for i, c := range sites {
 		resp.Replicas[i] = world.Country(c).Code
 	}
-	writeJSON(w, http.StatusOK, resp)
+	WriteJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handlePreload(w http.ResponseWriter, r *http.Request) {
-	if !requirePost(w, r) {
+	if !RequirePost(w, r) {
 		return
 	}
 	var req PreloadRequest
-	if !decodeBody(w, r, &req) {
+	if !DecodeBody(w, r, &req) {
 		return
 	}
 	s.mu.RLock()
 	cat, predicted := s.cat, s.predicted
 	s.mu.RUnlock()
 	if cat == nil {
-		writeError(w, http.StatusServiceUnavailable, "no catalog loaded: preload advisories need synthetic ground truth")
+		WriteError(w, http.StatusServiceUnavailable, "no catalog loaded: preload advisories need synthetic ground truth")
 		return
 	}
 	country, ok := cat.World.ByCode(req.Country)
 	if !ok {
-		writeError(w, http.StatusBadRequest, "unknown country %q", req.Country)
+		WriteError(w, http.StatusBadRequest, "unknown country %q", req.Country)
 		return
 	}
 	if req.Policy == "" {
@@ -312,7 +319,7 @@ func (s *Server) handlePreload(w http.ResponseWriter, r *http.Request) {
 	}
 	policy, err := geocache.ParsePolicy(req.Policy)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		WriteError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	slots := req.Slots
@@ -321,48 +328,69 @@ func (s *Server) handlePreload(w http.ResponseWriter, r *http.Request) {
 	}
 	vids, err := geocache.PreloadAdvisory(cat, predicted, policy, country, slots)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		WriteError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	resp := PreloadResponse{Country: req.Country, Policy: policy.String(), Videos: make([]string, len(vids))}
 	for i, v := range vids {
 		resp.Videos[i] = cat.Videos[v].ID
 	}
-	writeJSON(w, http.StatusOK, resp)
+	WriteJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
-	if !requirePost(w, r) {
+	if !RequirePost(w, r) {
 		return
 	}
 	if s.ing == nil {
-		writeError(w, http.StatusServiceUnavailable, "ingest disabled: daemon started without an event stream (-ingest-interval 0)")
+		WriteError(w, http.StatusServiceUnavailable, "ingest disabled: daemon started without an event stream (-ingest-interval 0)")
 		return
 	}
 	var req IngestRequest
-	if !decodeBody(w, r, &req) {
+	if !DecodeBody(w, r, &req) {
 		return
 	}
 	if len(req.Events) == 0 {
-		writeError(w, http.StatusBadRequest, "empty request: provide events")
+		WriteError(w, http.StatusBadRequest, "empty request: provide events")
 		return
 	}
 	if len(req.Events) > s.cfg.MaxBatch {
-		writeError(w, http.StatusBadRequest, "batch of %d events exceeds limit %d", len(req.Events), s.cfg.MaxBatch)
+		WriteError(w, http.StatusBadRequest, "batch of %d events exceeds limit %d", len(req.Events), s.cfg.MaxBatch)
 		return
 	}
-	// The handler only resolves country codes; all event semantics
-	// (tag presence and caps, view signs, upload-needs-video) are
-	// validated in one place, Accumulator.Add, whose non-backpressure
-	// errors map to 400 below.
+	events, ok := s.resolveEvents(w, req.Events)
+	if !ok {
+		return
+	}
+	if err := s.ing.Add(events); err != nil {
+		// Backpressure sheds with the fold interval as the Retry-After
+		// hint — the buffer only clears when the next fold drains it.
+		s.writeIngestError(w, err)
+		return
+	}
+	st := s.ing.Stats()
+	WriteJSON(w, http.StatusOK, IngestResponse{
+		Accepted: len(events),
+		Epoch:    st.Epoch,
+		Pending:  st.Pending,
+	})
+}
+
+// resolveEvents maps wire events onto ingest events, resolving country
+// codes — the only event validation the handler layer owns; everything
+// else (tag presence and caps, view signs, upload-needs-video) is
+// validated in one place, Accumulator.Add. Shared by the public and the
+// shard-internal ingest routes. The boolean reports success; on failure
+// the 400 has already been written.
+func (s *Server) resolveEvents(w http.ResponseWriter, wire []IngestEvent) ([]ingest.Event, bool) {
 	world := s.world()
-	events := make([]ingest.Event, len(req.Events))
-	for i := range req.Events {
-		e := &req.Events[i]
+	events := make([]ingest.Event, len(wire))
+	for i := range wire {
+		e := &wire[i]
 		country, ok := world.ByCode(e.Country)
 		if !ok {
-			writeError(w, http.StatusBadRequest, "event %d: unknown country %q", i, e.Country)
-			return
+			WriteError(w, http.StatusBadRequest, "event %d: unknown country %q", i, e.Country)
+			return nil, false
 		}
 		events[i] = ingest.Event{
 			Video:   e.Video,
@@ -372,36 +400,20 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			Upload:  e.Upload,
 		}
 	}
-	if err := s.ing.Add(events); err != nil {
-		if errors.Is(err, ingest.ErrBufferFull) {
-			// Same crisp shedding as the concurrency limiter: the buffer
-			// clears at the next fold, so "soon" is the right retry hint.
-			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusServiceUnavailable, "%v", err)
-			return
-		}
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	st := s.ing.Stats()
-	writeJSON(w, http.StatusOK, IngestResponse{
-		Accepted: len(events),
-		Epoch:    st.Epoch,
-		Pending:  st.Pending,
-	})
+	return events, true
 }
 
 func (s *Server) handleTags(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		w.Header().Set("Allow", http.MethodGet)
-		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		WriteError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
 	k := 20
 	if v := r.URL.Query().Get("k"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n <= 0 {
-			writeError(w, http.StatusBadRequest, "invalid k %q", v)
+			WriteError(w, http.StatusBadRequest, "invalid k %q", v)
 			return
 		}
 		k = n
@@ -423,7 +435,7 @@ func (s *Server) handleTags(w http.ResponseWriter, r *http.Request) {
 		}
 		out[i] = info
 	}
-	writeJSON(w, http.StatusOK, map[string][]TagInfo{"tags": out})
+	WriteJSON(w, http.StatusOK, map[string][]TagInfo{"tags": out})
 }
 
 // statsPayload is the /v1/stats wire shape: the per-route counters,
@@ -441,7 +453,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		p.Stream = &st
 		p.Events = st.Events // single source: the accumulator
 	}
-	writeJSON(w, http.StatusOK, p)
+	WriteJSON(w, http.StatusOK, p)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -455,5 +467,5 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if s.ing != nil {
 		h["epoch"] = s.ing.Epoch()
 	}
-	writeJSON(w, http.StatusOK, h)
+	WriteJSON(w, http.StatusOK, h)
 }

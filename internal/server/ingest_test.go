@@ -56,7 +56,7 @@ func freshServer(t *testing.T, withCatalog bool, buffer int, interval time.Durat
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := srv.EnableIngest(acc); err != nil {
+	if err := srv.EnableIngest(acc, interval); err != nil {
 		t.Fatal(err)
 	}
 	comp, err := ingest.NewCompactor(acc, interval, func(d []profilestore.TagDelta, n int) error {

@@ -1,0 +1,217 @@
+package server
+
+import (
+	"errors"
+	"net/http"
+
+	"viewstags/internal/ingest"
+	"viewstags/internal/tagviews"
+)
+
+// This file is the shard-internal API: the three /internal/* routes a
+// cluster gateway (internal/cluster) drives. They speak in partial
+// quantities — unnormalized weighted tag mixtures, per-shard upload
+// announcements, topology metadata — that only make sense to a merging
+// edge, which is why they live beside the public routes but are
+// documented separately (API.md, "Shard-internal routes"). Every node
+// serves them: a standalone daemon is simply a 1-shard cluster, so a
+// gateway pointed at it works unchanged.
+
+// InternalPredictRequest is the /internal/predict wire request: the
+// full tag list of each item, in original order. The shard skips tags
+// it does not own (they are absent from its vocabulary), but it needs
+// the full list because tag weights carry a harmonic rank discount
+// keyed to each tag's position in the original request.
+type InternalPredictRequest struct {
+	Items     [][]string `json:"items"`
+	Weighting string     `json:"weighting,omitempty"`
+}
+
+// PartialMixture is one item's partial prediction: the unnormalized
+// weighted sum of this shard's known-tag vectors and the weight mass
+// behind it. Sum is omitted when WeightSum is zero (no owned tag
+// matched). Partials from disjoint shards merge exactly: add the sums,
+// add the weight sums, divide (profilestore.PredictPartialInto).
+type PartialMixture struct {
+	WeightSum float64   `json:"wsum"`
+	Sum       []float64 `json:"sum,omitempty"`
+}
+
+// InternalPredictResponse is the /internal/predict wire response, one
+// partial per requested item, in order. Records reports the shard's
+// current training-corpus size so a gateway can observe IDF skew.
+type InternalPredictResponse struct {
+	Weighting string           `json:"weighting"`
+	Records   int              `json:"records"`
+	Epoch     uint64           `json:"epoch"`
+	Partials  []PartialMixture `json:"partials"`
+}
+
+// InternalIngestRequest is the /internal/ingest wire request: the
+// events whose tags this shard owns (tag lists already filtered to the
+// owned subset by the gateway), plus bare upload announcements — video
+// ids freshly uploaded whose tags all live on other shards. The
+// announcements exist because the training-corpus size is global: every
+// shard must count every new upload exactly once per fold epoch or its
+// IDF weights drift from its peers'.
+type InternalIngestRequest struct {
+	Events  []IngestEvent `json:"events,omitempty"`
+	Uploads []string      `json:"uploads,omitempty"`
+}
+
+// InternalMetaResponse is the /internal/meta wire response: the shard's
+// cluster identity and the global (unpartitioned) state a gateway needs
+// to merge partial predictions — the country table and the traffic
+// prior. A gateway refuses targets whose identity or globals disagree.
+type InternalMetaResponse struct {
+	Index         int       `json:"index"`
+	Shards        int       `json:"shards"`
+	RingSignature string    `json:"ring_signature,omitempty"`
+	Countries     []string  `json:"countries"`
+	Prior         []float64 `json:"prior"`
+	Records       int       `json:"records"`
+	Tags          int       `json:"tags"`
+	Epoch         uint64    `json:"epoch"`
+	IngestEnabled bool      `json:"ingest_enabled"`
+}
+
+func (s *Server) handleInternalPredict(w http.ResponseWriter, r *http.Request) {
+	if !RequirePost(w, r) {
+		return
+	}
+	var req InternalPredictRequest
+	if !DecodeBody(w, r, &req) {
+		return
+	}
+	weighting, err := tagviews.ParseWeighting(req.Weighting)
+	if err != nil {
+		WriteError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(req.Items) == 0 {
+		WriteError(w, http.StatusBadRequest, "empty request: provide items")
+		return
+	}
+	if len(req.Items) > s.cfg.MaxBatch {
+		WriteError(w, http.StatusBadRequest, "batch of %d exceeds limit %d", len(req.Items), s.cfg.MaxBatch)
+		return
+	}
+	for i, tags := range req.Items {
+		if len(tags) == 0 {
+			WriteError(w, http.StatusBadRequest, "item %d has no tags", i)
+			return
+		}
+	}
+
+	snap := s.store.Load()
+	bufp := s.scratch.Get().(*[]float64)
+	defer s.scratch.Put(bufp)
+	buf := *bufp
+
+	resp := InternalPredictResponse{
+		Weighting: weighting.String(),
+		Records:   snap.Records(),
+		Partials:  make([]PartialMixture, len(req.Items)),
+	}
+	if s.ing != nil {
+		resp.Epoch = s.ing.Epoch()
+	}
+	for i, tags := range req.Items {
+		wSum := snap.PredictPartialInto(buf, tags, weighting)
+		resp.Partials[i].WeightSum = wSum
+		if wSum > 0 {
+			resp.Partials[i].Sum = append([]float64(nil), buf...)
+		}
+	}
+	s.metrics.Predictions.Add(int64(len(req.Items)))
+	WriteJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleInternalIngest(w http.ResponseWriter, r *http.Request) {
+	if !RequirePost(w, r) {
+		return
+	}
+	if s.ing == nil {
+		WriteError(w, http.StatusServiceUnavailable, "ingest disabled: daemon started without an event stream (-ingest-interval 0)")
+		return
+	}
+	var req InternalIngestRequest
+	if !DecodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Events) == 0 && len(req.Uploads) == 0 {
+		WriteError(w, http.StatusBadRequest, "empty request: provide events or uploads")
+		return
+	}
+	if len(req.Events) > s.cfg.MaxBatch || len(req.Uploads) > s.cfg.MaxBatch {
+		WriteError(w, http.StatusBadRequest, "batch exceeds limit %d", s.cfg.MaxBatch)
+		return
+	}
+	// Validate the whole request before applying any of it, so the
+	// all-or-nothing batch contract holds across both halves.
+	for i, v := range req.Uploads {
+		if v == "" {
+			WriteError(w, http.StatusBadRequest, "upload %d has no video id", i)
+			return
+		}
+	}
+	events, ok := s.resolveEvents(w, req.Events)
+	if !ok {
+		return
+	}
+	if len(events) > 0 {
+		if err := s.ing.Add(events); err != nil {
+			s.writeIngestError(w, err)
+			return
+		}
+	}
+	if len(req.Uploads) > 0 {
+		// Cannot fail: ids were validated above, and announcements are
+		// exempt from the attribution-buffer bound (they carry no tags).
+		if err := s.ing.AddUploads(req.Uploads); err != nil {
+			WriteError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	st := s.ing.Stats()
+	WriteJSON(w, http.StatusOK, IngestResponse{
+		Accepted: len(events) + len(req.Uploads),
+		Epoch:    st.Epoch,
+		Pending:  st.Pending,
+	})
+}
+
+func (s *Server) handleInternalMeta(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		WriteError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	snap := s.store.Load()
+	resp := InternalMetaResponse{
+		Index:         s.cfg.ShardIndex,
+		Shards:        s.cfg.ShardCount,
+		RingSignature: s.cfg.RingSignature,
+		Countries:     snap.World().Codes(),
+		Prior:         snap.Prior(),
+		Records:       snap.Records(),
+		Tags:          snap.NumTags(),
+		IngestEnabled: s.ing != nil,
+	}
+	if s.ing != nil {
+		resp.Epoch = s.ing.Epoch()
+	}
+	WriteJSON(w, http.StatusOK, resp)
+}
+
+// writeIngestError maps an Accumulator.Add error onto the wire:
+// backpressure is a 503 with the fold interval as the Retry-After hint,
+// anything else is a 400 (malformed batch).
+func (s *Server) writeIngestError(w http.ResponseWriter, err error) {
+	if errors.Is(err, ingest.ErrBufferFull) {
+		SetRetryAfter(w, s.foldInterval)
+		WriteError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	WriteError(w, http.StatusBadRequest, "%v", err)
+}

@@ -1,0 +1,271 @@
+package server
+
+import (
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"viewstags/internal/profilestore"
+	"viewstags/internal/tagviews"
+)
+
+// TestInternalPredictPartials: the shard-internal predict answers the
+// exact partial quantities profilestore.PredictPartialInto computes —
+// weight mass and unnormalized sum per item, ordering preserved.
+func TestInternalPredictPartials(t *testing.T) {
+	res, srv := fixture(t)
+	snap := srv.Store().Load()
+	nC := res.World.N()
+
+	var resp InternalPredictResponse
+	code := do(t, srv, http.MethodPost, "/internal/predict", InternalPredictRequest{
+		Items: [][]string{{"favela", "samba"}, {"zz-unknown"}, {"pop"}},
+	}, &resp)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if resp.Weighting != "idf" || len(resp.Partials) != 3 {
+		t.Fatalf("response shape %+v", resp)
+	}
+	if resp.Records != snap.Records() {
+		t.Fatalf("records %d, want %d", resp.Records, snap.Records())
+	}
+
+	buf := make([]float64, nC)
+	wantW := snap.PredictPartialInto(buf, []string{"favela", "samba"}, tagviews.WeightIDF)
+	got := resp.Partials[0]
+	if got.WeightSum != wantW {
+		t.Fatalf("weight sum %v, want %v", got.WeightSum, wantW)
+	}
+	if len(got.Sum) != nC {
+		t.Fatalf("sum has %d countries, want %d", len(got.Sum), nC)
+	}
+	for c := range buf {
+		if math.Abs(got.Sum[c]-buf[c]) > 1e-15 {
+			t.Fatalf("country %d: wire sum %v, direct %v", c, got.Sum[c], buf[c])
+		}
+	}
+	// Unknown-everywhere item: zero mass, sum omitted.
+	if resp.Partials[1].WeightSum != 0 || resp.Partials[1].Sum != nil {
+		t.Fatalf("unknown item partial %+v, want zero/omitted", resp.Partials[1])
+	}
+}
+
+func TestInternalPredictErrors(t *testing.T) {
+	_, srv := fixture(t)
+	cases := []struct {
+		name string
+		req  any
+	}{
+		{"no items", InternalPredictRequest{}},
+		{"empty item", InternalPredictRequest{Items: [][]string{{}}}},
+		{"bad weighting", InternalPredictRequest{Items: [][]string{{"pop"}}, Weighting: "bogus"}},
+		{"unknown field", map[string]any{"itemz": []any{}}},
+	}
+	for _, c := range cases {
+		if code := do(t, srv, http.MethodPost, "/internal/predict", c.req, nil); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", c.name, code)
+		}
+	}
+	if code := do(t, srv, http.MethodGet, "/internal/predict", nil, nil); code != http.StatusMethodNotAllowed {
+		t.Errorf("GET: %d, want 405", code)
+	}
+}
+
+// TestInternalMeta: the topology contract a gateway syncs against.
+func TestInternalMeta(t *testing.T) {
+	res, srv := fixture(t)
+	var meta InternalMetaResponse
+	if code := do(t, srv, http.MethodGet, "/internal/meta", nil, &meta); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if meta.Index != 0 || meta.Shards != 1 {
+		t.Fatalf("standalone identity %d/%d, want 0/1", meta.Index, meta.Shards)
+	}
+	if len(meta.Countries) != res.World.N() || len(meta.Prior) != res.World.N() {
+		t.Fatalf("globals shape: %d countries, %d prior", len(meta.Countries), len(meta.Prior))
+	}
+	if meta.Tags != srv.Store().Load().NumTags() {
+		t.Fatalf("tags %d, want %d", meta.Tags, srv.Store().Load().NumTags())
+	}
+	if code := do(t, srv, http.MethodPost, "/internal/meta", nil, nil); code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST meta: %d, want 405", code)
+	}
+}
+
+// TestInternalIngest: owned-tag events and bare upload announcements
+// both land, sharing one per-epoch record dedup.
+func TestInternalIngest(t *testing.T) {
+	srv, _, comp := freshServer(t, false, 0, time.Hour)
+	var resp IngestResponse
+	code := do(t, srv, http.MethodPost, "/internal/ingest", InternalIngestRequest{
+		Events: []IngestEvent{
+			{Video: "ci-1", Tags: []string{"zz-ci-tag"}, Country: "JP", Views: 10, Upload: true},
+		},
+		Uploads: []string{"ci-2", "ci-3"},
+	}, &resp)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if resp.Accepted != 3 {
+		t.Fatalf("accepted %d, want 3", resp.Accepted)
+	}
+	before := srv.Store().Load().Records()
+	if folded, err := comp.FoldNow(); err != nil || !folded {
+		t.Fatalf("fold: %v folded=%v", err, folded)
+	}
+	if got := srv.Store().Load().Records(); got != before+3 {
+		t.Fatalf("records %d, want %d (+1 event upload, +2 announcements)", got, before+3)
+	}
+	var pr PredictResponse
+	if do(t, srv, http.MethodPost, "/v1/predict", PredictRequest{Tags: []string{"zz-ci-tag"}, Top: 1}, &pr); pr.Result == nil || !pr.Result.Known {
+		t.Fatalf("folded internal event not served: %+v", pr)
+	}
+}
+
+func TestInternalIngestErrors(t *testing.T) {
+	srv, _, _ := freshServer(t, false, 0, time.Hour)
+	cases := []struct {
+		name string
+		req  any
+		want int
+	}{
+		{"empty", InternalIngestRequest{}, http.StatusBadRequest},
+		{"empty upload id", InternalIngestRequest{Uploads: []string{""}}, http.StatusBadRequest},
+		{"bad event", InternalIngestRequest{Events: []IngestEvent{{Country: "US", Views: 1}}}, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		if code := do(t, srv, http.MethodPost, "/internal/ingest", c.req, nil); code != c.want {
+			t.Errorf("%s: status %d, want %d", c.name, code, c.want)
+		}
+	}
+	// Read-only daemon: internal ingest is disabled like the public one.
+	res, _ := fixture(t)
+	snap, err := profilestore.Build(res.Analysis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := profilestore.NewStore(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare, err := New(DefaultConfig(), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := do(t, bare, http.MethodPost, "/internal/ingest",
+		InternalIngestRequest{Uploads: []string{"x"}}, nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("read-only internal ingest: %d, want 503", code)
+	}
+}
+
+// TestRetryAfterDerivation is the regression test for the hardcoded
+// Retry-After bug: the limiter hints 1s (capacity frees as soon as any
+// in-flight request finishes), while ingest backpressure hints the
+// configured fold interval rounded up — the time that actually clears
+// the buffer.
+func TestRetryAfterDerivation(t *testing.T) {
+	// Limiter path: saturate a 1-slot server.
+	res, _ := fixture(t)
+	snap, err := profilestore.Build(res.Analysis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := profilestore.NewStore(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.MaxInFlight = 1
+	small, err := New(cfg, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hold := make(chan struct{})
+	inside := make(chan struct{})
+	blocked := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(inside)
+		<-hold
+	})
+	h := small.mw.Wrap(blocked)
+	go func() {
+		h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodPost, "/v1/predict", nil))
+	}()
+	<-inside
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/predict", nil))
+	close(hold)
+	if rec.Code != http.StatusServiceUnavailable || rec.Header().Get("Retry-After") != "1" {
+		t.Fatalf("limiter shed: code=%d Retry-After=%q, want 503/\"1\"", rec.Code, rec.Header().Get("Retry-After"))
+	}
+
+	// Ingest path: a 2-attribution buffer with a 2500ms fold interval
+	// must hint ceil(2.5s) = 3 seconds.
+	srv, _, _ := freshServer(t, false, 2, 2500*time.Millisecond)
+	fill := IngestRequest{Events: []IngestEvent{
+		{Tags: []string{"a"}, Country: "US", Views: 1},
+		{Tags: []string{"b"}, Country: "US", Views: 1},
+	}}
+	if code := do(t, srv, http.MethodPost, "/v1/ingest", fill, nil); code != http.StatusOK {
+		t.Fatalf("fill: %d", code)
+	}
+	for _, path := range []string{"/v1/ingest", "/internal/ingest"} {
+		rec := httptest.NewRecorder()
+		srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, path,
+			jsonBody(t, IngestRequest{Events: []IngestEvent{{Tags: []string{"c"}, Country: "US", Views: 1}}})))
+		if rec.Code != http.StatusServiceUnavailable {
+			t.Fatalf("%s overflow: %d, want 503", path, rec.Code)
+		}
+		if got := rec.Header().Get("Retry-After"); got != "3" {
+			t.Fatalf("%s Retry-After %q, want \"3\" (ceil of the 2.5s fold interval)", path, got)
+		}
+	}
+}
+
+// TestEmptyInputsRejected pins empty-input behavior across the three
+// write/read entry points: an explicitly empty tags, batch, or events
+// list is a 400 — never an empty 200, and never an epoch bump.
+func TestEmptyInputsRejected(t *testing.T) {
+	srv, acc, _ := freshServer(t, false, 0, time.Hour)
+	epochBefore := acc.Epoch()
+	eventsBefore := acc.Stats().Events
+	cases := []struct {
+		name string
+		path string
+		req  any
+	}{
+		{"predict empty tags", "/v1/predict", map[string]any{"tags": []string{}}},
+		{"predict empty batch", "/v1/predict", map[string]any{"batch": []any{}}},
+		{"predict both empty", "/v1/predict", map[string]any{"tags": []string{}, "batch": []any{}}},
+		{"ingest empty events", "/v1/ingest", map[string]any{"events": []any{}}},
+	}
+	for _, c := range cases {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if code := do(t, srv, http.MethodPost, c.path, c.req, &e); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", c.name, code)
+		} else if e.Error == "" {
+			t.Errorf("%s: no error message", c.name)
+		}
+	}
+	if acc.Epoch() != epochBefore || acc.Stats().Events != eventsBefore {
+		t.Fatal("empty requests moved the accumulator (epoch or event count)")
+	}
+}
+
+// TestInternalRoutesBypassOnlyMeta: /internal/meta rides outside the
+// limiter (the gateway must be able to probe a saturated shard), while
+// /internal/predict and /internal/ingest are limited like any work.
+func TestInternalRoutesBypassOnlyMeta(t *testing.T) {
+	if !limiterExempt("/internal/meta") {
+		t.Fatal("meta not exempt")
+	}
+	for _, p := range []string{"/internal/predict", "/internal/ingest"} {
+		if limiterExempt(p) {
+			t.Fatalf("%s exempt from the limiter", p)
+		}
+	}
+}

@@ -1,6 +1,9 @@
 package server
 
-import "sync/atomic"
+import (
+	"strings"
+	"sync/atomic"
+)
 
 // RouteMetrics holds one route's counters. All fields are atomics;
 // read them with Load.
@@ -18,7 +21,11 @@ type Metrics struct {
 	Ingest  RouteMetrics
 	Place   RouteMetrics
 	Preload RouteMetrics
-	Other   RouteMetrics
+	// Internal aggregates the shard-internal /internal/* routes the
+	// cluster gateway drives, so shard operators can tell gateway
+	// traffic from direct client traffic at a glance.
+	Internal RouteMetrics
+	Other    RouteMetrics
 
 	InFlight atomic.Int64
 	Rejected atomic.Int64
@@ -43,6 +50,9 @@ func (m *Metrics) route(path string) *RouteMetrics {
 	case "/v1/preload":
 		return &m.Preload
 	default:
+		if strings.HasPrefix(path, "/internal/") {
+			return &m.Internal
+		}
 		return &m.Other
 	}
 }
@@ -62,6 +72,7 @@ type Snapshot struct {
 	Ingest      RouteSnapshot `json:"ingest"`
 	Place       RouteSnapshot `json:"place"`
 	Preload     RouteSnapshot `json:"preload"`
+	Internal    RouteSnapshot `json:"internal"`
 	Other       RouteSnapshot `json:"other"`
 	InFlight    int64         `json:"in_flight"`
 	Rejected    int64         `json:"rejected"`
@@ -90,6 +101,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		Ingest:      snapRoute(&m.Ingest),
 		Place:       snapRoute(&m.Place),
 		Preload:     snapRoute(&m.Preload),
+		Internal:    snapRoute(&m.Internal),
 		Other:       snapRoute(&m.Other),
 		InFlight:    m.InFlight.Load(),
 		Rejected:    m.Rejected.Load(),

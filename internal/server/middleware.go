@@ -1,8 +1,10 @@
 package server
 
 import (
+	"log"
 	"net/http"
 	"runtime/debug"
+	"strconv"
 	"time"
 )
 
@@ -17,37 +19,82 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// chain wraps the mux in the middleware stack, innermost first:
-// metrics ← recovery ← logging ← concurrency limit. The limiter sits
-// outermost so a saturated server sheds load before doing any work.
-func (s *Server) chain(next http.Handler) http.Handler {
-	h := s.withMetrics(next)
-	h = s.withRecovery(h)
-	if s.cfg.LogRequests {
-		h = s.withLogging(h)
+// SetRetryAfter stamps the Retry-After header for a 503, in whole
+// seconds rounded up, with a floor of one second (the header takes
+// integers, and "0" would tell clients to hammer a saturated server).
+// It is the one place shed responses get their backoff hint: the
+// concurrency limiter passes 0 (capacity frees as soon as any in-flight
+// request finishes), the ingest path passes the fold interval (the
+// buffer only clears when the next fold drains it), and the gateway
+// propagates whichever a shard reported.
+func SetRetryAfter(w http.ResponseWriter, d time.Duration) {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
 	}
-	return s.withLimit(h)
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+}
+
+// Middleware is the serving tier's shared HTTP middleware stack —
+// concurrency limiting, panic recovery, optional access logging and
+// per-route metrics — factored out of Server so the cluster gateway
+// wraps its handlers in the identical chain (same shedding semantics,
+// same counters) instead of growing a parallel one.
+type Middleware struct {
+	metrics     *Metrics
+	logger      *log.Logger
+	sem         chan struct{}
+	logRequests bool
+}
+
+// NewMiddleware builds a stack. maxInFlight bounds concurrently served
+// requests (excess requests are shed with 503 + Retry-After); metrics
+// and logger must be non-nil.
+func NewMiddleware(maxInFlight int, metrics *Metrics, logger *log.Logger, logRequests bool) *Middleware {
+	return &Middleware{
+		metrics:     metrics,
+		logger:      logger,
+		sem:         make(chan struct{}, maxInFlight),
+		logRequests: logRequests,
+	}
+}
+
+// Wrap chains the stack around next, innermost first: metrics ←
+// recovery ← logging ← concurrency limit. The limiter sits outermost so
+// a saturated server sheds load before doing any work.
+func (m *Middleware) Wrap(next http.Handler) http.Handler {
+	h := m.withMetrics(next)
+	h = m.withRecovery(h)
+	if m.logRequests {
+		h = m.withLogging(h)
+	}
+	return m.withLimit(h)
+}
+
+// limiterExempt lists the paths that bypass the concurrency limiter — a
+// loaded server must still answer its health checker, expose the
+// counters that explain the overload, and (on shards) answer the
+// gateway's cheap topology probe.
+func limiterExempt(path string) bool {
+	return path == "/healthz" || path == "/v1/stats" || path == "/internal/meta"
 }
 
 // withLimit bounds in-flight requests with a semaphore; requests beyond
 // the bound get an immediate 503 with Retry-After, which keeps tail
 // latency flat under overload instead of queueing without bound.
-// Liveness and observability endpoints bypass the limiter — a loaded
-// server must still answer its health checker and expose the counters
-// that explain the overload.
-func (s *Server) withLimit(next http.Handler) http.Handler {
+func (m *Middleware) withLimit(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path == "/healthz" || r.URL.Path == "/v1/stats" {
+		if limiterExempt(r.URL.Path) {
 			next.ServeHTTP(w, r)
 			return
 		}
 		select {
-		case s.sem <- struct{}{}:
-			defer func() { <-s.sem }()
+		case m.sem <- struct{}{}:
+			defer func() { <-m.sem }()
 			next.ServeHTTP(w, r)
 		default:
-			s.metrics.Rejected.Add(1)
-			w.Header().Set("Retry-After", "1")
+			m.metrics.Rejected.Add(1)
+			SetRetryAfter(w, 0)
 			http.Error(w, "server at capacity", http.StatusServiceUnavailable)
 		}
 	})
@@ -55,11 +102,11 @@ func (s *Server) withLimit(next http.Handler) http.Handler {
 
 // withRecovery converts handler panics into 500s so one poisoned
 // request cannot take the daemon down.
-func (s *Server) withRecovery(next http.Handler) http.Handler {
+func (m *Middleware) withRecovery(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			if rec := recover(); rec != nil {
-				s.logger.Printf("server: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+				m.logger.Printf("server: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
 				http.Error(w, "internal error", http.StatusInternalServerError)
 			}
 		}()
@@ -68,28 +115,28 @@ func (s *Server) withRecovery(next http.Handler) http.Handler {
 }
 
 // withLogging emits one access-log line per request.
-func (s *Server) withLogging(next http.Handler) http.Handler {
+func (m *Middleware) withLogging(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		next.ServeHTTP(sw, r)
-		s.logger.Printf("server: %s %s %d %s", r.Method, r.URL.Path, sw.status, time.Since(start))
+		m.logger.Printf("server: %s %s %d %s", r.Method, r.URL.Path, sw.status, time.Since(start))
 	})
 }
 
 // withMetrics counts requests, errors and latency per route.
-func (s *Server) withMetrics(next http.Handler) http.Handler {
+func (m *Middleware) withMetrics(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		m := s.metrics.route(r.URL.Path)
-		s.metrics.InFlight.Add(1)
-		defer s.metrics.InFlight.Add(-1)
+		rm := m.metrics.route(r.URL.Path)
+		m.metrics.InFlight.Add(1)
+		defer m.metrics.InFlight.Add(-1)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		next.ServeHTTP(sw, r)
-		m.Requests.Add(1)
-		m.LatencyNs.Add(time.Since(start).Nanoseconds())
+		rm.Requests.Add(1)
+		rm.LatencyNs.Add(time.Since(start).Nanoseconds())
 		if sw.status >= 400 {
-			m.Errors.Add(1)
+			rm.Errors.Add(1)
 		}
 	})
 }

@@ -18,6 +18,13 @@
 //	GET  /v1/stats    — request counters per route + ingest stream stats
 //	GET  /healthz     — liveness + snapshot shape + fold epoch
 //
+// Plus the shard-internal routes a cluster gateway (internal/cluster)
+// drives — partial predictions, owner-routed ingest, topology metadata:
+//
+//	POST /internal/predict — unnormalized partial tag mixtures
+//	POST /internal/ingest  — owned-tag events + upload announcements
+//	GET  /internal/meta    — shard identity, ring signature, globals
+//
 // The read path loads tag profiles from an internal/profilestore
 // snapshot — lock-free, allocation-free per prediction — so a single
 // core sustains tens of thousands of predictions per second; batching
@@ -55,6 +62,9 @@ var routes = []string{
 	"/v1/tags",
 	"/v1/stats",
 	"/healthz",
+	"/internal/predict",
+	"/internal/ingest",
+	"/internal/meta",
 }
 
 // Routes returns every route path the server registers, in registration
@@ -76,6 +86,18 @@ type Config struct {
 	// LogRequests enables per-request access logging (off by default:
 	// at load-test rates the log write dominates the handler).
 	LogRequests bool
+	// ShardIndex/ShardCount identify this node's slice of a
+	// tag-partitioned cluster (cmd/serve -shard i/n), reported by
+	// /internal/meta so a gateway can verify its target list. The
+	// standalone default is shard 0 of 1.
+	ShardIndex int
+	ShardCount int
+	// RingSignature fingerprints the consistent-hash ring the node's
+	// vocabulary was partitioned with (cluster.Ring.Signature, rendered
+	// by the caller). A gateway refuses to merge with a shard whose
+	// signature differs from its own — that shard would own the wrong
+	// tags.
+	RingSignature string
 }
 
 // DefaultConfig returns the standard serving configuration.
@@ -91,7 +113,7 @@ type Server struct {
 	rec     *placement.Recommender
 	metrics *Metrics
 	logger  *log.Logger
-	sem     chan struct{}
+	mw      *Middleware
 	handler http.Handler
 
 	// scratch recycles per-request prediction buffers.
@@ -101,6 +123,10 @@ type Server struct {
 	// EnableIngest, which keeps /v1/ingest answering 503 ("disabled")
 	// on read-only deployments.
 	ing *ingest.Accumulator
+	// foldInterval is the compactor cadence EnableIngest was told about;
+	// it is the Retry-After hint for ingest backpressure (the buffer
+	// only clears when the next fold drains it).
+	foldInterval time.Duration
 
 	// mu serializes snapshot installs (batch Reload and ingest folds)
 	// and guards the catalog state for /v1/preload (absent when serving
@@ -122,6 +148,12 @@ func New(cfg Config, store *profilestore.Store) (*Server, error) {
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = DefaultConfig().MaxBatch
 	}
+	if cfg.ShardCount <= 0 {
+		cfg.ShardCount = 1
+	}
+	if cfg.ShardIndex < 0 || cfg.ShardIndex >= cfg.ShardCount {
+		return nil, fmt.Errorf("server: shard index %d out of range for %d shards", cfg.ShardIndex, cfg.ShardCount)
+	}
 	logger := cfg.Logger
 	if logger == nil {
 		logger = log.Default()
@@ -133,8 +165,8 @@ func New(cfg Config, store *profilestore.Store) (*Server, error) {
 		rec:     placement.NewRecommender(world),
 		metrics: NewMetrics(),
 		logger:  logger,
-		sem:     make(chan struct{}, cfg.MaxInFlight),
 	}
+	s.mw = NewMiddleware(cfg.MaxInFlight, s.metrics, logger, cfg.LogRequests)
 	nC := world.N()
 	s.scratch.New = func() any {
 		buf := make([]float64, nC)
@@ -144,7 +176,7 @@ func New(cfg Config, store *profilestore.Store) (*Server, error) {
 	for _, path := range routes {
 		mux.HandleFunc(path, s.handlerFor(path))
 	}
-	s.handler = s.chain(mux)
+	s.handler = s.mw.Wrap(mux)
 	return s, nil
 }
 
@@ -167,6 +199,12 @@ func (s *Server) handlerFor(path string) http.HandlerFunc {
 		return s.handleStats
 	case "/healthz":
 		return s.handleHealth
+	case "/internal/predict":
+		return s.handleInternalPredict
+	case "/internal/ingest":
+		return s.handleInternalIngest
+	case "/internal/meta":
+		return s.handleInternalMeta
 	default:
 		panic("server: route " + path + " has no handler")
 	}
@@ -193,12 +231,16 @@ func (s *Server) Store() *profilestore.Store { return s.store }
 // EnableIngest attaches the streaming write path: /v1/ingest starts
 // accepting events into acc. The caller runs the compactor that drains
 // acc (normally ingest.Compactor over ApplyDeltas); the server only
-// feeds it. Call before serving traffic.
-func (s *Server) EnableIngest(acc *ingest.Accumulator) error {
+// feeds it. foldInterval is that compactor's cadence — it becomes the
+// Retry-After hint on backpressure 503s, so shed clients back off for
+// the time that actually clears the buffer (<= 0 falls back to a
+// one-second hint). Call before serving traffic.
+func (s *Server) EnableIngest(acc *ingest.Accumulator, foldInterval time.Duration) error {
 	if acc == nil {
 		return fmt.Errorf("server: nil accumulator")
 	}
 	s.ing = acc
+	s.foldInterval = foldInterval
 	return nil
 }
 
@@ -266,8 +308,16 @@ func (s *Server) Run(ctx context.Context, addr string, grace time.Duration) erro
 // serve an ephemeral port (listen on ":0", read the address, Serve).
 // It owns the listener and closes it on shutdown.
 func (s *Server) Serve(ctx context.Context, ln net.Listener, grace time.Duration) error {
+	return ServeHandler(ctx, ln, s.handler, grace)
+}
+
+// ServeHandler runs any handler on ln until ctx is canceled, then shuts
+// down gracefully, draining in-flight requests for up to grace. It is
+// the one serve-lifecycle implementation the daemon and the cluster
+// gateway share. It owns the listener and closes it on shutdown.
+func ServeHandler(ctx context.Context, ln net.Listener, handler http.Handler, grace time.Duration) error {
 	srv := &http.Server{
-		Handler:           s.handler,
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	errc := make(chan error, 1)

@@ -405,7 +405,7 @@ func TestConcurrencyLimit(t *testing.T) {
 		close(inside)
 		<-hold
 	})
-	h := small.chain(blocked)
+	h := small.mw.Wrap(blocked)
 	go func() {
 		req := httptest.NewRequest(http.MethodPost, "/v1/predict", nil)
 		h.ServeHTTP(httptest.NewRecorder(), req)
@@ -432,7 +432,7 @@ func TestConcurrencyLimit(t *testing.T) {
 // TestRecoveryMiddleware turns a handler panic into a 500.
 func TestRecoveryMiddleware(t *testing.T) {
 	_, srv := fixture(t)
-	h := srv.withRecovery(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	h := srv.mw.withRecovery(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		panic("boom")
 	}))
 	rec := httptest.NewRecorder()

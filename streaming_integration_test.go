@@ -66,7 +66,7 @@ func TestStreamingIngestEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := srv.EnableIngest(acc); err != nil {
+	if err := srv.EnableIngest(acc, 10*time.Millisecond); err != nil {
 		t.Fatal(err)
 	}
 	comp, err := ingest.NewCompactor(acc, 10*time.Millisecond, func(d []profilestore.TagDelta, n int) error {
