@@ -673,7 +673,7 @@ func BenchmarkIngestFold(b *testing.B) {
 				if err := acc.Add(events); err != nil {
 					b.Fatal(err)
 				}
-				deltas, n, _ := acc.Drain()
+				deltas, n, _, _ := acc.Drain()
 				next, err := profilestore.Rebuild(store.Load(), deltas, n)
 				if err != nil {
 					b.Fatal(err)

@@ -65,6 +65,7 @@ func startClusterNode(t *testing.T, ring *cluster.Ring, index, count int, foldEv
 	if err := srv.EnableIngest(acc, foldEvery); err != nil {
 		t.Fatal(err)
 	}
+	srv.SetReady()
 	comp, err := ingest.NewCompactor(acc, foldEvery, func(d []profilestore.TagDelta, n int) error {
 		return srv.ApplyDeltas(d, n, tagviews.WeightIDF)
 	}, nil)

@@ -17,13 +17,24 @@
 //	serve -addr 127.0.0.1:8091 -ingest-interval 2s -ingest-buffer 1000000
 //	serve -addr 127.0.0.1:8091 -ingest-interval 0   # read-only daemon
 //	serve -addr 127.0.0.1:8091 -shard 0/3           # one cluster shard
+//	serve -addr 127.0.0.1:8091 -data-dir /var/lib/viewstags  # durable
 //
 // With -shard i/n the daemon serves the tag partition a shared
 // consistent-hash ring (internal/cluster) assigns shard i, for use
 // behind cmd/gateway — see OPERATIONS.md "Cluster topology".
 //
+// With -data-dir the daemon is durable (internal/persist): every acked
+// ingest batch is journaled to a write-ahead log before the ack, the
+// serving snapshot is checkpointed every -checkpoint-every folds (and
+// at shutdown), and a restart recovers the newest checkpoint plus the
+// journal tail — so a crash loses nothing that was acknowledged. Under
+// -shard i/n the state lives in a shard-<i>-of-<n> subdirectory, so
+// shards can share one volume. See OPERATIONS.md "Durability &
+// recovery" for fsync and checkpoint tuning.
+//
 // SIGINT/SIGTERM triggers a graceful shutdown that drains in-flight
-// requests and folds any accepted-but-unfolded events.
+// requests and folds (and, with -data-dir, checkpoints) any
+// accepted-but-unfolded events.
 package main
 
 import (
@@ -33,6 +44,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
@@ -41,6 +53,7 @@ import (
 	"viewstags/internal/alexa"
 	"viewstags/internal/cluster"
 	"viewstags/internal/ingest"
+	"viewstags/internal/persist"
 	"viewstags/internal/pipeline"
 	"viewstags/internal/profilestore"
 	"viewstags/internal/server"
@@ -92,6 +105,9 @@ func run() error {
 		ingestEvery  = flag.Duration("ingest-interval", 3*time.Second, "fold interval for live view events (0 disables /v1/ingest)")
 		ingestBuffer = flag.Int("ingest-buffer", 1<<20, "max tag attributions (events x tags) buffered between folds")
 		shardSpec    = flag.String("shard", "", "serve one tag partition as shard i/n (0-based, e.g. 0/3); empty = the whole vocabulary")
+		dataDir      = flag.String("data-dir", "", "durable state directory: WAL + snapshot checkpoints + crash recovery (empty = in-memory only)")
+		fsyncPolicy  = flag.String("fsync", "never", "WAL/checkpoint fsync policy: always (survives power loss) or never (survives process death)")
+		ckptEvery    = flag.Int("checkpoint-every", 16, "checkpoint the serving snapshot every N folds (0 = only at shutdown or via POST /v1/checkpoint)")
 	)
 	flag.Parse()
 
@@ -133,6 +149,42 @@ func run() error {
 	if err != nil {
 		return err
 	}
+
+	// Durable state: open the data directory and, when a checkpoint
+	// exists, serve the recovered snapshot instead of the fresh build —
+	// the checkpoint is the build plus every fold the previous process
+	// acked. Shards get per-shard subdirectories so a cluster can share
+	// one volume.
+	var mgr *persist.Manager
+	var recMeta persist.CheckpointMeta
+	recovered := false
+	if *dataDir != "" {
+		fsync, err := persist.ParseFsync(*fsyncPolicy)
+		if err != nil {
+			return err
+		}
+		pdir := *dataDir
+		if shardCount > 1 {
+			pdir = filepath.Join(pdir, fmt.Sprintf("shard-%d-of-%d", shardIndex, shardCount))
+		}
+		if mgr, err = persist.Open(persist.Options{Dir: pdir, Fsync: fsync, Logger: logger}); err != nil {
+			return err
+		}
+		recSnap, meta, found, err := mgr.LoadCheckpoint(res.Analysis.World)
+		if err != nil {
+			return err
+		}
+		if found {
+			snap = recSnap
+			recMeta = meta
+			recovered = true
+			logger.Printf("persist: recovered checkpoint gen %d epoch %d (%d tags, %d records) from %s",
+				meta.Gen, meta.Epoch, snap.NumTags(), snap.Records(), pdir)
+		} else {
+			logger.Printf("persist: no checkpoint in %s, starting from the fresh build", pdir)
+		}
+	}
+
 	store, err := profilestore.NewStore(snap)
 	if err != nil {
 		return err
@@ -197,6 +249,45 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		if mgr != nil {
+			// Recovery: position the accumulator at the checkpoint's
+			// generation and epoch, replay the journal tail past it,
+			// then fold-and-checkpoint so the node starts serving from
+			// durable, collapsed state. Only after that does the WAL
+			// attach as the journal — replayed batches are already on
+			// disk and must not be re-appended.
+			acc.Restore(recMeta.Gen, recMeta.Epoch)
+			maxGen, applied, err := mgr.Replay(recMeta.Gen, acc.Replay)
+			if err != nil {
+				return err
+			}
+			if maxGen >= recMeta.Gen {
+				acc.Restore(maxGen+1, recMeta.Epoch)
+			}
+			comp.SetCheckpoint(func(gen uint64) error {
+				return mgr.SaveCheckpoint(persist.CheckpointMeta{Gen: gen, Epoch: acc.Epoch()}, store.Load().Export())
+			}, *ckptEvery)
+			if applied > 0 {
+				logger.Printf("persist: replayed %d journal records past gen %d", applied, recMeta.Gen)
+			}
+			// Always checkpoint at boot: on a first start this pins the
+			// base build durably; after a crash it folds the replayed
+			// tail into a fresh checkpoint and prunes the old segments.
+			if _, err := comp.CheckpointNow(); err != nil {
+				return err
+			}
+			acc.SetJournal(mgr)
+			if err := srv.EnablePersist(mgr.Stats, func() (server.CheckpointStatus, error) {
+				if _, err := comp.CheckpointNow(); err != nil {
+					return server.CheckpointStatus{}, err
+				}
+				st := mgr.Stats()
+				return server.CheckpointStatus{Gen: st.CheckpointGen, Epoch: st.CheckpointEpoch}, nil
+			}); err != nil {
+				return err
+			}
+			logger.Printf("persist: journaling to %s (fsync %s, checkpoint every %d folds)", *dataDir, *fsyncPolicy, *ckptEvery)
+		}
 		var compCtx context.Context
 		compCtx, compactorStop = context.WithCancel(context.Background())
 		defer compactorStop() // idempotent; the drain path cancels first
@@ -207,17 +298,47 @@ func run() error {
 		}()
 		logger.Printf("ingest enabled: folding every %s, buffer %d events", *ingestEvery, *ingestBuffer)
 	} else {
+		if mgr != nil {
+			// Read-only durable daemon: the journal cannot be folded
+			// (no accumulator), so any records past the checkpoint
+			// would be acked-but-invisible — refuse rather than serve
+			// silently stale state. The scan also truncates a torn
+			// tail, which by definition was never acked.
+			tail := int64(0)
+			if _, n, err := mgr.Replay(recMeta.Gen, func([]ingest.Event, []string) error { return nil }); err != nil {
+				return err
+			} else if tail = n; tail > 0 {
+				return fmt.Errorf("persist: %d journaled ingest records past checkpoint gen %d would be invisible with -ingest-interval 0; start with ingestion enabled to replay them (or move the wal-*.log files aside to accept their loss)", tail, recMeta.Gen)
+			}
+			if err := srv.EnablePersist(mgr.Stats, nil); err != nil {
+				return err
+			}
+			if recovered {
+				logger.Printf("persist: read-only daemon serving the recovered checkpoint (journal empty past it)")
+			}
+		}
 		logger.Printf("ingest disabled (-ingest-interval 0): /v1/ingest answers 503")
 	}
+
+	// Recovery (if any) is complete and the serving snapshot installed:
+	// flip /readyz so probes admit the node to rotation.
+	srv.SetReady()
 
 	logger.Printf("serving on http://%s (predict/ingest/place/preload; ^C to drain)", *addr)
 	err = srv.Run(ctx, *addr, *grace)
 	if compactorDone != nil {
 		// The listener is closed and in-flight requests are drained;
-		// stop the compactor now so its shutdown path folds everything
-		// accepted up to and including the grace window.
+		// stop the compactor now so its shutdown path folds — and, with
+		// -data-dir, checkpoints — everything accepted up to and
+		// including the grace window: a clean stop never strands an
+		// acked event.
 		compactorStop()
 		<-compactorDone
+	}
+	if mgr != nil {
+		if cerr := mgr.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
 	}
 	return err
 }

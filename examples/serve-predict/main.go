@@ -59,6 +59,9 @@ func run() error {
 	if err := srv.SetCatalog(res.Catalog, snap.PredictCatalog(res.Catalog, tagviews.WeightIDF)); err != nil {
 		return err
 	}
+	// No recovery phase here, so the server is ready as soon as it is
+	// wired: flip /readyz before serving.
+	srv.SetReady()
 
 	// Online: serve on an ephemeral port, drive it, shut down cleanly.
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -97,10 +100,10 @@ func run() error {
 	return <-done
 }
 
-// waitReady polls /healthz until the listener is up.
+// waitReady polls /readyz until the server admits traffic.
 func waitReady(base string) error {
 	for i := 0; i < 50; i++ {
-		resp, err := http.Get(base + "/healthz")
+		resp, err := http.Get(base + "/readyz")
 		if err == nil {
 			_ = resp.Body.Close()
 			if resp.StatusCode == http.StatusOK {

@@ -27,6 +27,7 @@ var gatewayRoutes = []string{
 	"/v1/tags",
 	"/v1/stats",
 	"/healthz",
+	"/readyz",
 }
 
 // GatewayRoutes returns every route path the gateway registers, in
@@ -173,6 +174,8 @@ func (g *Gateway) handlerFor(path string) http.HandlerFunc {
 		return g.handleStats
 	case "/healthz":
 		return g.handleHealth
+	case "/readyz":
+		return g.handleReady
 	default:
 		panic("cluster: gateway route " + path + " has no handler")
 	}
@@ -198,6 +201,11 @@ func (g *Gateway) Sync(ctx context.Context) error {
 		if meta.RingSignature != sig {
 			return fmt.Errorf("cluster: shard %d (%s) ring signature %q, gateway has %q — partitioned with a different ring",
 				i, target, meta.RingSignature, sig)
+		}
+		if !meta.Ready {
+			// Still recovering durable state; the daemon's sync-with-retry
+			// loop will come back once /readyz flips.
+			return fmt.Errorf("cluster: shard %d (%s) is not ready yet (recovery in progress)", i, target)
 		}
 		if g.codes == nil {
 			g.codes = meta.Countries
@@ -265,9 +273,11 @@ func (g *Gateway) healthLoop(ctx context.Context) {
 // RefreshHealth probes every shard's /internal/meta once, concurrently,
 // updating epochs, record counts and up/down state. A probe success
 // immediately revives a down shard; failures accumulate toward
-// FailThreshold like any other shard call. Exposed so tests (and
-// operators embedding the gateway) can force a poll instead of waiting
-// out the interval.
+// FailThreshold like any other shard call. A shard that answers but
+// reports itself unready — still recovering its durable state — counts
+// as a failure too: routing to it would serve from a half-replayed
+// journal. Exposed so tests (and operators embedding the gateway) can
+// force a poll instead of waiting out the interval.
 func (g *Gateway) RefreshHealth(ctx context.Context) {
 	var wg sync.WaitGroup
 	for i := range g.targets {
@@ -276,6 +286,10 @@ func (g *Gateway) RefreshHealth(ctx context.Context) {
 			defer wg.Done()
 			var meta server.InternalMetaResponse
 			if err := g.getJSON(ctx, g.targets[i]+"/internal/meta", &meta); err != nil {
+				g.markFail(i)
+				return
+			}
+			if !meta.Ready {
 				g.markFail(i)
 				return
 			}
@@ -291,10 +305,19 @@ func (g *Gateway) markOK(i int, epoch uint64) {
 	s := g.shards[i]
 	s.fails.Store(0)
 	if s.down.CompareAndSwap(true, false) {
-		g.logger.Printf("cluster: shard %d (%s) back up", i, g.targets[i])
+		// Revival is the one moment the tracked epoch may move BACKWARD:
+		// a shard that crashed and recovered from its last checkpoint
+		// legitimately rejoins at the epoch it restored, which can trail
+		// what it reported before the crash. Pinning the old value would
+		// overstate the cluster's min-epoch fold horizon — telling
+		// clients their ingested events were folded everywhere when the
+		// recovered shard hasn't folded them yet.
+		s.epoch.Store(epoch)
+		g.logger.Printf("cluster: shard %d (%s) back up at epoch %d", i, g.targets[i], epoch)
+		return
 	}
-	// Epochs only move forward; a stale concurrent read must not
-	// regress the tracked value.
+	// Steady state: epochs only move forward; a stale concurrent read
+	// must not regress the tracked value.
 	for {
 		cur := s.epoch.Load()
 		if epoch <= cur || s.epoch.CompareAndSwap(cur, epoch) {

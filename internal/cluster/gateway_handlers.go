@@ -542,3 +542,24 @@ func (g *Gateway) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"countries": len(g.codes),
 	})
 }
+
+// handleReady is the gateway's readiness probe: unlike /healthz (which
+// stays 200 while degraded, for liveness), it answers 503 whenever any
+// shard is down or still recovering — a predict must touch every
+// shard, so a gateway missing one cannot serve its full surface and
+// should be rotated out until the cluster heals.
+func (g *Gateway) handleReady(w http.ResponseWriter, r *http.Request) {
+	cs := g.clusterStats()
+	h := map[string]any{
+		"shards":  len(g.targets),
+		"healthy": cs.Healthy,
+		"epoch":   cs.Epoch,
+	}
+	if cs.Healthy < len(g.targets) {
+		h["status"] = "degraded"
+		server.WriteJSON(w, http.StatusServiceUnavailable, h)
+		return
+	}
+	h["status"] = "ready"
+	server.WriteJSON(w, http.StatusOK, h)
+}

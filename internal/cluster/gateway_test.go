@@ -81,6 +81,7 @@ func startNode(t *testing.T, ring *Ring, index, count int) *node {
 	if err := srv.EnableIngest(acc, time.Second); err != nil {
 		t.Fatal(err)
 	}
+	srv.SetReady()
 	comp, err := ingest.NewCompactor(acc, time.Hour, func(d []profilestore.TagDelta, n int) error {
 		return srv.ApplyDeltas(d, n, tagviews.WeightIDF)
 	}, nil)

@@ -1,0 +1,190 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"viewstags/internal/server"
+)
+
+// fakeShard is a scriptable /internal/meta endpoint: enough surface for
+// the gateway's Sync and health loop, with mutable epoch / readiness /
+// reachability.
+type fakeShard struct {
+	sig   string
+	epoch atomic.Uint64
+	ready atomic.Bool
+	fail  atomic.Bool
+	ts    *httptest.Server
+}
+
+func newFakeShard(t *testing.T, sig string) *fakeShard {
+	t.Helper()
+	f := &fakeShard{sig: sig}
+	f.ready.Store(true)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/internal/meta", func(w http.ResponseWriter, r *http.Request) {
+		if f.fail.Load() {
+			// Kill the connection: a transport failure, not a protocol
+			// answer, which is what counts toward down-marking.
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Error("recorder not hijackable")
+				return
+			}
+			conn, _, _ := hj.Hijack()
+			_ = conn.Close()
+			return
+		}
+		_ = json.NewEncoder(w).Encode(server.InternalMetaResponse{
+			Index:         0,
+			Shards:        1,
+			RingSignature: f.sig,
+			Countries:     []string{"US", "JP"},
+			Prior:         []float64{0.6, 0.4},
+			Records:       10,
+			Tags:          5,
+			Epoch:         f.epoch.Load(),
+			IngestEnabled: true,
+			Ready:         f.ready.Load(),
+		})
+	})
+	f.ts = httptest.NewServer(mux)
+	t.Cleanup(f.ts.Close)
+	return f
+}
+
+func readinessGateway(t *testing.T, target string) *Gateway {
+	t.Helper()
+	cfg := DefaultGatewayConfig()
+	cfg.FailThreshold = 2
+	cfg.Logger = log.New(io.Discard, "", 0)
+	g, err := NewGateway(cfg, []string{target})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestGatewayRejoinAtRecoveredEpoch pins the crash-recovery rejoin
+// contract: a shard that goes down and comes back reporting a LOWER
+// epoch (it recovered from its last checkpoint) must have the gateway's
+// tracked epoch follow it down — the min-epoch fold horizon must not
+// overstate what the recovered shard has folded.
+func TestGatewayRejoinAtRecoveredEpoch(t *testing.T) {
+	ring, err := NewRing(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shard := newFakeShard(t, ring.Signature())
+	shard.epoch.Store(10)
+	g := readinessGateway(t, shard.ts.URL)
+	if err := g.Sync(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if e := g.minEpoch(); e != 10 {
+		t.Fatalf("epoch after sync = %d, want 10", e)
+	}
+
+	// Crash: two failed probes mark it down.
+	shard.fail.Store(true)
+	g.RefreshHealth(context.Background())
+	g.RefreshHealth(context.Background())
+	if cs := g.clusterStats(); cs.Healthy != 0 {
+		t.Fatalf("shard still healthy after %d failed probes", 2)
+	}
+
+	// Recovery: the shard rejoins at epoch 3 (checkpoint + replay).
+	shard.fail.Store(false)
+	shard.epoch.Store(3)
+	g.RefreshHealth(context.Background())
+	cs := g.clusterStats()
+	if cs.Healthy != 1 {
+		t.Fatal("shard did not revive on a successful probe")
+	}
+	if e := g.minEpoch(); e != 3 {
+		t.Fatalf("epoch after rejoin = %d, want the recovered 3, not the stale 10", e)
+	}
+
+	// Steady state still refuses regressions (stale concurrent reads).
+	g.markOK(0, 7)
+	g.markOK(0, 5)
+	if e := g.minEpoch(); e != 7 {
+		t.Fatalf("steady-state epoch regressed to %d, want 7", e)
+	}
+}
+
+// TestGatewayTreatsUnreadyShardAsDown pins the readiness split at the
+// cluster edge: a shard that answers but is still recovering counts as
+// failing, the gateway's /readyz goes 503 while any shard is out, and
+// both recover once the shard is ready again.
+func TestGatewayTreatsUnreadyShardAsDown(t *testing.T) {
+	ring, err := NewRing(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shard := newFakeShard(t, ring.Signature())
+	g := readinessGateway(t, shard.ts.URL)
+	if err := g.Sync(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	readyCode := func() int {
+		rec := httptest.NewRecorder()
+		g.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+		return rec.Code
+	}
+	healthCode := func() int {
+		rec := httptest.NewRecorder()
+		g.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+		return rec.Code
+	}
+	if code := readyCode(); code != http.StatusOK {
+		t.Fatalf("/readyz with all shards up: %d, want 200", code)
+	}
+
+	shard.ready.Store(false)
+	g.RefreshHealth(context.Background())
+	g.RefreshHealth(context.Background())
+	if cs := g.clusterStats(); cs.Healthy != 0 {
+		t.Fatal("unready shard still counted healthy after threshold probes")
+	}
+	if code := readyCode(); code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz with a recovering shard: %d, want 503", code)
+	}
+	if code := healthCode(); code != http.StatusOK {
+		t.Fatalf("/healthz must stay 200 (liveness) while degraded, got %d", code)
+	}
+
+	shard.ready.Store(true)
+	g.RefreshHealth(context.Background())
+	if code := readyCode(); code != http.StatusOK {
+		t.Fatalf("/readyz after shard recovery: %d, want 200", code)
+	}
+}
+
+// TestSyncRefusesUnreadyShard pins startup ordering: the gateway's
+// sync-with-retry loop must not come up over a shard that is still
+// replaying its journal.
+func TestSyncRefusesUnreadyShard(t *testing.T) {
+	ring, err := NewRing(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shard := newFakeShard(t, ring.Signature())
+	shard.ready.Store(false)
+	g := readinessGateway(t, shard.ts.URL)
+	if err := g.Sync(context.Background()); err == nil {
+		t.Fatal("Sync accepted an unready shard")
+	}
+	shard.ready.Store(true)
+	if err := g.Sync(context.Background()); err != nil {
+		t.Fatalf("Sync after recovery: %v", err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"sync"
 	"time"
 
 	"viewstags/internal/profilestore"
@@ -16,15 +17,43 @@ import (
 // paths and the two cannot drift.
 type InstallFunc func(deltas []profilestore.TagDelta, newRecords int) error
 
+// CheckpointFunc persists the currently served snapshot as covering
+// every journaled record with generation < gen — internal/persist's
+// checkpoint save (write, fsync, atomic rename, prune obsolete WAL
+// segments) is the canonical implementation. The compactor only ever
+// calls it directly after an install, under the fold lock, so the
+// snapshot on the store is exactly the one the generation describes.
+type CheckpointFunc func(gen uint64) error
+
 // Compactor drives the epoch loop: every interval it drains the
 // accumulator and hands the deltas to the installer; each successful
 // install advances the accumulator's epoch. Empty epochs are skipped,
-// so a quiet stream causes no snapshot churn.
+// so a quiet stream causes no snapshot churn. With a checkpoint hook
+// attached it also persists the snapshot every few folds and once more
+// at shutdown, so a clean stop leaves nothing to replay.
 type Compactor struct {
 	acc      *Accumulator
 	interval time.Duration
 	install  InstallFunc
 	logger   *log.Logger
+
+	// mu serializes folds and checkpoints: the ticker loop, the
+	// shutdown flush and the admin checkpoint route may all call in
+	// concurrently, and a checkpoint must persist the snapshot of the
+	// drain generation it is labeled with — a fold slipping in between
+	// would make the label a lie and recovery double-apply.
+	mu         sync.Mutex
+	checkpoint CheckpointFunc
+	ckptEvery  int
+	sinceCkpt  int
+	// broken is set when a fold install fails: the drained deltas are
+	// gone from the in-memory snapshot, so any LATER checkpoint would
+	// claim to cover their generation while missing their data — and
+	// recovery would never replay them. Once broken, checkpointing is
+	// refused for the life of the process; the journal retains every
+	// record since the last good checkpoint, and a restart rebuilds the
+	// true state from checkpoint + full replay.
+	broken bool
 }
 
 // NewCompactor wires a compactor. interval <= 0 selects the default of
@@ -45,35 +74,85 @@ func NewCompactor(acc *Accumulator, interval time.Duration, install InstallFunc,
 	return &Compactor{acc: acc, interval: interval, install: install, logger: logger}, nil
 }
 
-// FoldNow drains and installs one epoch synchronously. It reports
-// whether a fold happened (false: nothing pending). Exposed for tests
-// and for operators that want a fold on demand (e.g. before a drain).
+// SetCheckpoint attaches the persistence hook: fn runs after every
+// everyFolds successful installs (everyFolds <= 0: only at shutdown or
+// on CheckpointNow) and on the shutdown flush. Call before Run.
+func (c *Compactor) SetCheckpoint(fn CheckpointFunc, everyFolds int) {
+	c.mu.Lock()
+	c.checkpoint = fn
+	c.ckptEvery = everyFolds
+	c.mu.Unlock()
+}
+
+// FoldNow drains and installs one epoch synchronously, checkpointing if
+// the cadence is due. It reports whether a fold happened (false:
+// nothing pending). Exposed for tests and for operators that want a
+// fold on demand (e.g. before a drain).
 func (c *Compactor) FoldNow() (bool, error) {
-	deltas, newRecords, _ := c.acc.Drain()
-	if len(deltas) == 0 && newRecords == 0 {
-		return false, nil
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.foldLocked(false)
+}
+
+// CheckpointNow folds and then checkpoints unconditionally (when a
+// checkpoint hook is attached) — the admin /v1/checkpoint route, the
+// recovery boot path and the shutdown flush. It reports whether a fold
+// happened; the checkpoint runs either way, so even a quiet stream gets
+// its WAL bounded.
+func (c *Compactor) CheckpointNow() (bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.foldLocked(true)
+}
+
+func (c *Compactor) foldLocked(forceCkpt bool) (bool, error) {
+	deltas, newRecords, _, gen := c.acc.Drain()
+	folded := false
+	if len(deltas) > 0 || newRecords > 0 {
+		start := time.Now()
+		if err := c.install(deltas, newRecords); err != nil {
+			// The drained deltas are lost from memory — but not from the
+			// journal, when one is attached: recovery replays them. This
+			// only fires on programming errors (shape mismatches), not
+			// load. Checkpointing is disabled from here on (see broken):
+			// a later checkpoint would mark this generation covered
+			// without its data in the snapshot, silently dropping acked
+			// records from every future recovery.
+			if c.checkpoint != nil && !c.broken {
+				c.broken = true
+				c.logger.Printf("ingest: checkpointing disabled after a failed fold install; the journal retains the records — restart to recover")
+			}
+			return false, fmt.Errorf("ingest: fold install: %w", err)
+		}
+		c.acc.noteFold(time.Since(start), len(deltas))
+		folded = true
+		c.sinceCkpt++
 	}
-	start := time.Now()
-	if err := c.install(deltas, newRecords); err != nil {
-		// The drained deltas are lost; the stream continues. This only
-		// fires on programming errors (shape mismatches), not load.
-		return false, fmt.Errorf("ingest: fold install: %w", err)
+	if c.checkpoint != nil && (forceCkpt || (folded && c.ckptEvery > 0 && c.sinceCkpt >= c.ckptEvery)) {
+		if c.broken {
+			return folded, fmt.Errorf("ingest: checkpointing disabled after an earlier fold-install failure; restart to recover from the journal")
+		}
+		if err := c.checkpoint(gen); err != nil {
+			// The fold itself succeeded; the WAL simply stays longer.
+			return folded, fmt.Errorf("ingest: checkpoint: %w", err)
+		}
+		c.sinceCkpt = 0
 	}
-	c.acc.noteFold(time.Since(start), len(deltas))
-	return true, nil
+	return folded, nil
 }
 
 // Run folds every interval until ctx is canceled, then performs one
-// final fold so a graceful shutdown doesn't strand accepted events.
-// Install errors are logged, not fatal: one bad epoch must not stop the
-// stream.
+// final fold-and-checkpoint so a graceful shutdown doesn't strand
+// accepted events: everything acked is either checkpointed or still in
+// the journal when the process exits. Install errors are logged, not
+// fatal: one bad epoch must not stop the stream.
 func (c *Compactor) Run(ctx context.Context) {
 	tick := time.NewTicker(c.interval)
 	defer tick.Stop()
 	for {
 		select {
 		case <-ctx.Done():
-			if _, err := c.FoldNow(); err != nil {
+			if _, err := c.CheckpointNow(); err != nil {
 				c.logger.Printf("%v", err)
 			}
 			return

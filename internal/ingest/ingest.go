@@ -22,6 +22,13 @@
 // between folds, and Add fails fast with ErrBufferFull once the bound
 // is hit — the HTTP layer translates that into 503 + Retry-After, the
 // same crisp overload behavior as the concurrency limiter.
+//
+// Durability is an optional hook: with a Journal attached (normally
+// internal/persist's write-ahead log), Add appends every batch before
+// applying it, so an ack implies the events are on disk; Drain stamps
+// each epoch with a monotonic generation that tells recovery exactly
+// which journal records a checkpoint covers, and Replay re-applies the
+// uncovered tail at boot.
 package ingest
 
 import (
@@ -52,6 +59,24 @@ const MaxEventTags = 64
 // Callers should shed load (HTTP: 503 + Retry-After) and retry after
 // the next fold.
 var ErrBufferFull = errors.New("ingest: delta buffer full, retry after next fold")
+
+// ErrJournal wraps a journal append failure: the batch was NOT applied
+// (ack implies journaled, so an unjournalable batch must be rejected
+// whole). The HTTP layer maps it to 503 — the likely cause is a full or
+// failing disk, which load shedding, not a 400, describes.
+var ErrJournal = errors.New("ingest: journal append failed")
+
+// Journal persists an accepted batch before it is acknowledged — the
+// durability hook internal/persist implements with its write-ahead log.
+// Append is called with the accumulator's current drain generation
+// under a lock that excludes Drain, so every journaled record belongs
+// to exactly one fold: records appended at generation g are drained
+// precisely by the drain that returns g+1. A checkpoint taken after
+// that drain therefore covers every record with generation < g+1, and
+// recovery replays the rest.
+type Journal interface {
+	Append(gen uint64, events []Event, uploads []string) error
+}
 
 // Event is one view-stream observation: Views additional views of video
 // Video, watched from Country, attributed to the video's Tags. Upload
@@ -94,6 +119,9 @@ type Stats struct {
 	Pending    int64   `json:"pending"`
 	LastFoldMs float64 `json:"last_fold_ms"`
 	LastTags   int64   `json:"last_fold_tags"` // tags touched by the last fold
+	// Replayed counts events re-applied from the journal at recovery;
+	// they are included in Events.
+	Replayed int64 `json:"replayed,omitempty"`
 }
 
 // Accumulator absorbs events between folds. All methods are safe for
@@ -105,13 +133,23 @@ type Accumulator struct {
 	seed   maphash.Seed
 	shards [numShards]shard
 
-	pending atomic.Int64
-	events  atomic.Int64
-	dropped atomic.Int64
-	epoch   atomic.Uint64
+	pending  atomic.Int64
+	events   atomic.Int64
+	dropped  atomic.Int64
+	replayed atomic.Int64
+	epoch    atomic.Uint64
 
 	lastFoldNs atomic.Int64
 	lastTags   atomic.Int64
+
+	// foldMu fences writes against drains: Add and AddUploads hold it
+	// shared around journal-then-apply, Drain holds it exclusively — so
+	// no batch ever straddles a drain boundary, and every journaled
+	// record's generation maps it to exactly one fold. gen is the drain
+	// generation, guarded by foldMu.
+	foldMu  sync.RWMutex
+	gen     uint64
+	journal Journal
 }
 
 // NewAccumulator sizes an accumulator against the store it will fold
@@ -141,41 +179,64 @@ func (a *Accumulator) shardOf(s string) *shard {
 	return &a.shards[maphash.String(a.seed, s)&(numShards-1)]
 }
 
-// Add validates and absorbs a batch of events. It is the single
-// validation layer for event semantics (the HTTP handler only resolves
-// country codes), and it is all-or-nothing: a malformed event or a
-// buffer overflow rejects the whole batch before any event is applied.
-func (a *Accumulator) Add(events []Event) error {
+// SetJournal attaches the durability hook: every subsequently accepted
+// batch is appended to j before it is applied (and so before it is
+// acked). Call during startup, after any recovery replay and before
+// serving traffic — replayed batches are already journaled and must not
+// be re-appended.
+func (a *Accumulator) SetJournal(j Journal) {
+	a.foldMu.Lock()
+	a.journal = j
+	a.foldMu.Unlock()
+}
+
+// Restore positions the accumulator's counters after a recovery: gen is
+// the next drain generation (past every journaled record that the
+// checkpoint covers or the replay re-applied), epoch the fold count the
+// checkpoint recorded — so a recovered node rejoins reporting the epoch
+// it had actually reached, rather than restarting from zero. Call
+// before serving traffic.
+func (a *Accumulator) Restore(gen, epoch uint64) {
+	a.foldMu.Lock()
+	a.gen = gen
+	a.foldMu.Unlock()
+	a.epoch.Store(epoch)
+}
+
+// validate checks a batch against the event contract and returns its
+// buffered-attribution charge. It is the single validation layer for
+// event semantics (the HTTP handler only resolves country codes).
+func (a *Accumulator) validate(events []Event) (int64, error) {
 	charge := int64(0) // tag attributions this batch will buffer
 	for i := range events {
 		e := &events[i]
 		if len(e.Tags) == 0 {
-			return fmt.Errorf("ingest: event %d has no tags", i)
+			return 0, fmt.Errorf("ingest: event %d has no tags", i)
 		}
 		if len(e.Tags) > MaxEventTags {
-			return fmt.Errorf("ingest: event %d has %d tags, limit %d", i, len(e.Tags), MaxEventTags)
+			return 0, fmt.Errorf("ingest: event %d has %d tags, limit %d", i, len(e.Tags), MaxEventTags)
 		}
 		for _, tag := range e.Tags {
 			if tag == "" {
-				return fmt.Errorf("ingest: event %d has an empty tag", i)
+				return 0, fmt.Errorf("ingest: event %d has an empty tag", i)
 			}
 		}
 		if int(e.Country) < 0 || int(e.Country) >= a.nC {
-			return fmt.Errorf("ingest: event %d country %d out of range", i, int(e.Country))
+			return 0, fmt.Errorf("ingest: event %d country %d out of range", i, int(e.Country))
 		}
 		if e.Views < 0 {
-			return fmt.Errorf("ingest: event %d has negative views", i)
+			return 0, fmt.Errorf("ingest: event %d has negative views", i)
 		}
 		if e.Upload && e.Video == "" {
-			return fmt.Errorf("ingest: event %d is an upload without a video id", i)
+			return 0, fmt.Errorf("ingest: event %d is an upload without a video id", i)
 		}
 		charge += int64(len(e.Tags))
 	}
-	if n := a.pending.Add(charge); n > a.buffer {
-		a.pending.Add(-charge)
-		a.dropped.Add(int64(len(events)))
-		return ErrBufferFull
-	}
+	return charge, nil
+}
+
+// apply folds a validated batch into the shard delta maps.
+func (a *Accumulator) apply(events []Event) {
 	snap := a.store.Load()
 	for i := range events {
 		e := &events[i]
@@ -211,6 +272,62 @@ func (a *Accumulator) Add(events []Event) error {
 		}
 	}
 	a.events.Add(int64(len(events)))
+}
+
+// Add validates, journals (when a journal is attached) and absorbs a
+// batch of events, all-or-nothing: a malformed event, a buffer overflow
+// or a failed journal append rejects the whole batch before any event
+// is applied. A nil-error return therefore means the batch is both
+// visible to the next fold and durable.
+func (a *Accumulator) Add(events []Event) error {
+	charge, err := a.validate(events)
+	if err != nil {
+		return err
+	}
+	if n := a.pending.Add(charge); n > a.buffer {
+		a.pending.Add(-charge)
+		a.dropped.Add(int64(len(events)))
+		return ErrBufferFull
+	}
+	a.foldMu.RLock()
+	if a.journal != nil {
+		if err := a.journal.Append(a.gen, events, nil); err != nil {
+			a.foldMu.RUnlock()
+			a.pending.Add(-charge)
+			a.dropped.Add(int64(len(events)))
+			return fmt.Errorf("%w: %v", ErrJournal, err)
+		}
+	}
+	a.apply(events)
+	a.foldMu.RUnlock()
+	return nil
+}
+
+// Replay re-applies a journaled batch during recovery: same validation
+// and apply path as Add, but no journaling (the record is already on
+// disk) and no buffer bound (everything acked before the crash must be
+// accepted back, even if the configured buffer shrank). Call before
+// serving traffic; the replayed events sit in the buffer until the
+// recovery fold drains them.
+func (a *Accumulator) Replay(events []Event, uploads []string) error {
+	charge, err := a.validate(events)
+	if err != nil {
+		return err
+	}
+	for i, v := range uploads {
+		if v == "" {
+			return fmt.Errorf("ingest: upload %d has no video id", i)
+		}
+	}
+	a.pending.Add(charge)
+	a.apply(events)
+	a.replayed.Add(int64(len(events)))
+	for _, v := range uploads {
+		vs := a.shardOf(v)
+		vs.mu.Lock()
+		vs.uploads[v] = true
+		vs.mu.Unlock()
+	}
 	return nil
 }
 
@@ -230,6 +347,13 @@ func (a *Accumulator) AddUploads(videos []string) error {
 			return fmt.Errorf("ingest: upload %d has no video id", i)
 		}
 	}
+	a.foldMu.RLock()
+	defer a.foldMu.RUnlock()
+	if a.journal != nil {
+		if err := a.journal.Append(a.gen, nil, videos); err != nil {
+			return fmt.Errorf("%w: %v", ErrJournal, err)
+		}
+	}
 	for _, v := range videos {
 		vs := a.shardOf(v)
 		vs.mu.Lock()
@@ -241,9 +365,17 @@ func (a *Accumulator) AddUploads(videos []string) error {
 
 // Drain atomically takes everything accumulated since the last drain
 // and resets the buffer: the per-tag deltas (in unspecified order), the
-// number of distinct freshly uploaded videos, and the buffered charge
-// released (tag attributions). The caller owns the returned slices.
-func (a *Accumulator) Drain() (deltas []profilestore.TagDelta, newRecords int, released int64) {
+// number of distinct freshly uploaded videos, the buffered charge
+// released (tag attributions), and the new drain generation. The caller
+// owns the returned slices.
+//
+// The generation is the durability boundary: Drain holds the fold lock
+// exclusively, so every batch journaled at a generation < gen is fully
+// contained in this or an earlier drain — a checkpoint of the snapshot
+// this drain folds into covers exactly those records, and recovery
+// replays generations >= gen.
+func (a *Accumulator) Drain() (deltas []profilestore.TagDelta, newRecords int, released int64, gen uint64) {
+	a.foldMu.Lock()
 	for i := range a.shards {
 		sh := &a.shards[i]
 		sh.mu.Lock()
@@ -265,13 +397,12 @@ func (a *Accumulator) Drain() (deltas []profilestore.TagDelta, newRecords int, r
 		}
 		sh.mu.Unlock()
 	}
-	// Events that arrive between the per-shard drains above and this
-	// subtraction are either fully in the fresh maps (counted toward the
-	// next fold) or fully in the drained ones; pending only steers
-	// backpressure, so the transient skew is harmless.
+	a.gen++
+	gen = a.gen
 	released = a.pending.Load()
 	a.pending.Add(-released)
-	return deltas, newRecords, released
+	a.foldMu.Unlock()
+	return deltas, newRecords, released, gen
 }
 
 // noteFold records a completed fold's bookkeeping.
@@ -294,5 +425,6 @@ func (a *Accumulator) Stats() Stats {
 		Pending:    a.pending.Load(),
 		LastFoldMs: float64(a.lastFoldNs.Load()) / 1e6,
 		LastTags:   a.lastTags.Load(),
+		Replayed:   a.replayed.Load(),
 	}
 }

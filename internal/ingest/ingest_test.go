@@ -58,7 +58,7 @@ func TestAccumulateAndDrain(t *testing.T) {
 	if got := a.Stats().Events; got != 4 {
 		t.Fatalf("events = %d, want 4", got)
 	}
-	deltas, newRecords, released := a.Drain()
+	deltas, newRecords, released, _ := a.Drain()
 	if released != 6 {
 		t.Fatalf("drain released %d tag attributions, want 6", released)
 	}
@@ -94,14 +94,14 @@ func TestAccumulateAndDrain(t *testing.T) {
 	}
 
 	// Drain resets: a second drain is empty.
-	if d2, r2, e2 := a.Drain(); len(d2) != 0 || r2 != 0 || e2 != 0 {
+	if d2, r2, e2, _ := a.Drain(); len(d2) != 0 || r2 != 0 || e2 != 0 {
 		t.Fatalf("second drain not empty: %d deltas %d records %d events", len(d2), r2, e2)
 	}
 	// And the upload dedup set reset with it: v1 counts again next epoch.
 	if err := a.Add([]Event{{Video: "v1", Tags: []string{"pop"}, Country: br, Views: 1, Upload: true}}); err != nil {
 		t.Fatal(err)
 	}
-	if _, r3, _ := a.Drain(); r3 != 1 {
+	if _, r3, _, _ := a.Drain(); r3 != 1 {
 		t.Fatalf("post-drain upload not counted: %d", r3)
 	}
 }
@@ -304,7 +304,7 @@ func TestConcurrentAddDrain(t *testing.T) {
 				return
 			default:
 			}
-			deltas, _, _ := a.Drain()
+			deltas, _, _, _ := a.Drain()
 			mu.Lock()
 			for _, d := range deltas {
 				if d.Name == "zz-conc" {
@@ -316,7 +316,7 @@ func TestConcurrentAddDrain(t *testing.T) {
 	}()
 	wg.Wait()
 	close(stop)
-	deltas, _, _ := a.Drain()
+	deltas, _, _, _ := a.Drain()
 	mu.Lock()
 	for _, d := range deltas {
 		if d.Name == "zz-conc" {

@@ -29,7 +29,7 @@ func TestAddUploads(t *testing.T) {
 		t.Fatalf("pending = %d, want 1 (announcements must not charge the buffer)", got)
 	}
 
-	deltas, newRecords, _ := a.Drain()
+	deltas, newRecords, _, _ := a.Drain()
 	if newRecords != 2 {
 		t.Fatalf("newRecords = %d, want 2 (u1 + u2, deduped across both paths)", newRecords)
 	}
@@ -50,7 +50,7 @@ func TestAddUploads(t *testing.T) {
 	if err := a.AddUploads([]string{"u1"}); err != nil {
 		t.Fatal(err)
 	}
-	if _, newRecords, _ := a.Drain(); newRecords != 1 {
+	if _, newRecords, _, _ := a.Drain(); newRecords != 1 {
 		t.Fatalf("post-drain newRecords = %d, want 1", newRecords)
 	}
 }
@@ -65,7 +65,7 @@ func TestAddUploadsRejectsEmptyID(t *testing.T) {
 		t.Fatal("empty video id accepted")
 	}
 	// All-or-nothing: the valid id must not have been registered.
-	if _, newRecords, _ := a.Drain(); newRecords != 0 {
+	if _, newRecords, _, _ := a.Drain(); newRecords != 0 {
 		t.Fatalf("newRecords = %d after rejected batch, want 0", newRecords)
 	}
 }
@@ -102,7 +102,7 @@ func TestAddUploadsConcurrent(t *testing.T) {
 		}(w)
 	}
 	wg.Wait()
-	_, newRecords, _ := a.Drain()
+	_, newRecords, _, _ := a.Drain()
 	if newRecords != vids {
 		t.Fatalf("newRecords = %d, want %d (every video exactly once)", newRecords, vids)
 	}

@@ -1,0 +1,533 @@
+package persist
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"viewstags/internal/geo"
+	"viewstags/internal/ingest"
+	"viewstags/internal/profilestore"
+)
+
+// keepCheckpoints is how many checkpoint files survive pruning: the
+// newest, plus one predecessor as a fallback against latent corruption
+// of the newest (recovery falls back automatically; the WAL records the
+// fallback needs are only pruned up to the OLDEST kept checkpoint —
+// see SaveCheckpoint).
+const keepCheckpoints = 2
+
+// segment is the Manager's view of one WAL file.
+type segment struct {
+	path    string
+	seq     uint64
+	size    int64
+	lastGen uint64 // highest generation appended (valid when records)
+	records bool   // holds at least one valid record
+	// known reports the segment's contents have been accounted for —
+	// scanned by Replay or written by this process. A segment that is
+	// neither must never be pruned: its generations are a mystery, so
+	// no checkpoint can prove it covered.
+	known bool
+}
+
+// ckptFile is one checkpoint on disk.
+type ckptFile struct {
+	path string
+	gen  uint64
+}
+
+// Manager owns one node's data directory: the checkpoint files, the WAL
+// segments and the recovery bookkeeping. It implements ingest.Journal,
+// so it plugs straight into the accumulator as the durability hook.
+//
+// Lifecycle: Open → LoadCheckpoint → Replay → (attach as journal, serve)
+// with SaveCheckpoint called by the compactor from then on. Append
+// refuses to run before Replay so a torn tail can never be appended
+// past.
+type Manager struct {
+	opts   Options
+	logger *log.Logger
+
+	// mu guards the WAL state and the shared stats fields. Checkpoint
+	// file writes deliberately happen outside it (see ckptMu), so a
+	// multi-megabyte checkpoint never stalls an ingest ack.
+	mu              sync.Mutex
+	segments        []*segment
+	ckpts           []ckptFile // ascending by gen
+	walFile         *os.File
+	active          *segment
+	appendBuf       bytes.Buffer
+	appends         int64
+	pendingTrunc    int64 // torn-tail rollback offset; < 0 when clean
+	replayDone      bool
+	tornTail        bool
+	replayedRecords int64
+	replayedEvents  int64
+	ckpt            CheckpointMeta
+	hasCkpt         bool
+	recovered       bool
+
+	// ckptMu serializes checkpoint writes (compactor cadence, admin
+	// route and shutdown flush may race).
+	ckptMu sync.Mutex
+}
+
+// Open scans (creating if absent) the data directory: leftover
+// temporaries from an interrupted checkpoint install are removed,
+// checkpoints and WAL segments are indexed. It does not read file
+// contents — LoadCheckpoint and Replay do, in that order.
+func Open(opts Options) (*Manager, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("persist: empty data directory")
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = log.Default()
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	m := &Manager{opts: opts, logger: logger, pendingTrunc: -1}
+	entries, err := os.ReadDir(opts.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	for _, ent := range entries {
+		name := ent.Name()
+		path := filepath.Join(opts.Dir, name)
+		switch {
+		case strings.HasSuffix(name, ".tmp"):
+			// A checkpoint install died between write and rename; the
+			// rename never happened, so the temp is garbage by contract.
+			logger.Printf("persist: removing leftover temporary %s", name)
+			_ = os.Remove(path)
+		case strings.HasPrefix(name, "checkpoint-") && strings.HasSuffix(name, ".ckpt"):
+			gen, err := parseOrdinal(name, "checkpoint-", ".ckpt")
+			if err != nil {
+				logger.Printf("persist: ignoring unparseable checkpoint name %s", name)
+				continue
+			}
+			m.ckpts = append(m.ckpts, ckptFile{path: path, gen: gen})
+		case strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".log"):
+			seq, err := parseOrdinal(name, "wal-", ".log")
+			if err != nil {
+				logger.Printf("persist: ignoring unparseable segment name %s", name)
+				continue
+			}
+			info, err := ent.Info()
+			if err != nil {
+				return nil, fmt.Errorf("persist: %w", err)
+			}
+			m.segments = append(m.segments, &segment{path: path, seq: seq, size: info.Size()})
+		}
+	}
+	sort.Slice(m.ckpts, func(a, b int) bool { return m.ckpts[a].gen < m.ckpts[b].gen })
+	sort.Slice(m.segments, func(a, b int) bool { return m.segments[a].seq < m.segments[b].seq })
+	return m, nil
+}
+
+func parseOrdinal(name, prefix, suffix string) (uint64, error) {
+	return strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, prefix), suffix), 16, 64)
+}
+
+// LoadCheckpoint loads the newest valid checkpoint into a serving
+// snapshot against the given world. Corrupt checkpoints are skipped
+// with a log line, falling back to the next-newest; found reports
+// whether any checkpoint loaded. A checkpoint that decodes but was
+// saved under a different country table is an error, not a fallback —
+// serving silently different data is worse than refusing to start.
+func (m *Manager) LoadCheckpoint(world *geo.World) (snap *profilestore.Snapshot, meta CheckpointMeta, found bool, err error) {
+	for i := len(m.ckpts) - 1; i >= 0; i-- {
+		c := m.ckpts[i]
+		f, err := os.Open(c.path)
+		if err != nil {
+			m.logger.Printf("persist: skipping unreadable checkpoint %s: %v", filepath.Base(c.path), err)
+			continue
+		}
+		meta, data, rerr := ReadSnapshot(f)
+		_ = f.Close()
+		if rerr != nil {
+			m.logger.Printf("persist: skipping corrupt checkpoint %s: %v", filepath.Base(c.path), rerr)
+			continue
+		}
+		snap, err := profilestore.FromData(data, world)
+		if err != nil {
+			return nil, meta, false, fmt.Errorf("persist: checkpoint %s: %w", filepath.Base(c.path), err)
+		}
+		m.mu.Lock()
+		m.ckpt = meta
+		m.hasCkpt = true
+		m.recovered = true
+		m.mu.Unlock()
+		return snap, meta, true, nil
+	}
+	return nil, CheckpointMeta{}, false, nil
+}
+
+// Replay walks every WAL segment in order and hands each record with
+// generation >= fromGen to apply (normally Accumulator.Replay). A torn
+// final record — the signature of a crash mid-append — is truncated
+// away; it was never acked. Corruption anywhere else refuses recovery:
+// replaying past a hole would silently drop acked data.
+//
+// Returns the highest generation seen across all valid records (0 when
+// the log is empty) and the number of records applied. Must run before
+// the first Append.
+func (m *Manager) Replay(fromGen uint64, apply func(events []ingest.Event, uploads []string) error) (maxGen uint64, applied int64, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.walFile != nil {
+		return 0, 0, fmt.Errorf("persist: replay after append")
+	}
+	keep := m.segments[:0]
+	for idx, seg := range m.segments {
+		last := idx == len(m.segments)-1
+		maxG, app, err := m.replaySegment(seg, last, fromGen, apply)
+		if err != nil {
+			return maxGen, applied, err
+		}
+		if seg.size < 0 {
+			// replaySegment deleted it (empty torn header).
+			continue
+		}
+		keep = append(keep, seg)
+		if maxG > maxGen {
+			maxGen = maxG
+		}
+		applied += app
+	}
+	m.segments = keep
+	m.replayDone = true
+	m.replayedRecords += applied
+	return maxGen, applied, nil
+}
+
+// replaySegment scans one segment. On return seg.size reflects any
+// truncation; size < 0 means the file was removed entirely (torn before
+// the first record).
+func (m *Manager) replaySegment(seg *segment, last bool, fromGen uint64, apply func([]ingest.Event, []string) error) (maxGen uint64, applied int64, err error) {
+	f, err := os.Open(seg.path)
+	if err != nil {
+		return 0, 0, fmt.Errorf("persist: %w", err)
+	}
+	defer func() { _ = f.Close() }()
+	seg.known = true // about to account for every byte (or fail recovery)
+	br := bufio.NewReaderSize(f, 1<<16)
+	magic := make([]byte, len(walMagic))
+	if _, err := io.ReadFull(br, magic); err != nil || !bytes.Equal(magic, walMagic) {
+		if !last {
+			return 0, 0, fmt.Errorf("persist: segment %s has a corrupt header mid-history", filepath.Base(seg.path))
+		}
+		// The final segment died before its header finished: nothing in
+		// it was ever acked. Drop the file.
+		m.logger.Printf("persist: removing torn empty segment %s", filepath.Base(seg.path))
+		m.tornTail = true
+		_ = f.Close()
+		if err := os.Remove(seg.path); err != nil {
+			return 0, 0, fmt.Errorf("persist: %w", err)
+		}
+		seg.size = -1
+		return 0, 0, nil
+	}
+	good := int64(len(walMagic)) // offset past the last valid record
+	for {
+		rec, size, err := readRecord(br)
+		if err == io.EOF {
+			break
+		}
+		if err == errTorn {
+			if !last {
+				return maxGen, applied, fmt.Errorf("persist: segment %s is corrupt mid-history (torn record not at the journal tail)", filepath.Base(seg.path))
+			}
+			m.logger.Printf("persist: truncating torn tail of %s at offset %d (was %d bytes)", filepath.Base(seg.path), good, seg.size)
+			m.tornTail = true
+			if err := os.Truncate(seg.path, good); err != nil {
+				return maxGen, applied, fmt.Errorf("persist: %w", err)
+			}
+			seg.size = good
+			return maxGen, applied, nil
+		}
+		if err != nil {
+			return maxGen, applied, fmt.Errorf("persist: segment %s: %w", filepath.Base(seg.path), err)
+		}
+		good += size
+		seg.records = true
+		seg.lastGen = rec.gen
+		if rec.gen > maxGen {
+			maxGen = rec.gen
+		}
+		if rec.gen >= fromGen {
+			if err := apply(rec.events, rec.uploads); err != nil {
+				return maxGen, applied, fmt.Errorf("persist: replaying %s: %w", filepath.Base(seg.path), err)
+			}
+			applied++
+			m.replayedEvents += int64(len(rec.events))
+		}
+	}
+	seg.size = good
+	return maxGen, applied, nil
+}
+
+// Append journals one accepted ingest batch — the ingest.Journal
+// implementation. The frame reaches the kernel before Append returns
+// (and stable storage too, under Fsync), so an acked batch survives the
+// process; rotation starts a fresh segment once the active one exceeds
+// SegmentBytes.
+func (m *Manager) Append(gen uint64, events []ingest.Event, uploads []string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.replayDone {
+		return fmt.Errorf("persist: append before replay")
+	}
+	if err := encodeRecord(&m.appendBuf, gen, events, uploads); err != nil {
+		return err
+	}
+	frame := m.appendBuf.Bytes()
+	if m.pendingTrunc >= 0 {
+		// A previous append failed partway (e.g. ENOSPC) and its
+		// rollback failed too: the segment still ends in a torn frame.
+		// Nothing may be appended after it — and the segment must not
+		// be rotated away either, or the tear becomes unrecoverable
+		// mid-history corruption — so keep retrying the rollback and
+		// fail the batch until it succeeds.
+		if err := m.walFile.Truncate(m.pendingTrunc); err != nil {
+			return fmt.Errorf("persist: journal has a torn tail pending rollback: %w", err)
+		}
+		m.active.size = m.pendingTrunc
+		m.pendingTrunc = -1
+	}
+	if m.walFile == nil || m.active.size+int64(len(frame)) > m.opts.SegmentBytes {
+		if err := m.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	offset := m.active.size
+	n, err := m.walFile.Write(frame)
+	m.active.size += int64(n)
+	if err != nil {
+		// Roll the torn frame back immediately so the next (retried)
+		// append lands on a clean tail; truncate-to-shrink virtually
+		// always succeeds even on a full disk.
+		if terr := m.walFile.Truncate(offset); terr == nil {
+			m.active.size = offset
+		} else {
+			m.pendingTrunc = offset
+		}
+		return err
+	}
+	if m.opts.Fsync {
+		if err := m.walFile.Sync(); err != nil {
+			return err
+		}
+	}
+	m.active.records = true
+	if gen > m.active.lastGen {
+		m.active.lastGen = gen
+	}
+	m.appends++
+	return nil
+}
+
+// rotateLocked closes the active segment (if any) and opens the next
+// one. On first append after recovery it resumes the last replayed
+// segment when it still has room, so restarts don't fragment the log.
+func (m *Manager) rotateLocked() error {
+	if m.walFile != nil {
+		if m.opts.Fsync {
+			_ = m.walFile.Sync()
+		}
+		_ = m.walFile.Close()
+		m.walFile = nil
+		m.active = nil
+	} else if n := len(m.segments); n > 0 && m.segments[n-1].size < m.opts.SegmentBytes {
+		// First append of this process: resume the replayed tail
+		// segment in place.
+		seg := m.segments[n-1]
+		f, err := os.OpenFile(seg.path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("persist: %w", err)
+		}
+		m.walFile = f
+		m.active = seg
+		return nil
+	}
+	seq := uint64(1)
+	if n := len(m.segments); n > 0 {
+		seq = m.segments[n-1].seq + 1
+	}
+	seg := &segment{
+		path:  filepath.Join(m.opts.Dir, fmt.Sprintf("wal-%016x.log", seq)),
+		seq:   seq,
+		known: true, // created by this process; coverage fully tracked
+	}
+	f, err := os.OpenFile(seg.path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	if _, err := f.Write(walMagic); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("persist: %w", err)
+	}
+	seg.size = int64(len(walMagic))
+	m.segments = append(m.segments, seg)
+	m.walFile = f
+	m.active = seg
+	if m.opts.Fsync {
+		_ = fsyncDir(m.opts.Dir)
+	}
+	return nil
+}
+
+// SaveCheckpoint persists the exported snapshot as the new durable
+// baseline: write to a temporary, fsync, atomically rename into place,
+// then prune checkpoints beyond the retained history and every WAL
+// segment whose records the retained checkpoints all cover. A crash at
+// any point leaves the previous checkpoint intact.
+func (m *Manager) SaveCheckpoint(meta CheckpointMeta, data profilestore.SnapshotData) error {
+	m.ckptMu.Lock()
+	defer m.ckptMu.Unlock()
+	final := filepath.Join(m.opts.Dir, fmt.Sprintf("checkpoint-%016x.ckpt", meta.Gen))
+	tmp := final + ".tmp"
+	if err := m.writeCheckpointFile(tmp, meta, data); err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("persist: %w", err)
+	}
+	if m.opts.Fsync {
+		_ = fsyncDir(m.opts.Dir)
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.hasCkpt || meta.Gen >= m.ckpt.Gen {
+		m.ckpt = meta
+		m.hasCkpt = true
+	}
+	m.ckpts = append(m.ckpts, ckptFile{path: final, gen: meta.Gen})
+	sort.Slice(m.ckpts, func(a, b int) bool { return m.ckpts[a].gen < m.ckpts[b].gen })
+	for len(m.ckpts) > keepCheckpoints {
+		old := m.ckpts[0]
+		m.ckpts = m.ckpts[1:]
+		if err := os.Remove(old.path); err != nil && !os.IsNotExist(err) {
+			m.logger.Printf("persist: pruning checkpoint %s: %v", filepath.Base(old.path), err)
+		}
+	}
+	// WAL pruning keys off the OLDEST retained checkpoint: if recovery
+	// ever has to fall back past the newest, the records that fallback
+	// needs must still exist.
+	pruneGen := m.ckpts[0].gen
+	keep := m.segments[:0]
+	for _, seg := range m.segments {
+		if seg != m.active && seg.known && seg.lastGen < pruneGen {
+			if err := os.Remove(seg.path); err != nil && !os.IsNotExist(err) {
+				m.logger.Printf("persist: pruning segment %s: %v", filepath.Base(seg.path), err)
+				keep = append(keep, seg)
+			}
+			continue
+		}
+		keep = append(keep, seg)
+	}
+	m.segments = keep
+	return nil
+}
+
+func (m *Manager) writeCheckpointFile(path string, meta CheckpointMeta, data profilestore.SnapshotData) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	if err := WriteSnapshot(bw, meta, data); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("persist: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("persist: %w", err)
+	}
+	// The pre-rename fsync is unconditional: rename-before-content is
+	// the one reordering that can produce a *valid-looking* truncated
+	// checkpoint after a machine crash, and it costs one sync per
+	// checkpoint, not per ack.
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("persist: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	return nil
+}
+
+// Close releases the active WAL file handle (final fsync under the
+// policy). The Manager is not usable afterwards.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.walFile == nil {
+		return nil
+	}
+	if m.pendingTrunc >= 0 {
+		// Last chance to roll back a torn tail; if it still fails,
+		// recovery's torn-tail truncation handles it (the frame is at
+		// the end of the final segment, where recovery repairs).
+		if err := m.walFile.Truncate(m.pendingTrunc); err == nil {
+			m.active.size = m.pendingTrunc
+			m.pendingTrunc = -1
+		}
+	}
+	if m.opts.Fsync {
+		_ = m.walFile.Sync()
+	}
+	err := m.walFile.Close()
+	m.walFile = nil
+	m.active = nil
+	return err
+}
+
+// Stats snapshots the durable-state bookkeeping.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := Stats{
+		Dir:               m.opts.Dir,
+		Fsync:             m.opts.Fsync,
+		CheckpointGen:     m.ckpt.Gen,
+		CheckpointEpoch:   m.ckpt.Epoch,
+		Checkpoints:       len(m.ckpts),
+		WALSegments:       len(m.segments),
+		WALAppends:        m.appends,
+		Recovered:         m.recovered,
+		ReplayedRecords:   m.replayedRecords,
+		ReplayedEvents:    m.replayedEvents,
+		TornTailTruncated: m.tornTail,
+	}
+	for _, seg := range m.segments {
+		st.WALBytes += seg.size
+	}
+	return st
+}
+
+func fsyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = d.Close() }()
+	return d.Sync()
+}

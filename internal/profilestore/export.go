@@ -1,0 +1,106 @@
+package profilestore
+
+import (
+	"fmt"
+	"hash/maphash"
+
+	"viewstags/internal/geo"
+)
+
+// SnapshotData is the portable content of a Snapshot: everything a
+// codec must persist to reconstruct an identical serving snapshot, and
+// nothing derivable (the name index, the volume ranking and the hash
+// seed are rebuilt at import). internal/persist serializes this shape.
+//
+// Export returns views into the live snapshot's backing storage —
+// Profiles, Vecs and Prior alias immutable state and must be treated as
+// read-only. FromData copies nothing either: the decoded slices become
+// the new snapshot's storage, so a decoder must hand over freshly
+// allocated data.
+type SnapshotData struct {
+	// Codes is the country table, in id order — the import-time
+	// compatibility check: a snapshot only deserializes against a world
+	// with the identical table.
+	Codes   []string
+	Records int
+	Prior   []float64
+	// Profiles is the tag table in id order; Profiles[i].ID == i.
+	Profiles []Profile
+	// Vecs[i] is Profiles[i]'s normalized geographic field, length
+	// len(Codes) each.
+	Vecs [][]float64
+}
+
+// Export captures the snapshot's persistable content. The result
+// aliases the snapshot's immutable storage (zero-copy); callers must
+// not modify it.
+func (s *Snapshot) Export() SnapshotData {
+	return SnapshotData{
+		Codes:    s.world.Codes(),
+		Records:  s.records,
+		Prior:    s.prior,
+		Profiles: s.profiles,
+		Vecs:     s.vecTab,
+	}
+}
+
+// FromData reconstructs a serving snapshot from exported data against
+// the given world, which must carry the identical country table the
+// data was exported under (same codes, same order) — vectors are
+// indexed by country id, so any drift would silently misattribute every
+// view. The round trip Export → FromData is bit-identical on every
+// persisted field: profiles, vectors, prior and record count compare
+// exactly; only the derived structures (hash seed, shard maps, volume
+// ranking) are rebuilt, and those are pure functions of the profile
+// table.
+func FromData(data SnapshotData, world *geo.World) (*Snapshot, error) {
+	if world == nil {
+		return nil, fmt.Errorf("profilestore: nil world")
+	}
+	codes := world.Codes()
+	if len(data.Codes) != len(codes) {
+		return nil, fmt.Errorf("profilestore: snapshot has %d countries, world has %d", len(data.Codes), len(codes))
+	}
+	for i, c := range data.Codes {
+		if c != codes[i] {
+			return nil, fmt.Errorf("profilestore: snapshot country %d is %q, world has %q — saved under a different dataset", i, c, codes[i])
+		}
+	}
+	nC := len(codes)
+	if data.Records < 0 {
+		return nil, fmt.Errorf("profilestore: negative record count %d", data.Records)
+	}
+	if len(data.Prior) != nC {
+		return nil, fmt.Errorf("profilestore: prior has %d entries for %d countries", len(data.Prior), nC)
+	}
+	if len(data.Vecs) != len(data.Profiles) {
+		return nil, fmt.Errorf("profilestore: %d vectors for %d profiles", len(data.Vecs), len(data.Profiles))
+	}
+	seen := make(map[string]bool, len(data.Profiles))
+	for i := range data.Profiles {
+		p := &data.Profiles[i]
+		if p.Name == "" {
+			return nil, fmt.Errorf("profilestore: profile %d has no name", i)
+		}
+		if seen[p.Name] {
+			return nil, fmt.Errorf("profilestore: duplicate profile name %q", p.Name)
+		}
+		seen[p.Name] = true
+		if len(data.Vecs[i]) != nC {
+			return nil, fmt.Errorf("profilestore: profile %q vector has %d entries for %d countries", p.Name, len(data.Vecs[i]), nC)
+		}
+		// Ids are positional; normalize rather than trust the wire.
+		p.ID = int32(i)
+	}
+	s := &Snapshot{
+		world:    world,
+		nC:       nC,
+		records:  data.Records,
+		profiles: data.Profiles,
+		vecTab:   data.Vecs,
+		prior:    data.Prior,
+		seed:     maphash.MakeSeed(),
+	}
+	s.buildIndexes()
+	return s, nil
+}

@@ -171,6 +171,16 @@ func BuildOwned(an *tagviews.Analysis, owns func(name string) bool) (*Snapshot, 
 	}
 	wg.Wait()
 
+	s.buildIndexes()
+	return s, nil
+}
+
+// buildIndexes derives the lookup structures a snapshot carries beyond
+// its raw profile table: the sharded name→id index and the by-volume
+// ranking. Build and the checkpoint import path (FromData) share it, so
+// a snapshot restored from disk indexes identically to the one that was
+// saved.
+func (s *Snapshot) buildIndexes() {
 	// Partition ids by shard, then build each shard's map in parallel —
 	// each goroutine writes only its own map.
 	byShard := make([][]int32, numShards)
@@ -205,7 +215,6 @@ func BuildOwned(an *tagviews.Analysis, owns func(name string) bool) (*Snapshot, 
 		return pa.Name < pb.Name
 	})
 	sg.Wait()
-	return s, nil
 }
 
 func (s *Snapshot) shardOf(name string) int {

@@ -10,6 +10,7 @@ import (
 	"viewstags/internal/geo"
 	"viewstags/internal/geocache"
 	"viewstags/internal/ingest"
+	"viewstags/internal/persist"
 	"viewstags/internal/placement"
 	"viewstags/internal/profilestore"
 	"viewstags/internal/tagviews"
@@ -440,10 +441,11 @@ func (s *Server) handleTags(w http.ResponseWriter, r *http.Request) {
 
 // statsPayload is the /v1/stats wire shape: the per-route counters,
 // plus the ingest stream's accumulator stats when the write path is
-// enabled.
+// enabled and the durable-state block when persistence is.
 type statsPayload struct {
 	Snapshot
-	Stream *ingest.Stats `json:"stream,omitempty"`
+	Stream  *ingest.Stats  `json:"stream,omitempty"`
+	Persist *persist.Stats `json:"persist,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -453,7 +455,31 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		p.Stream = &st
 		p.Events = st.Events // single source: the accumulator
 	}
+	if s.persistStats != nil {
+		ps := s.persistStats()
+		p.Persist = &ps
+	}
 	WriteJSON(w, http.StatusOK, p)
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if !RequirePost(w, r) {
+		return
+	}
+	if s.checkpoint == nil {
+		if s.persistStats != nil {
+			WriteError(w, http.StatusServiceUnavailable, "persistence is read-only on this daemon (-ingest-interval 0): no fold loop to checkpoint")
+			return
+		}
+		WriteError(w, http.StatusServiceUnavailable, "persistence disabled: daemon started without -data-dir")
+		return
+	}
+	status, err := s.checkpoint()
+	if err != nil {
+		WriteError(w, http.StatusInternalServerError, "checkpoint: %v", err)
+		return
+	}
+	WriteJSON(w, http.StatusOK, status)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -467,5 +493,36 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if s.ing != nil {
 		h["epoch"] = s.ing.Epoch()
 	}
+	if s.persistStats != nil {
+		// Summarized, not the full block (/v1/stats has that): liveness
+		// probes fire every few seconds and should stay cheap to render.
+		ps := s.persistStats()
+		h["persist"] = map[string]any{
+			"checkpoint_gen": ps.CheckpointGen,
+			"wal_segments":   ps.WALSegments,
+			"wal_bytes":      ps.WALBytes,
+			"recovered":      ps.Recovered,
+		}
+	}
+	WriteJSON(w, http.StatusOK, h)
+}
+
+// handleReady is the readiness probe, split from /healthz liveness: it
+// answers 503 until recovery (checkpoint load + journal replay) has
+// finished and the first serving snapshot is installed, so rollouts and
+// load balancers don't route to a node still rebuilding its state. The
+// payload carries the same epoch /healthz does, for operators curious
+// where a recovering node is.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	h := map[string]any{}
+	if s.ing != nil {
+		h["epoch"] = s.ing.Epoch()
+	}
+	if !s.ready.Load() {
+		h["status"] = "starting"
+		WriteJSON(w, http.StatusServiceUnavailable, h)
+		return
+	}
+	h["status"] = "ready"
 	WriteJSON(w, http.StatusOK, h)
 }

@@ -73,6 +73,11 @@ type InternalMetaResponse struct {
 	Tags          int       `json:"tags"`
 	Epoch         uint64    `json:"epoch"`
 	IngestEnabled bool      `json:"ingest_enabled"`
+	// Ready mirrors /readyz: false while the shard is still recovering
+	// (checkpoint load + journal replay). The gateway's health loop
+	// treats an unready shard like an unreachable one, so traffic stays
+	// away until recovery completes.
+	Ready bool `json:"ready"`
 }
 
 func (s *Server) handleInternalPredict(w http.ResponseWriter, r *http.Request) {
@@ -197,6 +202,7 @@ func (s *Server) handleInternalMeta(w http.ResponseWriter, r *http.Request) {
 		Records:       snap.Records(),
 		Tags:          snap.NumTags(),
 		IngestEnabled: s.ing != nil,
+		Ready:         s.ready.Load(),
 	}
 	if s.ing != nil {
 		resp.Epoch = s.ing.Epoch()
@@ -206,9 +212,17 @@ func (s *Server) handleInternalMeta(w http.ResponseWriter, r *http.Request) {
 
 // writeIngestError maps an Accumulator.Add error onto the wire:
 // backpressure is a 503 with the fold interval as the Retry-After hint,
+// a journal failure is a 503 too (the batch was well-formed — the disk,
+// not the client, is the problem, and "ack means durable" forbids
+// accepting it anyway; see OPERATIONS.md's disk-full playbook), and
 // anything else is a 400 (malformed batch).
 func (s *Server) writeIngestError(w http.ResponseWriter, err error) {
 	if errors.Is(err, ingest.ErrBufferFull) {
+		SetRetryAfter(w, s.foldInterval)
+		WriteError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	if errors.Is(err, ingest.ErrJournal) {
 		SetRetryAfter(w, s.foldInterval)
 		WriteError(w, http.StatusServiceUnavailable, "%v", err)
 		return

@@ -72,11 +72,12 @@ func (m *Middleware) Wrap(next http.Handler) http.Handler {
 }
 
 // limiterExempt lists the paths that bypass the concurrency limiter — a
-// loaded server must still answer its health checker, expose the
-// counters that explain the overload, and (on shards) answer the
-// gateway's cheap topology probe.
+// loaded server must still answer its health checker (liveness AND
+// readiness: shedding a probe reads as "unready" and would eject a
+// merely busy node from rotation), expose the counters that explain the
+// overload, and (on shards) answer the gateway's cheap topology probe.
 func limiterExempt(path string) bool {
-	return path == "/healthz" || path == "/v1/stats" || path == "/internal/meta"
+	return path == "/healthz" || path == "/readyz" || path == "/v1/stats" || path == "/internal/meta"
 }
 
 // withLimit bounds in-flight requests with a semaphore; requests beyond

@@ -41,10 +41,12 @@ import (
 	"net"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"viewstags/internal/geo"
 	"viewstags/internal/ingest"
+	"viewstags/internal/persist"
 	"viewstags/internal/placement"
 	"viewstags/internal/profilestore"
 	"viewstags/internal/synth"
@@ -61,7 +63,9 @@ var routes = []string{
 	"/v1/preload",
 	"/v1/tags",
 	"/v1/stats",
+	"/v1/checkpoint",
 	"/healthz",
+	"/readyz",
 	"/internal/predict",
 	"/internal/ingest",
 	"/internal/meta",
@@ -127,6 +131,18 @@ type Server struct {
 	// it is the Retry-After hint for ingest backpressure (the buffer
 	// only clears when the next fold drains it).
 	foldInterval time.Duration
+
+	// ready gates /readyz: false (the construction default) until the
+	// daemon finishes recovery and installs its first serving snapshot,
+	// so orchestrators can keep traffic away from a node still
+	// replaying its journal while /healthz keeps answering liveness.
+	ready atomic.Bool
+
+	// Durable-state hooks; nil until EnablePersist, which keeps
+	// /v1/checkpoint answering 503 ("disabled") on in-memory
+	// deployments.
+	persistStats func() persist.Stats
+	checkpoint   func() (CheckpointStatus, error)
 
 	// mu serializes snapshot installs (batch Reload and ingest folds)
 	// and guards the catalog state for /v1/preload (absent when serving
@@ -197,8 +213,12 @@ func (s *Server) handlerFor(path string) http.HandlerFunc {
 		return s.handleTags
 	case "/v1/stats":
 		return s.handleStats
+	case "/v1/checkpoint":
+		return s.handleCheckpoint
 	case "/healthz":
 		return s.handleHealth
+	case "/readyz":
+		return s.handleReady
 	case "/internal/predict":
 		return s.handleInternalPredict
 	case "/internal/ingest":
@@ -243,6 +263,38 @@ func (s *Server) EnableIngest(acc *ingest.Accumulator, foldInterval time.Duratio
 	s.foldInterval = foldInterval
 	return nil
 }
+
+// CheckpointStatus is the admin /v1/checkpoint response: the drain
+// generation and fold epoch the freshly written checkpoint covers.
+type CheckpointStatus struct {
+	Gen   uint64 `json:"gen"`
+	Epoch uint64 `json:"epoch"`
+}
+
+// EnablePersist attaches the durable-state surface: stats feeds the
+// persist blocks of /healthz and /v1/stats, checkpoint backs the admin
+// POST /v1/checkpoint route (normally a closure over the compactor's
+// CheckpointNow). A nil checkpoint is allowed for read-only durable
+// deployments (-ingest-interval 0 with -data-dir): stats stay visible
+// and /v1/checkpoint answers 503 naming the reason. Call before
+// serving traffic.
+func (s *Server) EnablePersist(stats func() persist.Stats, checkpoint func() (CheckpointStatus, error)) error {
+	if stats == nil {
+		return fmt.Errorf("server: nil persist stats hook")
+	}
+	s.persistStats = stats
+	s.checkpoint = checkpoint
+	return nil
+}
+
+// SetReady flips /readyz to 200: call once recovery has finished and
+// the first serving snapshot is installed. (Construction leaves the
+// server unready; a server embedded without a recovery phase should
+// call this right after New.)
+func (s *Server) SetReady() { s.ready.Store(true) }
+
+// Ready reports whether the server has been marked ready.
+func (s *Server) Ready() bool { return s.ready.Load() }
 
 // Reload installs a freshly built snapshot and, when a catalog is
 // loaded, recomputes its per-video predicted demand against the new

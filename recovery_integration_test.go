@@ -1,0 +1,437 @@
+// Crash-recovery integration tests at repository scope: the real
+// cmd/serve binary with -data-dir, driven over real HTTP, hard-killed
+// and restarted — asserting the durable tier's headline promise: an
+// acked event is never lost, and a recovered node predicts exactly what
+// a never-killed one does.
+package viewstags_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"viewstags/internal/alexa"
+	"viewstags/internal/ingest"
+	"viewstags/internal/persist"
+	"viewstags/internal/pipeline"
+	"viewstags/internal/profilestore"
+	"viewstags/internal/server"
+	"viewstags/internal/tagviews"
+)
+
+// The daemon and the in-process reference node must build the identical
+// base snapshot, so they share generation parameters.
+const (
+	recVideos = 1500
+	recSeed   = 424242
+)
+
+var (
+	serveBinOnce sync.Once
+	serveBinPath string
+	serveBinDir  string
+	serveBinErr  error
+)
+
+// serveBinary builds cmd/serve once per test run, into a directory that
+// outlives any single test (a t.TempDir would vanish when the first
+// test using it finishes, breaking the second). TestMain removes it.
+func serveBinary(t *testing.T) string {
+	t.Helper()
+	serveBinOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "viewstags-serve-bin-")
+		if err != nil {
+			serveBinErr = err
+			return
+		}
+		serveBinDir = dir
+		serveBinPath = filepath.Join(dir, "serve-under-test")
+		out, err := exec.Command("go", "build", "-o", serveBinPath, "./cmd/serve").CombinedOutput()
+		if err != nil {
+			serveBinErr = fmt.Errorf("building cmd/serve: %v\n%s", err, out)
+		}
+	})
+	if serveBinErr != nil {
+		t.Fatal(serveBinErr)
+	}
+	return serveBinPath
+}
+
+// TestMain cleans up the shared serve binary after the whole package.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if serveBinDir != "" {
+		_ = os.RemoveAll(serveBinDir)
+	}
+	os.Exit(code)
+}
+
+// daemon is one running serve process.
+type daemon struct {
+	t      *testing.T
+	cmd    *exec.Cmd
+	url    string
+	stderr *bytes.Buffer
+	done   chan error
+}
+
+func startDaemon(t *testing.T, dataDir string, extra ...string) *daemon {
+	t.Helper()
+	bin := serveBinary(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+	args := append([]string{
+		"-addr", addr,
+		"-videos", fmt.Sprint(recVideos),
+		"-seed", fmt.Sprint(recSeed),
+		"-ingest-interval", "30s", // folds only happen when the test asks
+		"-grace", "5s",
+		"-data-dir", dataDir,
+	}, extra...)
+	cmd := exec.Command(bin, args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	d := &daemon{t: t, cmd: cmd, url: "http://" + addr, stderr: &stderr, done: make(chan error, 1)}
+	go func() { d.done <- cmd.Wait() }()
+	t.Cleanup(func() {
+		select {
+		case <-d.done:
+		default:
+			_ = cmd.Process.Kill()
+			<-d.done
+		}
+	})
+
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		resp, err := http.Get(d.url + "/readyz")
+		if err == nil {
+			code := resp.StatusCode
+			_ = resp.Body.Close()
+			if code == http.StatusOK {
+				return d
+			}
+		}
+		select {
+		case werr := <-d.done:
+			d.done <- werr
+			t.Fatalf("daemon exited before becoming ready: %v\nstderr:\n%s", werr, stderr.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon not ready in time\nstderr:\n%s", stderr.String())
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// kill SIGKILLs the daemon — the hard-crash case.
+func (d *daemon) kill() {
+	d.t.Helper()
+	if err := d.cmd.Process.Kill(); err != nil {
+		d.t.Fatal(err)
+	}
+	<-d.done
+	d.done <- nil
+}
+
+// term SIGTERMs the daemon and waits for the graceful exit.
+func (d *daemon) term() {
+	d.t.Helper()
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		d.t.Fatal(err)
+	}
+	select {
+	case err := <-d.done:
+		d.done <- nil
+		if err != nil {
+			d.t.Fatalf("daemon exited with %v on SIGTERM\nstderr:\n%s", err, d.stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		d.t.Fatalf("daemon did not exit on SIGTERM\nstderr:\n%s", d.stderr.String())
+	}
+}
+
+// recoveryBatches is the ingested geography both tests replay: phase A
+// is folded and checkpointed before the kill, phase B only journaled.
+func recoveryBatchA() server.IngestRequest {
+	return server.IngestRequest{Events: []server.IngestEvent{
+		{Video: "rec-a1", Tags: []string{"zz-rec-a"}, Country: "US", Views: 70, Upload: true},
+		{Video: "rec-a1", Tags: []string{"zz-rec-a"}, Country: "JP", Views: 30},
+		{Video: "rec-a2", Tags: []string{"zz-rec-a", "zz-rec-b"}, Country: "BR", Views: 10, Upload: true},
+	}}
+}
+
+func recoveryBatchB() server.IngestRequest {
+	return server.IngestRequest{Events: []server.IngestEvent{
+		{Video: "rec-b1", Tags: []string{"zz-rec-b"}, Country: "FR", Views: 50, Upload: true},
+		{Video: "rec-b1", Tags: []string{"zz-rec-b"}, Country: "BR", Views: 40},
+		{Video: "rec-b2", Tags: []string{"zz-rec-a"}, Country: "DE", Views: 5, Upload: true},
+	}}
+}
+
+// referenceNode builds the never-killed twin in process and applies the
+// given batches over real HTTP, folding after each.
+func referenceNode(t *testing.T, batches []server.IngestRequest) (*httptest.Server, func()) {
+	t.Helper()
+	res, err := pipeline.FromSynthetic(recVideos, recSeed, alexa.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := profilestore.Build(res.Analysis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := profilestore.NewStore(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.DefaultConfig(), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := ingest.NewAccumulator(store, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.EnableIngest(acc, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	comp, err := ingest.NewCompactor(acc, time.Hour, func(d []profilestore.TagDelta, n int) error {
+		return srv.ApplyDeltas(d, n, tagviews.WeightIDF)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetReady()
+	ts := httptest.NewServer(srv.Handler())
+	for i, b := range batches {
+		if code := postJSON(t, ts.Client(), ts.URL+"/v1/ingest", b, nil); code != http.StatusOK {
+			t.Fatalf("reference ingest %d: status %d", i, code)
+		}
+		if _, err := comp.FoldNow(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ts, ts.Close
+}
+
+// predictShares fetches one prediction's full share map.
+func predictShares(t *testing.T, client *http.Client, base string, tags []string, weighting string) (bool, map[string]float64) {
+	t.Helper()
+	var resp server.PredictResponse
+	code := postJSON(t, client, base+"/v1/predict", server.PredictRequest{Tags: tags, Weighting: weighting, Top: 200}, &resp)
+	if code != http.StatusOK || resp.Result == nil {
+		t.Fatalf("predict %v: status %d", tags, code)
+	}
+	shares := map[string]float64{}
+	for _, cs := range resp.Result.Top {
+		shares[cs.Country] = cs.Share
+	}
+	return resp.Result.Known, shares
+}
+
+// assertSameGeography compares a node's predictions against the
+// reference within tol for several tag mixes and weightings.
+func assertSameGeography(t *testing.T, nodeURL, refURL string, tol float64) {
+	t.Helper()
+	client := &http.Client{Timeout: 30 * time.Second}
+	mixes := [][]string{
+		{"zz-rec-a"},
+		{"zz-rec-b"},
+		{"zz-rec-a", "zz-rec-b"},          // cross-tag: IDF weights must agree → records recovered exactly
+		{"zz-rec-b", "zz-never-ingested"}, // unknown tags must not perturb recovery state
+	}
+	for _, weighting := range []string{"idf", "by-views", "uniform"} {
+		for _, tags := range mixes {
+			gotKnown, got := predictShares(t, client, nodeURL, tags, weighting)
+			wantKnown, want := predictShares(t, client, refURL, tags, weighting)
+			if gotKnown != wantKnown {
+				t.Fatalf("%v (%s): known=%v, reference %v", tags, weighting, gotKnown, wantKnown)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%v (%s): %d countries vs reference %d", tags, weighting, len(got), len(want))
+			}
+			for c, share := range want {
+				if diff := math.Abs(got[c] - share); diff > tol {
+					t.Fatalf("%v (%s): share[%s] = %v, reference %v (diff %g > %g)",
+						tags, weighting, c, got[c], share, diff, tol)
+				}
+			}
+		}
+	}
+}
+
+// TestRecoveryEndToEnd is the acceptance test: serve with -data-dir,
+// ingest over real HTTP, checkpoint mid-stream, ingest more, SIGKILL,
+// restart — the recovered node must load the checkpoint, replay the
+// journal tail, and predict the ingested geography identically (1e-9)
+// to a reference node that was never killed.
+func TestRecoveryEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills a real daemon")
+	}
+	dataDir := t.TempDir()
+	d := startDaemon(t, dataDir, "-checkpoint-every", "1")
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	// Phase A: acked, folded, checkpointed.
+	if code := postJSON(t, client, d.url+"/v1/ingest", recoveryBatchA(), nil); code != http.StatusOK {
+		t.Fatalf("ingest A: status %d", code)
+	}
+	var ckpt server.CheckpointStatus
+	if code := postJSON(t, client, d.url+"/v1/checkpoint", struct{}{}, &ckpt); code != http.StatusOK {
+		t.Fatalf("checkpoint: status %d", code)
+	}
+	if ckpt.Epoch < 1 {
+		t.Fatalf("checkpoint epoch %d, want >= 1 (phase A folded)", ckpt.Epoch)
+	}
+
+	// Phase B: acked and journaled, never folded — the WAL's reason to
+	// exist. SIGKILL right after the ack.
+	if code := postJSON(t, client, d.url+"/v1/ingest", recoveryBatchB(), nil); code != http.StatusOK {
+		t.Fatalf("ingest B: status %d", code)
+	}
+	d.kill()
+
+	// Restart over the same directory.
+	d2 := startDaemon(t, dataDir, "-checkpoint-every", "1")
+
+	// Both recovery paths must have been exercised: the checkpoint
+	// loaded (phase A) and the journal replayed (phase B).
+	var stats struct {
+		Persist *persist.Stats `json:"persist"`
+	}
+	if code := getJSON(t, client, d2.url+"/v1/stats", &stats); code != http.StatusOK || stats.Persist == nil {
+		t.Fatalf("/v1/stats persist block missing after restart (code %d)", code)
+	}
+	if !stats.Persist.Recovered {
+		t.Fatal("restarted daemon did not load the checkpoint")
+	}
+	if stats.Persist.ReplayedRecords < 1 {
+		t.Fatalf("restarted daemon replayed %d journal records, want >= 1 (phase B)", stats.Persist.ReplayedRecords)
+	}
+	var health struct {
+		Epoch uint64 `json:"epoch"`
+	}
+	if code := getJSON(t, client, d2.url+"/healthz", &health); code != http.StatusOK {
+		t.Fatalf("healthz after restart: %d", code)
+	}
+	if health.Epoch < ckpt.Epoch+1 {
+		t.Fatalf("recovered epoch %d, want >= %d (checkpoint epoch + recovery fold)", health.Epoch, ckpt.Epoch+1)
+	}
+
+	// The recovered node must predict exactly what a never-killed node
+	// does — including IDF weights, so the record count survived too.
+	ref, closeRef := referenceNode(t, []server.IngestRequest{recoveryBatchA(), recoveryBatchB()})
+	defer closeRef()
+	assertSameGeography(t, d2.url, ref.URL, 1e-9)
+}
+
+// TestGracefulShutdownFlush pins the clean-stop contract: ack, SIGTERM,
+// restart — the drained daemon folds and checkpoints its buffer tail,
+// so the restarted one predicts the acked events without needing a
+// journal replay.
+func TestGracefulShutdownFlush(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and stops a real daemon")
+	}
+	dataDir := t.TempDir()
+	// checkpoint-every 0: nothing checkpoints on fold cadence, so the
+	// events can only survive via the shutdown flush (or the journal).
+	d := startDaemon(t, dataDir, "-checkpoint-every", "0")
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	if code := postJSON(t, client, d.url+"/v1/ingest", recoveryBatchA(), nil); code != http.StatusOK {
+		t.Fatalf("ingest: status %d", code)
+	}
+	if code := postJSON(t, client, d.url+"/v1/ingest", recoveryBatchB(), nil); code != http.StatusOK {
+		t.Fatalf("ingest: status %d", code)
+	}
+	d.term()
+
+	d2 := startDaemon(t, dataDir, "-checkpoint-every", "0")
+	var stats struct {
+		Persist *persist.Stats `json:"persist"`
+	}
+	if code := getJSON(t, client, d2.url+"/v1/stats", &stats); code != http.StatusOK || stats.Persist == nil {
+		t.Fatalf("/v1/stats persist block missing after restart (code %d)", code)
+	}
+	if !stats.Persist.Recovered {
+		t.Fatal("restarted daemon did not load the shutdown checkpoint")
+	}
+	if stats.Persist.ReplayedRecords != 0 {
+		t.Fatalf("clean stop left %d journal records to replay, want 0 (shutdown flush must checkpoint the tail)",
+			stats.Persist.ReplayedRecords)
+	}
+
+	ref, closeRef := referenceNode(t, []server.IngestRequest{recoveryBatchA(), recoveryBatchB()})
+	defer closeRef()
+	assertSameGeography(t, d2.url, ref.URL, 1e-9)
+}
+
+// getJSON GETs and decodes a JSON body.
+func getJSON(t *testing.T, client *http.Client, url string, out any) int {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: decode: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestReadOnlyRestartRefusesUnreplayedJournal pins review fix: a
+// durable daemon restarted with -ingest-interval 0 must refuse to
+// start while acked journal records sit past the checkpoint — serving
+// without them would silently violate the ack contract.
+func TestReadOnlyRestartRefusesUnreplayedJournal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills a real daemon")
+	}
+	dataDir := t.TempDir()
+	d := startDaemon(t, dataDir)
+	client := &http.Client{Timeout: 30 * time.Second}
+	if code := postJSON(t, client, d.url+"/v1/ingest", recoveryBatchA(), nil); code != http.StatusOK {
+		t.Fatalf("ingest: status %d", code)
+	}
+	d.kill() // journal tail left behind (30s interval: nothing folded)
+
+	bin := serveBinary(t)
+	out, err := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-videos", fmt.Sprint(recVideos),
+		"-seed", fmt.Sprint(recSeed),
+		"-ingest-interval", "0",
+		"-data-dir", dataDir,
+	).CombinedOutput()
+	if err == nil {
+		t.Fatalf("read-only restart over an unreplayed journal started anyway:\n%s", out)
+	}
+	if !bytes.Contains(out, []byte("would be invisible")) {
+		t.Fatalf("refusal does not name the journal tail:\n%s", out)
+	}
+}
