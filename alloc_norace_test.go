@@ -1,0 +1,8 @@
+//go:build !race
+
+package viewstags_test
+
+// raceEnabled mirrors the -race build flag: the allocation-budget gates
+// skip under the race detector, whose instrumentation perturbs
+// allocation counts the budgets were pinned without.
+const raceEnabled = false

@@ -1,0 +1,6 @@
+//go:build race
+
+package viewstags_test
+
+// raceEnabled mirrors the -race build flag; see alloc_norace_test.go.
+const raceEnabled = true

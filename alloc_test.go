@@ -1,0 +1,148 @@
+// Allocation-budget gates for the serving hot path. The perf work that
+// made the fan-out tier fast is mostly *absence* — of JSON number text,
+// of per-item vector copies, of per-request buffer churn — and absence
+// regresses silently: one innocent-looking `append([]float64(nil),...)`
+// in a handler and the GC is back on the profile. These tests pin the
+// budgets with testing.AllocsPerRun so CI fails the moment the hot path
+// starts allocating again (see ci.yml's allocation-regression step).
+package viewstags_test
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"viewstags/internal/profilestore"
+	"viewstags/internal/server"
+	"viewstags/internal/tagviews"
+)
+
+// nullResponseWriter is the cheapest possible ResponseWriter: budget
+// tests must count the handler's allocations, not the recorder's.
+type nullResponseWriter struct {
+	h http.Header
+}
+
+func (w *nullResponseWriter) Header() http.Header         { return w.h }
+func (w *nullResponseWriter) Write(p []byte) (int, error) { return len(p), nil }
+func (w *nullResponseWriter) WriteHeader(int)             {}
+
+func TestAllocBudgets(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation budgets are pinned without the race detector's instrumentation")
+	}
+	res := testFixture(t)
+	snap, err := profilestore.Build(res.Analysis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tags := res.Analysis.TagNames()[:12]
+	buf := make([]float64, res.World.N())
+
+	// The prediction core: the contract the whole serving tier is built
+	// on. Zero, not "a few": PredictInto runs thousands of times per
+	// second per core and must never touch the heap.
+	t.Run("PredictInto", func(t *testing.T) {
+		allocs := testing.AllocsPerRun(200, func() {
+			snap.PredictInto(buf, tags, tagviews.WeightIDF)
+		})
+		if allocs != 0 {
+			t.Fatalf("PredictInto allocates %.1f/op, want 0", allocs)
+		}
+	})
+	t.Run("PredictPartialInto", func(t *testing.T) {
+		allocs := testing.AllocsPerRun(200, func() {
+			snap.PredictPartialInto(buf, tags, tagviews.WeightIDF)
+		})
+		if allocs != 0 {
+			t.Fatalf("PredictPartialInto allocates %.1f/op, want 0", allocs)
+		}
+	})
+
+	// The binary codec at steady state (recycled buffers): encode and
+	// decode must both be allocation-free, or the wire win leaks back
+	// out through the GC.
+	items := [][]string{tags[:4], tags[4:9], tags[9:12]}
+	t.Run("WireEncode", func(t *testing.T) {
+		enc := server.GetPredictWireEncoder()
+		defer server.PutPredictWireEncoder(enc)
+		reqBuf := server.AppendPredictRequest(nil, items, tagviews.WeightIDF, false)
+		allocs := testing.AllocsPerRun(200, func() {
+			reqBuf = server.AppendPredictRequest(reqBuf[:0], items, tagviews.WeightIDF, false)
+			enc.Begin(tagviews.WeightIDF, snap.Records(), 7, len(buf), len(items), false)
+			for range items {
+				enc.Item(1.5, buf)
+			}
+			enc.Finish()
+		})
+		if allocs != 0 {
+			t.Fatalf("steady-state wire encode allocates %.1f/op, want 0", allocs)
+		}
+	})
+	t.Run("WireDecodeResponse", func(t *testing.T) {
+		enc := server.GetPredictWireEncoder()
+		defer server.PutPredictWireEncoder(enc)
+		enc.Begin(tagviews.WeightIDF, snap.Records(), 7, len(buf), len(items), false)
+		for range items {
+			enc.Item(1.5, buf)
+		}
+		frame := enc.Finish()
+		var pp server.PredictPartials
+		if err := server.DecodePredictResponse(frame, &pp, 64, 1<<12); err != nil {
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(200, func() {
+			if err := server.DecodePredictResponse(frame, &pp, 64, 1<<12); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Fatalf("steady-state wire decode allocates %.1f/op, want 0", allocs)
+		}
+	})
+
+	// The full handler stacks. These cannot be zero — JSON request
+	// decode and client-facing response encode are real — but they must
+	// stay bounded: the budgets have headroom over the measured counts,
+	// and a re-introduced per-item vector copy or unpooled buffer blows
+	// straight through them.
+	store, err := profilestore.NewStore(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.DefaultConfig(), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := srv.Handler()
+
+	runHandler := func(t *testing.T, path, contentType string, body []byte, budget float64) {
+		t.Helper()
+		w := &nullResponseWriter{h: make(http.Header)}
+		do := func() {
+			req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+			req.Header.Set("Content-Type", contentType)
+			h.ServeHTTP(w, req)
+		}
+		do() // warm pools and lazy internals
+		allocs := testing.AllocsPerRun(100, do)
+		if allocs > budget {
+			t.Fatalf("%s allocates %.1f/op, budget %.0f", path, allocs, budget)
+		}
+		t.Logf("%s: %.1f allocs/op (budget %.0f)", path, allocs, budget)
+	}
+
+	t.Run("InternalPredictBinary", func(t *testing.T) {
+		body := server.AppendPredictRequest(nil, items, tagviews.WeightIDF, false)
+		// Measured 32 (request plumbing + per-tag strings); the budget
+		// trips if per-item response copies come back.
+		runHandler(t, "/internal/predict", server.WireContentType, body, 64)
+	})
+	t.Run("PredictSingleJSON", func(t *testing.T) {
+		body := []byte(`{"tags":["` + tags[0] + `","` + tags[1] + `","` + tags[2] + `"],"weighting":"idf","top":3}`)
+		// Measured 36 (JSON decode/encode dominates); rendering
+		// world-sized response vectors would add dozens more.
+		runHandler(t, "/v1/predict", "application/json", body, 72)
+	})
+}

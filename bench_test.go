@@ -15,10 +15,12 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"viewstags/internal/alexa"
 	"viewstags/internal/cluster"
@@ -722,18 +724,14 @@ func BenchmarkClusterGatewayPredict(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		// No recovery phase in a bench shard: mark ready immediately or
+		// Sync (which refuses unready shards since the durable tier)
+		// never succeeds.
+		srv.SetReady()
 		ts := httptest.NewServer(srv.Handler())
 		defer ts.Close()
 		targets[i] = ts.URL
 	}
-	g, err := cluster.NewGateway(cluster.DefaultGatewayConfig(), targets)
-	if err != nil {
-		b.Fatal(err)
-	}
-	if err := g.Sync(context.Background()); err != nil {
-		b.Fatal(err)
-	}
-
 	cat := res.Catalog
 	var tagSets [][]string
 	for i := range cat.Videos {
@@ -757,32 +755,171 @@ func BenchmarkClusterGatewayPredict(b *testing.B) {
 		}
 		return body
 	}
-	for _, batch := range []int{1, 32} {
-		name := "single"
-		if batch > 1 {
-			name = benchName("batch", batch)
-		}
-		b.Run(name, func(b *testing.B) {
-			h := g.Handler()
-			bodies := make([][]byte, 256)
-			for i := range bodies {
-				bodies[i] = makeBody(batch, i)
-			}
-			var seq atomic.Int64
-			b.ResetTimer()
-			b.RunParallel(func(pb *testing.PB) {
-				for pb.Next() {
-					i := int(seq.Add(1))
-					req := httptest.NewRequest(http.MethodPost, "/v1/predict", bytes.NewReader(bodies[i%len(bodies)]))
-					rec := httptest.NewRecorder()
-					h.ServeHTTP(rec, req)
-					if rec.Code != http.StatusOK {
-						b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
-					}
-				}
-			})
-			preds := float64(b.N * batch)
-			b.ReportMetric(preds/b.Elapsed().Seconds(), "preds/sec")
-		})
+	// One gateway per internal-wire configuration over the same shards:
+	// the json/binary pairs isolate the codec's contribution, and the
+	// coalesce variant adds the micro-batching window — singles are
+	// where it differentiates most (each otherwise pays its own
+	// per-shard round trip), but batches splice into the same shared
+	// fan-outs, so both shapes run.
+	variants := []struct {
+		name   string
+		wire   cluster.WireKind
+		window time.Duration
+		shapes []int
+	}{
+		{"wire-json", cluster.WireJSON, 0, []int{1, 32}},
+		{"wire-binary", cluster.WireBinary, 0, []int{1, 32}},
+		{"wire-binary-coalesce", cluster.WireBinary, 500 * time.Microsecond, []int{1, 32}},
 	}
+	for _, v := range variants {
+		cfg := cluster.DefaultGatewayConfig()
+		cfg.Wire = v.wire
+		cfg.CoalesceWindow = v.window
+		g, err := cluster.NewGateway(cfg, targets)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := g.Sync(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		for _, batch := range v.shapes {
+			name := v.name + "/single"
+			if batch > 1 {
+				name = v.name + "/" + benchName("batch", batch)
+			}
+			b.Run(name, func(b *testing.B) {
+				h := g.Handler()
+				bodies := make([][]byte, 256)
+				for i := range bodies {
+					bodies[i] = makeBody(batch, i)
+				}
+				var seq atomic.Int64
+				// 32 closed-loop drivers regardless of GOMAXPROCS: the
+				// tier's design point is many concurrent clients (the
+				// coalescer batches across them), and on the 1-vCPU CI
+				// runner RunParallel would otherwise drive one worker.
+				b.SetParallelism(max(1, 32/runtime.GOMAXPROCS(0)))
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					for pb.Next() {
+						i := int(seq.Add(1))
+						req := httptest.NewRequest(http.MethodPost, "/v1/predict", bytes.NewReader(bodies[i%len(bodies)]))
+						rec := httptest.NewRecorder()
+						h.ServeHTTP(rec, req)
+						if rec.Code != http.StatusOK {
+							b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+						}
+					}
+				})
+				preds := float64(b.N * batch)
+				b.ReportMetric(preds/b.Elapsed().Seconds(), "preds/sec")
+			})
+		}
+	}
+}
+
+// BenchmarkInternalCodec measures the gateway↔shard codec in isolation
+// at the fan-out's realistic shape: a 32-item batch of catalog tag
+// lists and world-sized float64 reply vectors. The json twins encode
+// and decode the same payloads through the InternalPredict wire
+// structs — the before/after pair behind the binary wire's throughput
+// claim in EXPERIMENTS.md.
+func BenchmarkInternalCodec(b *testing.B) {
+	res := benchFixture(b)
+	nC := res.World.N()
+	cat := res.Catalog
+	var items [][]string
+	for i := range cat.Videos {
+		if names := cat.Videos[i].TagNames(cat.Vocab); len(names) > 0 {
+			items = append(items, names)
+		}
+		if len(items) == 32 {
+			break
+		}
+	}
+	wsums := make([]float64, len(items))
+	vec := make([]float64, nC)
+	for c := range vec {
+		vec[c] = 1 / float64(c+1)
+	}
+	for i := range wsums {
+		wsums[i] = float64(i%7) + 0.5
+	}
+
+	b.Run("request-encode", func(b *testing.B) {
+		buf := server.AppendPredictRequest(nil, items, tagviews.WeightIDF, false)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf = server.AppendPredictRequest(buf[:0], items, tagviews.WeightIDF, false)
+		}
+		b.SetBytes(int64(len(buf)))
+	})
+	b.Run("request-decode", func(b *testing.B) {
+		frame := server.AppendPredictRequest(nil, items, tagviews.WeightIDF, false)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, _, err := server.DecodePredictRequest(frame); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.SetBytes(int64(len(frame)))
+	})
+
+	encodeResp := func(enc *server.PredictWireEncoder) []byte {
+		enc.Begin(tagviews.WeightIDF, 10000, 3, nC, len(items), false)
+		for i := range items {
+			enc.Item(wsums[i], vec)
+		}
+		return enc.Finish()
+	}
+	b.Run("response-encode", func(b *testing.B) {
+		var enc server.PredictWireEncoder
+		frame := encodeResp(&enc)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			encodeResp(&enc)
+		}
+		b.SetBytes(int64(len(frame)))
+	})
+	b.Run("response-decode", func(b *testing.B) {
+		var enc server.PredictWireEncoder
+		frame := encodeResp(&enc)
+		var pp server.PredictPartials
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := server.DecodePredictResponse(frame, &pp, 64, 1<<12); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.SetBytes(int64(len(frame)))
+	})
+
+	// The JSON twins: what each response direction cost before the
+	// binary wire (the request side is small either way; the response's
+	// world-sized float64 vectors are where JSON text rendering burns).
+	jsonResp := server.InternalPredictResponse{Partials: make([]server.PartialMixture, len(items))}
+	for i := range jsonResp.Partials {
+		jsonResp.Partials[i] = server.PartialMixture{WeightSum: wsums[i], Sum: vec}
+	}
+	jsonFrame, err := json.Marshal(&jsonResp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("response-encode-json", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := json.Marshal(&jsonResp); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.SetBytes(int64(len(jsonFrame)))
+	})
+	b.Run("response-decode-json", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var out server.InternalPredictResponse
+			if err := json.Unmarshal(jsonFrame, &out); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.SetBytes(int64(len(jsonFrame)))
+	})
 }

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"viewstags/internal/cluster"
+	"viewstags/internal/server"
 )
 
 func main() {
@@ -49,6 +50,10 @@ func run() error {
 		grace       = flag.Duration("grace", 10*time.Second, "shutdown drain timeout")
 		healthEvery = flag.Duration("health-interval", time.Second, "shard health poll cadence")
 		syncWait    = flag.Duration("sync-wait", 30*time.Second, "how long to retry the startup shard sync")
+		wireName    = flag.String("internal-wire", "binary", "gateway-to-shard predict codec: binary (compact float64 frames) or json (debug fallback)")
+		coalesce    = flag.Duration("coalesce-window", 0, "micro-batch concurrent single predicts arriving within this window into one fan-out per shard (0 = off; useful range ~250us-1ms)")
+		maxIdle     = flag.Int("max-idle-per-host", 0, "keep-alive connections kept per shard (0 = 2 x max-inflight; never let this fall below expected concurrency or gathers churn connections)")
+		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this separate operator-only address (empty = off)")
 	)
 	flag.Parse()
 	if *shards == "" {
@@ -64,6 +69,11 @@ func run() error {
 		return fmt.Errorf("no usable targets in -shards %q", *shards)
 	}
 
+	wire, err := cluster.ParseWire(*wireName)
+	if err != nil {
+		return err
+	}
+
 	logger := log.New(os.Stderr, "", log.LstdFlags)
 	cfg := cluster.DefaultGatewayConfig()
 	cfg.MaxInFlight = *maxInflight
@@ -71,6 +81,9 @@ func run() error {
 	cfg.Logger = logger
 	cfg.LogRequests = *logRequests
 	cfg.HealthInterval = *healthEvery
+	cfg.Wire = wire
+	cfg.CoalesceWindow = *coalesce
+	cfg.MaxIdleConnsPerHost = *maxIdle
 	g, err := cluster.NewGateway(cfg, targets)
 	if err != nil {
 		return err
@@ -78,6 +91,12 @@ func run() error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *pprofAddr != "" {
+		if err := server.StartPprof(ctx, *pprofAddr, logger); err != nil {
+			return err
+		}
+	}
 
 	// Sync with retry: shards build their profile stores at startup, so
 	// give a freshly launched cluster time to assemble before giving up.
@@ -97,6 +116,7 @@ func run() error {
 		case <-time.After(time.Second):
 		}
 	}
-	logger.Printf("gateway: synced %d shards, serving on http://%s (^C to drain)", len(targets), *addr)
+	logger.Printf("gateway: synced %d shards (wire %s, coalesce %s), serving on http://%s (^C to drain)",
+		len(targets), wire, *coalesce, *addr)
 	return g.Run(ctx, *addr, *grace)
 }

@@ -121,12 +121,18 @@ type uploadItem struct {
 }
 
 func run() error {
+	var concurrency int
+	// -conc is the short spelling: a coalescing gateway only shows its
+	// win with many in-flight singles, so the recipes in OPERATIONS.md
+	// lean on high closed-loop concurrency and the short flag keeps
+	// them readable. Both names set the same knob; last one wins.
+	flag.IntVar(&concurrency, "concurrency", 4, "closed-loop workers")
+	flag.IntVar(&concurrency, "conc", 4, "alias for -concurrency")
 	var (
 		baseURL     = flag.String("url", "http://127.0.0.1:8091", "serve daemon base URL")
 		videos      = flag.Int("videos", 20000, "catalog size (must match the daemon)")
 		seed        = flag.Uint64("seed", 20110301, "catalog seed (must match the daemon)")
 		duration    = flag.Duration("duration", 10*time.Second, "test length")
-		concurrency = flag.Int("concurrency", 4, "closed-loop workers")
 		batch       = flag.Int("batch", 4, "items per request (1 = single predict; small batches mirror an ingest pipeline)")
 		weighting   = flag.String("weighting", "idf", "prediction weighting scheme")
 		zipfS       = flag.Float64("zipf", 1.1, "upload-stream Zipf exponent")
@@ -134,7 +140,7 @@ func run() error {
 		targetsFlag = flag.String("targets", "", "comma-separated base URLs to spread workers across (overrides -url; e.g. several gateways, or shards driven directly)")
 	)
 	flag.Parse()
-	if *concurrency < 1 || *batch < 1 {
+	if concurrency < 1 || *batch < 1 {
 		return fmt.Errorf("concurrency and batch must be >= 1")
 	}
 	if *ingestFrac < 0 || *ingestFrac > 1 {
@@ -178,8 +184,8 @@ func run() error {
 	// One shared transport with enough idle conns for every worker keeps
 	// the loop on hot keep-alive connections.
 	transport := &http.Transport{
-		MaxIdleConns:        *concurrency * 2,
-		MaxIdleConnsPerHost: *concurrency * 2,
+		MaxIdleConns:        concurrency * 2,
+		MaxIdleConnsPerHost: concurrency * 2,
 	}
 	client := &http.Client{Transport: transport, Timeout: 10 * time.Second}
 
@@ -211,7 +217,7 @@ func run() error {
 	startWall := time.Now()
 	deadline := startWall.Add(*duration)
 	var wg sync.WaitGroup
-	for wkr := 0; wkr < *concurrency; wkr++ {
+	for wkr := 0; wkr < concurrency; wkr++ {
 		wg.Add(1)
 		go func(wkr int) {
 			defer wg.Done()

@@ -108,6 +108,7 @@ func run() error {
 		dataDir      = flag.String("data-dir", "", "durable state directory: WAL + snapshot checkpoints + crash recovery (empty = in-memory only)")
 		fsyncPolicy  = flag.String("fsync", "never", "WAL/checkpoint fsync policy: always (survives power loss) or never (survives process death)")
 		ckptEvery    = flag.Int("checkpoint-every", 16, "checkpoint the serving snapshot every N folds (0 = only at shutdown or via POST /v1/checkpoint)")
+		pprofAddr    = flag.String("pprof-addr", "", "serve net/http/pprof on this separate operator-only address (empty = off)")
 	)
 	flag.Parse()
 
@@ -227,6 +228,12 @@ func run() error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *pprofAddr != "" {
+		if err := server.StartPprof(ctx, *pprofAddr, logger); err != nil {
+			return err
+		}
+	}
 
 	// The streaming write path: accumulate /v1/ingest events and fold
 	// them into fresh snapshots in the background. The compactor runs on

@@ -1,0 +1,552 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"viewstags/internal/ingest"
+	"viewstags/internal/profilestore"
+	"viewstags/internal/server"
+	"viewstags/internal/tagviews"
+)
+
+// newSyncedGateway wires and syncs a gateway over live shard targets
+// with a config tweak applied — the wire/coalescing test harness.
+func newSyncedGateway(t *testing.T, targets []string, mutate func(*GatewayConfig)) *Gateway {
+	t.Helper()
+	cfg := DefaultGatewayConfig()
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	g, err := NewGateway(cfg, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Sync(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// predictVia runs one /v1/predict request straight through a gateway's
+// handler stack and decodes the response.
+func predictVia(t *testing.T, g *Gateway, req server.PredictRequest) (int, server.PredictResponse) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr := httptest.NewRequest(http.MethodPost, "/v1/predict", bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	g.Handler().ServeHTTP(rec, hr)
+	var resp server.PredictResponse
+	if rec.Code == http.StatusOK {
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("decode %q: %v", rec.Body.Bytes(), err)
+		}
+	}
+	return rec.Code, resp
+}
+
+// TestGatewayWireEquivalence is the cross-wire acceptance test: the
+// same shards behind a binary-wire gateway and a JSON-wire gateway
+// answer float-identically (1e-9) to each other and to a single full
+// node — the compact codec is a transport change, never an arithmetic
+// one.
+func TestGatewayWireEquivalence(t *testing.T) {
+	res := fixture(t)
+	ringOne, err := NewRing(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := startNode(t, ringOne, 0, 1)
+	nodes, _ := startCluster(t, 3)
+	targets := make([]string, len(nodes))
+	for i, n := range nodes {
+		targets[i] = n.ts.URL
+	}
+	gateways := map[string]*Gateway{
+		"binary": newSyncedGateway(t, targets, func(c *GatewayConfig) { c.Wire = WireBinary }),
+		"json":   newSyncedGateway(t, targets, func(c *GatewayConfig) { c.Wire = WireJSON }),
+		"binary+coalesce": newSyncedGateway(t, targets, func(c *GatewayConfig) {
+			c.Wire = WireBinary
+			c.CoalesceWindow = 200 * time.Microsecond
+		}),
+	}
+
+	nC := res.World.N()
+	cases := [][]string{
+		{"favela", "samba"},
+		{"pop"},
+		{"pop", "music", "favela", "zz-unknown"},
+		{"zz-unknown-a", "zz-unknown-b"}, // prior fallback
+		res.Analysis.TagNames()[:30],     // spans all shards with rank discounts
+	}
+	for _, weighting := range []string{"uniform", "by-views", "idf"} {
+		for ci, tags := range cases {
+			var want server.PredictResponse
+			req := server.PredictRequest{Tags: tags, Weighting: weighting, Top: nC}
+			if code := post(t, full.ts.URL+"/v1/predict", req, &want); code != http.StatusOK {
+				t.Fatalf("single-node predict: %d", code)
+			}
+			wantShares := sharesOf(want.Result.Top)
+			for name, g := range gateways {
+				code, got := predictVia(t, g, req)
+				if code != http.StatusOK {
+					t.Fatalf("%s wire predict: %d", name, code)
+				}
+				if got.Result.Known != want.Result.Known {
+					t.Fatalf("%s wire w=%s case %d: known %v vs %v", name, weighting, ci, got.Result.Known, want.Result.Known)
+				}
+				gotShares := sharesOf(got.Result.Top)
+				if len(gotShares) != len(wantShares) {
+					t.Fatalf("%s wire w=%s case %d: %d countries vs %d", name, weighting, ci, len(gotShares), len(wantShares))
+				}
+				for country, share := range wantShares {
+					if math.Abs(gotShares[country]-share) > 1e-9 {
+						t.Fatalf("%s wire w=%s case %d %s: %v, single %v", name, weighting, ci, country, gotShares[country], share)
+					}
+				}
+			}
+		}
+	}
+
+	// Batched requests join the coalescer's micro-batches too (each
+	// waiter is an offset and a width), and cross the wire either way.
+	batchReq := server.PredictRequest{Top: 5}
+	for _, tags := range cases {
+		batchReq.Batch = append(batchReq.Batch, server.PredictItem{Tags: tags})
+	}
+	var want server.PredictResponse
+	if code := post(t, full.ts.URL+"/v1/predict", batchReq, &want); code != http.StatusOK {
+		t.Fatalf("single-node batch: %d", code)
+	}
+	for name, g := range gateways {
+		code, got := predictVia(t, g, batchReq)
+		if code != http.StatusOK || len(got.Results) != len(want.Results) {
+			t.Fatalf("%s wire batch: code=%d %d results, want %d", name, code, len(got.Results), len(want.Results))
+		}
+		for i := range want.Results {
+			ws, gs := sharesOf(want.Results[i].Top), sharesOf(got.Results[i].Top)
+			for country, share := range ws {
+				if math.Abs(gs[country]-share) > 1e-9 {
+					t.Fatalf("%s wire batch item %d %s: %v, single %v", name, i, country, gs[country], share)
+				}
+			}
+		}
+	}
+}
+
+// TestInternalPredictContentNegotiation pins the shard-side codec
+// contract: a binary-content-typed POST gets a binary reply (mirroring
+// the request's CRC choice), anything else keeps getting JSON, and a
+// corrupt binary body is a 400 with the JSON error envelope — not a
+// panic, not a hung connection.
+func TestInternalPredictContentNegotiation(t *testing.T) {
+	ringOne, err := NewRing(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := startNode(t, ringOne, 0, 1)
+	items := [][]string{{"pop", "music"}, {"zz-nobody"}}
+
+	for _, crc := range []bool{false, true} {
+		frame := server.AppendPredictRequest(nil, items, tagviews.WeightIDF, crc)
+		resp, err := http.Post(n.ts.URL+"/internal/predict", server.WireContentType, bytes.NewReader(frame))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		_ = resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("crc=%v: status %d: %s", crc, resp.StatusCode, raw)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != server.WireContentType {
+			t.Fatalf("crc=%v: binary request answered with %q", crc, ct)
+		}
+		var pp server.PredictPartials
+		if err := server.DecodePredictResponse(raw, &pp, 64, 1<<12); err != nil {
+			t.Fatalf("crc=%v: undecodable binary reply: %v", crc, err)
+		}
+		if pp.NItems != len(items) {
+			t.Fatalf("crc=%v: %d partials for %d items", crc, pp.NItems, len(items))
+		}
+		// The reply mirrors the request's integrity choice: flags bit 0
+		// right after the 8-byte magic.
+		if gotCRC := raw[8]&1 == 1; gotCRC != crc {
+			t.Fatalf("request crc=%v answered with reply crc=%v", crc, gotCRC)
+		}
+		if pp.WSums[0] <= 0 || pp.WSums[1] != 0 {
+			t.Fatalf("partials arithmetic: wsums %v (known tag must carry mass, unknown none)", pp.WSums[:2])
+		}
+	}
+
+	// The JSON debug fallback is untouched: same route, JSON in ⇒ JSON out.
+	var jsonResp server.InternalPredictResponse
+	if code := post(t, n.ts.URL+"/internal/predict",
+		server.InternalPredictRequest{Items: items, Weighting: "idf"}, &jsonResp); code != http.StatusOK {
+		t.Fatalf("JSON fallback: %d", code)
+	}
+	if len(jsonResp.Partials) != len(items) {
+		t.Fatalf("JSON fallback: %d partials", len(jsonResp.Partials))
+	}
+
+	// Corrupt binary: 400 + JSON error envelope.
+	resp, err := http.Post(n.ts.URL+"/internal/predict", server.WireContentType,
+		bytes.NewReader([]byte("VTIPRQ01 garbage")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("corrupt frame: status %d, want 400", resp.StatusCode)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
+		t.Fatalf("corrupt frame: no JSON error envelope (%v, %q)", err, e.Error)
+	}
+}
+
+// TestGatewayCoalesceSharesFanouts: concurrent singles released
+// together land in one shared fan-out (the stats counters are the
+// observable), and every waiter's answer equals the uncoalesced
+// gateway's.
+func TestGatewayCoalesceSharesFanouts(t *testing.T) {
+	nodes, direct := startCluster(t, 3)
+	targets := make([]string, len(nodes))
+	for i, n := range nodes {
+		targets[i] = n.ts.URL
+	}
+	g := newSyncedGateway(t, targets, func(c *GatewayConfig) { c.CoalesceWindow = 250 * time.Millisecond })
+
+	const waiters = 8
+	tagSets := [][]string{{"pop"}, {"favela", "samba"}, {"music", "pop"}, {"zz-unknown"}}
+	want := make([]server.PredictResponse, len(tagSets))
+	for i, tags := range tagSets {
+		code, resp := predictVia(t, direct, server.PredictRequest{Tags: tags, Weighting: "idf", Top: 10})
+		if code != http.StatusOK {
+			t.Fatalf("direct predict: %d", code)
+		}
+		want[i] = resp
+	}
+
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make([]string, waiters)
+	for w := 0; w < waiters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			tags := tagSets[w%len(tagSets)]
+			code, got := predictVia(t, g, server.PredictRequest{Tags: tags, Weighting: "idf", Top: 10})
+			if code != http.StatusOK {
+				errs[w] = "status not 200"
+				return
+			}
+			ws, gs := sharesOf(want[w%len(tagSets)].Result.Top), sharesOf(got.Result.Top)
+			for country, share := range ws {
+				if math.Abs(gs[country]-share) > 1e-9 {
+					errs[w] = "coalesced answer diverged from direct"
+					return
+				}
+			}
+		}(w)
+	}
+	close(start)
+	wg.Wait()
+	for w, e := range errs {
+		if e != "" {
+			t.Fatalf("waiter %d: %s", w, e)
+		}
+	}
+	if got := g.coalesceRequests.Load(); got != waiters {
+		t.Fatalf("coalesceRequests %d, want %d", got, waiters)
+	}
+	if batches := g.coalesceBatches.Load(); batches < 1 || batches > 2 {
+		t.Fatalf("%d waiters released together ran %d fan-outs, want 1 (2 tolerated for scheduling skew)",
+			waiters, g.coalesceBatches.Load())
+	}
+}
+
+// TestGatewayCoalesceBatchCap: with the window effectively infinite,
+// only the batch-full path flushes — 2×limit concurrent singles must
+// run exactly two fan-outs of exactly limit items each, never one
+// overfilled batch (the claim-under-append-lock regression).
+func TestGatewayCoalesceBatchCap(t *testing.T) {
+	nodes, _ := startCluster(t, 3)
+	targets := make([]string, len(nodes))
+	for i, n := range nodes {
+		targets[i] = n.ts.URL
+	}
+	const limit = 4
+	g := newSyncedGateway(t, targets, func(c *GatewayConfig) {
+		c.CoalesceWindow = time.Hour // the timer path must never fire
+		c.MaxBatch = limit
+	})
+
+	var wg sync.WaitGroup
+	var failed atomic.Int64
+	for w := 0; w < 2*limit; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			code, resp := predictVia(t, g, server.PredictRequest{Tags: []string{"pop"}, Top: 3})
+			if code != http.StatusOK || resp.Result == nil || !resp.Result.Known {
+				failed.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if failed.Load() != 0 {
+		t.Fatalf("%d of %d coalesced singles failed", failed.Load(), 2*limit)
+	}
+	if got := g.coalesceRequests.Load(); got != 2*limit {
+		t.Fatalf("coalesceRequests %d, want %d", got, 2*limit)
+	}
+	if got := g.coalesceBatches.Load(); got != 2 {
+		t.Fatalf("%d requests at cap %d ran %d fan-outs, want exactly 2 full batches", 2*limit, limit, got)
+	}
+}
+
+// TestGatewayCoalesceByteBudget: individually-valid requests with fat
+// tag payloads must not splice into one internal body past the shard's
+// MaxBodyBytes — without the byte budget, 8 × ~650KB singles coalesce
+// into a ~5MB frame, the shard's body reader errors, and every
+// co-batched waiter 502s despite each request being fine alone.
+func TestGatewayCoalesceByteBudget(t *testing.T) {
+	nodes, _ := startCluster(t, 3)
+	targets := make([]string, len(nodes))
+	for i, n := range nodes {
+		targets[i] = n.ts.URL
+	}
+	g := newSyncedGateway(t, targets, func(c *GatewayConfig) { c.CoalesceWindow = 100 * time.Millisecond })
+
+	fat := make([]string, 10)
+	for i := range fat {
+		fat[i] = string(bytes.Repeat([]byte{'a' + byte(i)}, 65000))
+	}
+	const waiters = 8
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	var failed atomic.Int64
+	for w := 0; w < waiters; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			code, resp := predictVia(t, g, server.PredictRequest{Tags: fat, Top: 3})
+			// Unknown fat tags legitimately fall back to the prior —
+			// the failure mode being pinned is a non-200.
+			if code != http.StatusOK || resp.Result == nil {
+				failed.Add(1)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if failed.Load() != 0 {
+		t.Fatalf("%d of %d fat coalesced requests failed (merged body blew the shard limit?)", failed.Load(), waiters)
+	}
+	if batches := g.coalesceBatches.Load(); batches < 2 {
+		t.Fatalf("%d fat requests shared %d fan-out(s): the byte budget never split them", waiters, batches)
+	}
+}
+
+// TestGatewayCoalesceCanceledWaiter: a waiter whose context ends while
+// the window is open gets an immediate 503, not a hang until the batch
+// flushes.
+func TestGatewayCoalesceCanceledWaiter(t *testing.T) {
+	nodes, _ := startCluster(t, 3)
+	targets := make([]string, len(nodes))
+	for i, n := range nodes {
+		targets[i] = n.ts.URL
+	}
+	g := newSyncedGateway(t, targets, func(c *GatewayConfig) { c.CoalesceWindow = 2 * time.Second })
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	done := make(chan coalesceReply, 1)
+	go func() { done <- g.co.do(ctx, [][]string{{"pop"}}, tagviews.WeightIDF, "idf") }()
+	select {
+	case rep := <-done:
+		if rep.fe == nil || rep.fe.status != http.StatusServiceUnavailable {
+			t.Fatalf("canceled waiter got %+v, want a 503 reply error", rep)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("canceled waiter blocked until the window flush")
+	}
+}
+
+// TestMergeSkipsNaNWeightSum: the codec transits a NaN weight sum as an
+// absent row, so the merge must skip it exactly like the encoder's
+// `> 0` predicate — an accumulated NaN would poison the whole item
+// (1/NaN normalization, NaN shares, a 200 with an unencodable body).
+func TestMergeSkipsNaNWeightSum(t *testing.T) {
+	_, g := startCluster(t, 3)
+	nC := len(g.codes)
+	enc := server.GetPredictWireEncoder()
+	defer server.PutPredictWireEncoder(enc)
+	enc.Begin(tagviews.WeightIDF, 1, 0, nC, 1, false)
+	enc.Item(math.NaN(), nil)
+	merged := g.getMerged(1)
+	defer g.putMerged(merged)
+	if fe := g.mergeBinaryReply(merged, shardReply{shard: 0, status: http.StatusOK, body: enc.Finish()}, 1); fe != nil {
+		t.Fatalf("NaN-weight frame rejected: %+v", fe)
+	}
+	if ws := merged.wsums[0]; ws != 0 {
+		t.Fatalf("NaN weight sum accumulated into the merge: %v", ws)
+	}
+	for c, x := range merged.row(0) {
+		if x != 0 {
+			t.Fatalf("country %d accumulated %v from an absent row", c, x)
+		}
+	}
+}
+
+// TestMergeJSONRejectsWrongWidth: a JSON-wire shard reply whose Sum
+// vector differs from the gateway's country-table width must be a 502,
+// not an out-of-range panic (too long) or a silent partial merge (too
+// short).
+func TestMergeJSONRejectsWrongWidth(t *testing.T) {
+	_, g := startCluster(t, 3)
+	nC := len(g.codes)
+	for _, width := range []int{nC + 7, nC - 1} {
+		resp := server.InternalPredictResponse{
+			Partials: []server.PartialMixture{{WeightSum: 1.5, Sum: make([]float64, width)}},
+		}
+		body, err := json.Marshal(&resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		merged := g.getMerged(1)
+		fe := g.mergeJSONReply(merged, shardReply{shard: 0, status: http.StatusOK, body: body}, 1)
+		g.putMerged(merged)
+		if fe == nil || fe.status != http.StatusBadGateway {
+			t.Fatalf("width %d (table %d): %+v, want a 502 reply error", width, nC, fe)
+		}
+	}
+}
+
+// TestPredictRejectsOversizedTag pins the uniform MaxTagLen contract:
+// a tag too long for the binary wire's decoder is a 400 at every edge
+// — gateway, single-node public, shard-internal JSON — so no request
+// one edge accepts can bounce off another's decoder mid-fan-out (under
+// coalescing that bounce would fail every co-batched waiter).
+func TestPredictRejectsOversizedTag(t *testing.T) {
+	ringOne, err := NewRing(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := startNode(t, ringOne, 0, 1)
+	_, g := startCluster(t, 3)
+	long := string(make([]byte, server.MaxTagLen+1))
+
+	if code, _ := predictVia(t, g, server.PredictRequest{Tags: []string{"pop", long}}); code != http.StatusBadRequest {
+		t.Fatalf("gateway accepted an oversized tag: %d", code)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if code := post(t, n.ts.URL+"/v1/predict", server.PredictRequest{Tags: []string{long}}, &e); code != http.StatusBadRequest || e.Error == "" {
+		t.Fatalf("public predict accepted an oversized tag: %d %q", code, e.Error)
+	}
+	if code := post(t, n.ts.URL+"/internal/predict",
+		server.InternalPredictRequest{Items: [][]string{{long}}, Weighting: "idf"}, &e); code != http.StatusBadRequest {
+		t.Fatalf("internal JSON predict accepted an oversized tag: %d", code)
+	}
+}
+
+// TestGatewayKeepAliveReusesConnections is the keep-alive tuning
+// regression test: concurrent gathers, round after round, must ride a
+// stable keep-alive pool instead of churning fresh TCP connects (the
+// default Transport's 2-per-host idle cap forced exactly that). The
+// shard counts accepted connections; the gateway drives many times more
+// requests than the asserted connection bound.
+func TestGatewayKeepAliveReusesConnections(t *testing.T) {
+	res := fixture(t)
+	ringOne, err := NewRing(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := profilestore.BuildOwned(res.Analysis, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := profilestore.NewStore(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := server.DefaultConfig()
+	cfg.ShardIndex, cfg.ShardCount, cfg.RingSignature = 0, 1, ringOne.Signature()
+	srv, err := server.New(cfg, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := ingest.NewAccumulator(store, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.EnableIngest(acc, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	srv.SetReady()
+
+	var conns atomic.Int64
+	ts := httptest.NewUnstartedServer(srv.Handler())
+	ts.Config.ConnState = func(_ net.Conn, s http.ConnState) {
+		if s == http.StateNew {
+			conns.Add(1)
+		}
+	}
+	ts.Start()
+	t.Cleanup(ts.Close)
+
+	g := newSyncedGateway(t, []string{ts.URL}, nil)
+	// The constructor's default must cover the in-flight bound, not
+	// net/http's 2.
+	if tr, ok := g.client.Transport.(*http.Transport); !ok || tr.MaxIdleConnsPerHost != g.cfg.MaxInFlight*2 {
+		t.Fatalf("gateway transport MaxIdleConnsPerHost: %+v, want %d", g.client.Transport, g.cfg.MaxInFlight*2)
+	}
+
+	const conc, rounds = 8, 25
+	body := []byte(`{"tags":["pop"],"top":3}`)
+	for r := 0; r < rounds; r++ {
+		var wg sync.WaitGroup
+		for c := 0; c < conc; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				hr := httptest.NewRequest(http.MethodPost, "/v1/predict", bytes.NewReader(body))
+				rec := httptest.NewRecorder()
+				g.Handler().ServeHTTP(rec, hr)
+				if rec.Code != http.StatusOK {
+					t.Errorf("predict: %d", rec.Code)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	// 200 fanned-out requests; the old 2-idle default churned a handful
+	// of fresh connects per round (~150 total). A healthy pool stays at
+	// roughly the peak concurrency.
+	if got := conns.Load(); got > 3*conc {
+		t.Fatalf("%d requests opened %d connections (bound %d): keep-alive pool is churning",
+			conc*rounds, got, 3*conc)
+	}
+}

@@ -1,0 +1,270 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"viewstags/internal/server"
+	"viewstags/internal/tagviews"
+)
+
+// This file is the predict fan-out core: one function that scatters a
+// batch of items to every shard over the configured wire (binary by
+// default, JSON as the debug fallback), accumulates the partial
+// mixtures into a flat merged slab, and normalizes. Both client-facing
+// predict paths run through it — handlePredict directly, and the
+// coalescer on behalf of a micro-batch of single requests — so the
+// merge arithmetic and the shard-failure semantics cannot drift
+// between them.
+
+// mergedPredict is a fan-out result: per-item normalized distributions
+// in one row-major [nItems × nC] slab plus known flags. Values are
+// pooled (getMerged/putMerged); wsums is merge-time scratch.
+type mergedPredict struct {
+	nC    int
+	known []bool
+	wsums []float64
+	vecs  []float64
+}
+
+// row returns item i's distribution, aliasing the slab.
+func (m *mergedPredict) row(i int) []float64 { return m.vecs[i*m.nC : (i+1)*m.nC] }
+
+// getMerged takes a pooled result sized for nItems, with the
+// accumulation state zeroed.
+func (g *Gateway) getMerged(nItems int) *mergedPredict {
+	m := g.mergedPool.Get().(*mergedPredict)
+	m.nC = len(g.codes)
+	if cap(m.known) < nItems {
+		m.known = make([]bool, nItems)
+	}
+	m.known = m.known[:nItems]
+	m.wsums = growZeroed(m.wsums, nItems)
+	m.vecs = growZeroed(m.vecs, nItems*m.nC)
+	return m
+}
+
+// putMerged recycles a fan-out result.
+func (g *Gateway) putMerged(m *mergedPredict) { g.mergedPool.Put(m) }
+
+// growZeroed returns s resized to n and zeroed, reallocating only when
+// capacity falls short.
+func growZeroed(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// reqBufPool recycles the binary request-encode buffers.
+var reqBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 4096)
+	return &b
+}}
+
+// replyError is a fan-out outcome that must end the client request: an
+// HTTP status, the message for the error envelope, and — for 503s — the
+// Retry-After hint, either propagated verbatim from a shard or derived
+// from a duration.
+type replyError struct {
+	status        int
+	msg           string
+	retryAfter    string        // literal shard header, wins when set
+	retryAfterDur time.Duration // fallback; SetRetryAfter floors it at 1s
+}
+
+// writeReplyError renders a fan-out failure onto the client response.
+func (g *Gateway) writeReplyError(w http.ResponseWriter, fe *replyError) {
+	if fe.status == http.StatusServiceUnavailable {
+		if fe.retryAfter != "" {
+			w.Header().Set("Retry-After", fe.retryAfter)
+		} else {
+			server.SetRetryAfter(w, fe.retryAfterDur)
+		}
+	}
+	server.WriteError(w, fe.status, "%s", fe.msg)
+}
+
+// downShard returns the index of the first down shard among the needed
+// ones (nil = all), or -1. The non-writing core of shedIfDown.
+func (g *Gateway) downShard(needed []bool) int {
+	for i, s := range g.shards {
+		if needed != nil && !needed[i] {
+			continue
+		}
+		if s.down.Load() {
+			return i
+		}
+	}
+	return -1
+}
+
+// replyErr maps one shard reply's transport/status outcome onto a
+// client-ending error, mirroring gatherOK: transport failures are 502,
+// shard sheds propagate as 503 with the shard's Retry-After, any other
+// non-200 is 502. nil means the reply body is ready to decode.
+func (g *Gateway) replyErr(rep shardReply) *replyError {
+	switch {
+	case rep.err != nil:
+		return &replyError{status: http.StatusBadGateway,
+			msg: fmt.Sprintf("shard %d (%s): %v", rep.shard, g.targets[rep.shard], rep.err)}
+	case rep.status == http.StatusServiceUnavailable:
+		return &replyError{status: http.StatusServiceUnavailable, retryAfter: rep.retryAfter,
+			msg: fmt.Sprintf("shard %d shedding: %s", rep.shard, errText(rep.body))}
+	case rep.status != http.StatusOK:
+		return &replyError{status: http.StatusBadGateway,
+			msg: fmt.Sprintf("shard %d returned %d: %s", rep.shard, rep.status, errText(rep.body))}
+	}
+	return nil
+}
+
+// predictFanout scatters items to every shard, gathers the partial
+// mixtures over the configured wire and merges them into normalized
+// per-item distributions: add the partial sums, add the weight masses,
+// divide — falling back to the shared prior when no shard knew any tag.
+// weighting and wstr are the parsed scheme and its canonical spelling.
+// On success the caller owns the returned value and must putMerged it.
+func (g *Gateway) predictFanout(ctx context.Context, items [][]string, weighting tagviews.Weighting, wstr string) (*mergedPredict, *replyError) {
+	if i := g.downShard(nil); i >= 0 {
+		return nil, &replyError{status: http.StatusServiceUnavailable, retryAfterDur: g.cfg.HealthInterval,
+			msg: fmt.Sprintf("shard %d (%s) is down", i, g.targets[i])}
+	}
+
+	// Every shard sees every item's full tag list: it skips tags it
+	// does not own, but needs the original positions for the harmonic
+	// rank discount (see profilestore.PredictPartialInto).
+	var body []byte
+	contentType := server.WireContentType
+	var encBuf *[]byte
+	if g.cfg.Wire == WireJSON {
+		contentType = "application/json"
+		b, err := json.Marshal(server.InternalPredictRequest{Items: items, Weighting: wstr})
+		if err != nil {
+			return nil, &replyError{status: http.StatusInternalServerError, msg: err.Error()}
+		}
+		body = b
+	} else {
+		encBuf = reqBufPool.Get().(*[]byte)
+		body = server.AppendPredictRequest((*encBuf)[:0], items, weighting, false)
+	}
+	bodies := make([][]byte, len(g.targets))
+	for i := range bodies {
+		bodies[i] = body
+	}
+	replies := g.scatter(ctx, "/internal/predict", bodies, contentType)
+	if encBuf != nil {
+		*encBuf = body[:0]
+		reqBufPool.Put(encBuf)
+	}
+
+	merged := g.getMerged(len(items))
+	for _, rep := range replies {
+		if fe := g.replyErr(rep); fe != nil {
+			g.putMerged(merged)
+			return nil, fe
+		}
+		var fe *replyError
+		if rep.contentType == server.WireContentType {
+			fe = g.mergeBinaryReply(merged, rep, len(items))
+		} else {
+			fe = g.mergeJSONReply(merged, rep, len(items))
+		}
+		if fe != nil {
+			g.putMerged(merged)
+			return nil, fe
+		}
+	}
+
+	for i := range items {
+		row := merged.row(i)
+		if merged.wsums[i] == 0 {
+			copy(row, g.prior)
+			merged.known[i] = false
+			continue
+		}
+		inv := 1 / merged.wsums[i]
+		for c := range row {
+			row[c] *= inv
+		}
+		merged.known[i] = true
+	}
+	g.metrics.Predictions.Add(int64(len(items)))
+	return merged, nil
+}
+
+// mergeBinaryReply decodes one shard's binary frame and accumulates it.
+func (g *Gateway) mergeBinaryReply(merged *mergedPredict, rep shardReply, nItems int) *replyError {
+	pp := g.partialsPool.Get().(*server.PredictPartials)
+	defer g.partialsPool.Put(pp)
+	if err := server.DecodePredictResponse(rep.body, pp, nItems, merged.nC); err != nil {
+		g.markFail(rep.shard)
+		return &replyError{status: http.StatusBadGateway,
+			msg: fmt.Sprintf("shard %d: undecodable response: %v", rep.shard, err)}
+	}
+	if pp.NItems != nItems || pp.NC != merged.nC {
+		return &replyError{status: http.StatusBadGateway,
+			msg: fmt.Sprintf("shard %d returned %d partials of %d countries for %d items of %d",
+				rep.shard, pp.NItems, pp.NC, nItems, merged.nC)}
+	}
+	for i := 0; i < nItems; i++ {
+		ws := pp.WSums[i]
+		// !(ws > 0), not ws <= 0: the codec transits a NaN weight sum
+		// as an absent row (mirroring the encoder's predicate), and a
+		// NaN accumulated here would poison the whole merged item.
+		if !(ws > 0) {
+			continue
+		}
+		merged.wsums[i] += ws
+		row := merged.row(i)
+		src := pp.Sums[i*pp.NC : (i+1)*pp.NC]
+		for c, x := range src {
+			row[c] += x
+		}
+	}
+	g.markOK(rep.shard, pp.Epoch)
+	return nil
+}
+
+// mergeJSONReply is the debug-wire twin of mergeBinaryReply.
+func (g *Gateway) mergeJSONReply(merged *mergedPredict, rep shardReply, nItems int) *replyError {
+	var resp server.InternalPredictResponse
+	if err := json.Unmarshal(rep.body, &resp); err != nil {
+		g.markFail(rep.shard)
+		return &replyError{status: http.StatusBadGateway,
+			msg: fmt.Sprintf("shard %d: undecodable response: %v", rep.shard, err)}
+	}
+	if len(resp.Partials) != nItems {
+		return &replyError{status: http.StatusBadGateway,
+			msg: fmt.Sprintf("shard %d returned %d partials for %d items", rep.shard, len(resp.Partials), nItems)}
+	}
+	for i := 0; i < nItems; i++ {
+		part := &resp.Partials[i]
+		if !(part.WeightSum > 0) {
+			continue
+		}
+		// The shard controls len(part.Sum); the merge row is fixed at
+		// the gateway's country-table width. Validate like the binary
+		// twin's NC check or a skewed/byzantine reply panics the
+		// handler (too long) or silently under-merges (too short).
+		if len(part.Sum) != merged.nC {
+			return &replyError{status: http.StatusBadGateway,
+				msg: fmt.Sprintf("shard %d item %d carries %d countries, want %d",
+					rep.shard, i, len(part.Sum), merged.nC)}
+		}
+		merged.wsums[i] += part.WeightSum
+		row := merged.row(i)
+		for c, x := range part.Sum {
+			row[c] += x
+		}
+	}
+	g.markOK(rep.shard, resp.Epoch)
+	return nil
+}

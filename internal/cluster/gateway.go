@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"viewstags/internal/profilestore"
 	"viewstags/internal/server"
 )
 
@@ -35,6 +36,44 @@ var gatewayRoutes = []string{
 // API.md, exactly like server.Routes.
 func GatewayRoutes() []string { return append([]string(nil), gatewayRoutes...) }
 
+// WireKind selects the gateway↔shard codec for the /internal/predict
+// hot path. The zero value is the binary wire: compact frames with raw
+// little-endian float64 slabs (see server's wire codec). WireJSON is
+// the debug fallback — byte-for-byte the shard surface a hand-held curl
+// sees — kept selectable so a wire suspicion can be bisected in
+// production with one flag flip.
+type WireKind int
+
+// Wire kinds.
+const (
+	WireBinary WireKind = iota
+	WireJSON
+)
+
+// String renders the flag spelling.
+func (k WireKind) String() string {
+	switch k {
+	case WireBinary:
+		return "binary"
+	case WireJSON:
+		return "json"
+	default:
+		return fmt.Sprintf("WireKind(%d)", int(k))
+	}
+}
+
+// ParseWire resolves a -internal-wire flag value.
+func ParseWire(name string) (WireKind, error) {
+	switch name {
+	case "binary":
+		return WireBinary, nil
+	case "json":
+		return WireJSON, nil
+	default:
+		return 0, fmt.Errorf("cluster: unknown internal wire %q (want binary or json)", name)
+	}
+}
+
 // GatewayConfig parameterizes the gateway.
 type GatewayConfig struct {
 	// MaxInFlight and MaxBatch mirror server.Config: the same limiter
@@ -52,6 +91,25 @@ type GatewayConfig struct {
 	FailThreshold int
 	// ShardTimeout bounds each scatter call (default 5s).
 	ShardTimeout time.Duration
+	// MaxIdleConnsPerHost sizes the keep-alive pool per shard target.
+	// Every client request fans out to every shard, so the pool must
+	// cover the whole in-flight bound or concurrent gathers churn
+	// through fresh TCP connects (net/http's default of 2 collapses
+	// exactly this way under load). Default: 2 × MaxInFlight.
+	MaxIdleConnsPerHost int
+	// Transport, when non-nil, replaces the shard HTTP transport
+	// entirely (connection-counting tests, custom TLS); the
+	// MaxIdleConnsPerHost default above is ignored in that case.
+	Transport http.RoundTripper
+	// Wire selects the /internal/predict codec (default WireBinary).
+	Wire WireKind
+	// CoalesceWindow enables the micro-batching coalescer: concurrent
+	// /v1/predict requests (singles and batches alike) arriving within
+	// this window are merged into one internal batch call per shard
+	// and de-multiplexed back to their waiters — N concurrent requests
+	// cost 1 round trip per shard instead of N. 0 disables (the
+	// default); ~250µs–1ms is the useful range, see OPERATIONS.md.
+	CoalesceWindow time.Duration
 }
 
 // DefaultGatewayConfig returns the standard gateway configuration.
@@ -96,8 +154,21 @@ type Gateway struct {
 	codeIndex map[string]int
 	prior     []float64
 
-	// scratch recycles per-request merge buffers (country-vector size).
-	scratch sync.Pool
+	// scratch recycles per-request merge buffers (country-vector
+	// size); sized at Sync, once the country table is known.
+	scratch *profilestore.VecPool
+	// mergedPool and partialsPool recycle the fan-out path's larger
+	// scratch state: merged-result slabs and per-shard binary decoders.
+	mergedPool   sync.Pool
+	partialsPool sync.Pool
+
+	// co is the micro-batching coalescer; nil unless CoalesceWindow
+	// is set.
+	co *coalescer
+	// coalesceBatches / coalesceRequests count shared fan-outs and the
+	// single predicts they served, for /v1/stats.
+	coalesceBatches  atomic.Int64
+	coalesceRequests atomic.Int64
 }
 
 // NewGateway wires a gateway over the shard target base URLs, in shard
@@ -126,9 +197,22 @@ func NewGateway(cfg GatewayConfig, targets []string) (*Gateway, error) {
 	if cfg.Logger == nil {
 		cfg.Logger = log.Default()
 	}
+	if cfg.MaxIdleConnsPerHost <= 0 {
+		// The gateway fans every request out to every shard; keep
+		// enough hot connections per shard for the whole in-flight
+		// bound.
+		cfg.MaxIdleConnsPerHost = cfg.MaxInFlight * 2
+	}
 	ring, err := NewRing(len(targets), 0)
 	if err != nil {
 		return nil, err
+	}
+	transport := cfg.Transport
+	if transport == nil {
+		transport = &http.Transport{
+			MaxIdleConns:        cfg.MaxIdleConnsPerHost * len(targets),
+			MaxIdleConnsPerHost: cfg.MaxIdleConnsPerHost,
+		}
 	}
 	g := &Gateway{
 		cfg:     cfg,
@@ -138,18 +222,17 @@ func NewGateway(cfg GatewayConfig, targets []string) (*Gateway, error) {
 		logger:  cfg.Logger,
 		shards:  make([]*shardState, len(targets)),
 		client: &http.Client{
-			Timeout: cfg.ShardTimeout,
-			Transport: &http.Transport{
-				// The gateway fans every request out to every shard;
-				// keep enough hot connections per shard for the whole
-				// in-flight bound.
-				MaxIdleConns:        cfg.MaxInFlight * 2,
-				MaxIdleConnsPerHost: cfg.MaxInFlight * 2,
-			},
+			Timeout:   cfg.ShardTimeout,
+			Transport: transport,
 		},
 	}
 	for i := range g.shards {
 		g.shards[i] = &shardState{}
+	}
+	g.mergedPool.New = func() any { return new(mergedPredict) }
+	g.partialsPool.New = func() any { return new(server.PredictPartials) }
+	if cfg.CoalesceWindow > 0 {
+		g.co = newCoalescer(g, cfg.CoalesceWindow, cfg.MaxBatch)
 	}
 	mux := http.NewServeMux()
 	for _, path := range gatewayRoutes {
@@ -223,11 +306,7 @@ func (g *Gateway) Sync(ctx context.Context) error {
 	if len(g.codes) == 0 {
 		return fmt.Errorf("cluster: shards report an empty country table")
 	}
-	nC := len(g.codes)
-	g.scratch.New = func() any {
-		buf := make([]float64, nC)
-		return &buf
-	}
+	g.scratch = profilestore.NewVecPool(len(g.codes))
 	return nil
 }
 

@@ -21,23 +21,24 @@ import (
 // shardReply is one shard's answer to a scatter call: the decoded-later
 // body plus the transport-level facts the gather step branches on.
 type shardReply struct {
-	shard      int
-	status     int
-	retryAfter string
-	body       []byte
-	err        error
+	shard       int
+	status      int
+	retryAfter  string
+	contentType string
+	body        []byte
+	err         error
 }
 
 // postShard round-trips one POST against a shard, feeding the health
 // tracker. Non-2xx statuses are returned for the caller to map — they
 // are protocol answers (shed, malformed), not transport failures, so
 // they do not count toward marking the shard down.
-func (g *Gateway) postShard(ctx context.Context, shard int, path string, body []byte) shardReply {
+func (g *Gateway) postShard(ctx context.Context, shard int, path string, body []byte, contentType string) shardReply {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, g.targets[shard]+path, bytes.NewReader(body))
 	if err != nil {
 		return shardReply{shard: shard, err: err}
 	}
-	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Content-Type", contentType)
 	resp, err := g.client.Do(req)
 	if err != nil {
 		// A canceled client context aborts every in-flight shard call;
@@ -58,16 +59,17 @@ func (g *Gateway) postShard(ctx context.Context, shard int, path string, body []
 		return shardReply{shard: shard, err: err}
 	}
 	return shardReply{
-		shard:      shard,
-		status:     resp.StatusCode,
-		retryAfter: resp.Header.Get("Retry-After"),
-		body:       raw,
+		shard:       shard,
+		status:      resp.StatusCode,
+		retryAfter:  resp.Header.Get("Retry-After"),
+		contentType: resp.Header.Get("Content-Type"),
+		body:        raw,
 	}
 }
 
 // scatter posts one body per involved shard concurrently and gathers
 // the replies. bodies[i] == nil skips shard i.
-func (g *Gateway) scatter(ctx context.Context, path string, bodies [][]byte) []shardReply {
+func (g *Gateway) scatter(ctx context.Context, path string, bodies [][]byte, contentType string) []shardReply {
 	replies := make([]shardReply, len(bodies))
 	var wg sync.WaitGroup
 	for i, body := range bodies {
@@ -78,7 +80,7 @@ func (g *Gateway) scatter(ctx context.Context, path string, bodies [][]byte) []s
 		wg.Add(1)
 		go func(i int, body []byte) {
 			defer wg.Done()
-			replies[i] = g.postShard(ctx, i, path, body)
+			replies[i] = g.postShard(ctx, i, path, body, contentType)
 		}(i, body)
 	}
 	wg.Wait()
@@ -90,15 +92,10 @@ func (g *Gateway) scatter(ctx context.Context, path string, bodies [][]byte) []s
 // shard is rejected immediately instead of stacking connect timeouts
 // onto every client. needed == nil means "all shards".
 func (g *Gateway) shedIfDown(w http.ResponseWriter, needed []bool) bool {
-	for i, s := range g.shards {
-		if needed != nil && !needed[i] {
-			continue
-		}
-		if s.down.Load() {
-			server.SetRetryAfter(w, g.cfg.HealthInterval)
-			server.WriteError(w, http.StatusServiceUnavailable, "shard %d (%s) is down", i, g.targets[i])
-			return true
-		}
+	if i := g.downShard(needed); i >= 0 {
+		server.SetRetryAfter(w, g.cfg.HealthInterval)
+		server.WriteError(w, http.StatusServiceUnavailable, "shard %d (%s) is down", i, g.targets[i])
+		return true
 	}
 	return false
 }
@@ -145,78 +142,51 @@ func (g *Gateway) handlePredict(w http.ResponseWriter, r *http.Request) {
 		server.WriteError(w, http.StatusBadRequest, "batch of %d exceeds limit %d", len(req.Batch), g.cfg.MaxBatch)
 		return
 	}
+	// Full per-item validation at the edge (including the MaxTagLen
+	// bound the binary wire enforces): a bad item must 400 here, not
+	// bounce off a shard decoder mid-fan-out — which under coalescing
+	// would fail every innocent request sharing the micro-batch.
 	var items [][]string
 	if single {
+		if !server.ValidTags(w, 0, req.Tags) {
+			return
+		}
 		items = [][]string{req.Tags}
 	} else {
 		items = make([][]string, len(req.Batch))
 		for i := range req.Batch {
-			if len(req.Batch[i].Tags) == 0 {
-				server.WriteError(w, http.StatusBadRequest, "batch item %d has no tags", i)
+			if !server.ValidTags(w, i, req.Batch[i].Tags) {
 				return
 			}
 			items[i] = req.Batch[i].Tags
 		}
 	}
-	if g.shedIfDown(w, nil) {
-		return
-	}
 
-	// Every shard sees every item's full tag list: it skips tags it
-	// does not own, but needs the original positions for the harmonic
-	// rank discount (see profilestore.PredictPartialInto).
-	body, err := json.Marshal(server.InternalPredictRequest{Items: items, Weighting: weighting})
-	if err != nil {
-		server.WriteError(w, http.StatusInternalServerError, "%v", err)
-		return
-	}
-	bodies := make([][]byte, len(g.targets))
-	for i := range bodies {
-		bodies[i] = body
-	}
-	partials := make([]server.InternalPredictResponse, len(g.targets))
-	for _, rep := range g.scatter(r.Context(), "/internal/predict", bodies) {
-		if !g.gatherOK(w, rep, &partials[rep.shard]) {
-			return
-		}
-		if len(partials[rep.shard].Partials) != len(items) {
-			server.WriteError(w, http.StatusBadGateway, "shard %d returned %d partials for %d items",
-				rep.shard, len(partials[rep.shard].Partials), len(items))
-			return
-		}
-		g.markOK(rep.shard, partials[rep.shard].Epoch)
-	}
-
-	// Merge: add the partial sums, add the weight masses, divide —
-	// falling back to the shared prior when no shard knew any tag.
-	bufp := g.scratch.Get().(*[]float64)
-	defer g.scratch.Put(bufp)
-	buf := *bufp
 	results := make([]server.PredictResult, len(items))
-	for i := range items {
-		for c := range buf {
-			buf[c] = 0
+	if g.co != nil {
+		// Coalescing on: splice this request's items onto the shared
+		// micro-batch and render from the rows handed back. Singles and
+		// small batches alike ride one fan-out per window.
+		rep := g.co.do(r.Context(), items, parsed, weighting)
+		if rep.fe != nil {
+			g.writeReplyError(w, rep.fe)
+			return
 		}
-		var wSum float64
-		for s := range partials {
-			part := partials[s].Partials[i]
-			wSum += part.WeightSum
-			for c, x := range part.Sum {
-				buf[c] += x
-			}
+		for i := range items {
+			results[i] = server.PredictResult{Known: rep.known[i], Top: g.topShares(*rep.vecs[i], req.Top)}
+			g.scratch.Put(rep.vecs[i])
 		}
-		if wSum == 0 {
-			copy(buf, g.prior)
-			results[i] = server.PredictResult{Known: false, Top: g.topShares(buf, req.Top)}
-			continue
+	} else {
+		merged, fe := g.predictFanout(r.Context(), items, parsed, weighting)
+		if fe != nil {
+			g.writeReplyError(w, fe)
+			return
 		}
-		inv := 1 / wSum
-		for c := range buf {
-			buf[c] *= inv
+		for i := range items {
+			results[i] = server.PredictResult{Known: merged.known[i], Top: g.topShares(merged.row(i), req.Top)}
 		}
-		results[i] = server.PredictResult{Known: true, Top: g.topShares(buf, req.Top)}
+		g.putMerged(merged)
 	}
-	g.metrics.Predictions.Add(int64(len(items)))
 
 	resp := server.PredictResponse{Weighting: weighting}
 	if single {
@@ -376,7 +346,7 @@ func (g *Gateway) handleIngest(w http.ResponseWriter, r *http.Request) {
 	// relies on per-epoch upload dedup plus client retry to converge;
 	// see OPERATIONS.md "Cluster topology" for the contract.
 	acks := make([]server.IngestResponse, len(g.targets))
-	for _, rep := range g.scatter(r.Context(), "/internal/ingest", bodies) {
+	for _, rep := range g.scatter(r.Context(), "/internal/ingest", bodies, "application/json") {
 		if rep.status == -1 {
 			continue // shard not involved: no reply, no health signal
 		}
@@ -486,11 +456,17 @@ type ShardStatus struct {
 
 // ClusterStats is the gateway's cluster-level view: per-shard status
 // plus the minimum epoch — the conservative fold horizon clients should
-// compare ingest acks against.
+// compare ingest acks against. CoalesceBatches/CoalesceRequests count
+// the micro-batching coalescer's shared fan-outs and the single
+// predicts they served (both zero when coalescing is disabled); their
+// ratio is the observed batching factor, the first thing to check when
+// tuning -coalesce-window.
 type ClusterStats struct {
-	Shards  []ShardStatus `json:"shards"`
-	Epoch   uint64        `json:"epoch"`
-	Healthy int           `json:"healthy"`
+	Shards           []ShardStatus `json:"shards"`
+	Epoch            uint64        `json:"epoch"`
+	Healthy          int           `json:"healthy"`
+	CoalesceBatches  int64         `json:"coalesce_batches,omitempty"`
+	CoalesceRequests int64         `json:"coalesce_requests,omitempty"`
 }
 
 // gatewayStats is the gateway /v1/stats wire shape.
@@ -501,7 +477,12 @@ type gatewayStats struct {
 
 // clusterStats assembles the per-shard block.
 func (g *Gateway) clusterStats() ClusterStats {
-	cs := ClusterStats{Shards: make([]ShardStatus, len(g.targets)), Epoch: g.minEpoch()}
+	cs := ClusterStats{
+		Shards:           make([]ShardStatus, len(g.targets)),
+		Epoch:            g.minEpoch(),
+		CoalesceBatches:  g.coalesceBatches.Load(),
+		CoalesceRequests: g.coalesceRequests.Load(),
+	}
 	for i, s := range g.shards {
 		healthy := !s.down.Load()
 		if healthy {

@@ -16,9 +16,10 @@ import (
 	"viewstags/internal/tagviews"
 )
 
-// maxBodyBytes bounds request bodies; a maximal batch of tag lists fits
-// comfortably.
-const maxBodyBytes = 4 << 20
+// MaxBodyBytes bounds request bodies; a maximal batch of tag lists fits
+// comfortably. Exported so the gateway's coalescer can budget merged
+// internal requests against the same bound the shard enforces.
+const MaxBodyBytes = 4 << 20
 
 // CountryShare is one (country, share) pair of a predicted
 // distribution, ISO alpha-2 on the wire.
@@ -151,7 +152,7 @@ func WriteError(w http.ResponseWriter, status int, format string, args ...any) {
 // DecodeBody decodes a JSON body with a size cap and strict fields, so
 // typos in request shapes fail loudly instead of silently defaulting.
 func DecodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
-	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	r.Body = http.MaxBytesReader(w, r.Body, MaxBodyBytes)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
@@ -213,20 +214,22 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 
 	snap := s.store.Load()
-	bufp := s.scratch.Get().(*[]float64)
+	bufp := s.scratch.Get()
 	defer s.scratch.Put(bufp)
 	buf := *bufp
 
 	resp := PredictResponse{Weighting: weighting.String()}
 	if single {
+		if !ValidTags(w, 0, req.Tags) {
+			return
+		}
 		known := snap.PredictInto(buf, req.Tags, weighting)
 		resp.Result = &PredictResult{Known: known, Top: topShares(snap, buf, req.Top)}
 		s.metrics.Predictions.Add(1)
 	} else {
 		resp.Results = make([]PredictResult, len(req.Batch))
 		for i := range req.Batch {
-			if len(req.Batch[i].Tags) == 0 {
-				WriteError(w, http.StatusBadRequest, "batch item %d has no tags", i)
+			if !ValidTags(w, i, req.Batch[i].Tags) {
 				return
 			}
 			known := snap.PredictInto(buf, req.Batch[i].Tags, weighting)
@@ -273,7 +276,7 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 	var demand []float64
 	known := false
 	if len(req.Tags) > 0 {
-		bufp := s.scratch.Get().(*[]float64)
+		bufp := s.scratch.Get()
 		defer s.scratch.Put(bufp)
 		known = snap.PredictInto(*bufp, req.Tags, weighting)
 		if known {

@@ -84,6 +84,10 @@ func (s *Server) handleInternalPredict(w http.ResponseWriter, r *http.Request) {
 	if !RequirePost(w, r) {
 		return
 	}
+	if r.Header.Get("Content-Type") == WireContentType {
+		s.handleInternalPredictBinary(w, r)
+		return
+	}
 	var req InternalPredictRequest
 	if !DecodeBody(w, r, &req) {
 		return
@@ -93,23 +97,12 @@ func (s *Server) handleInternalPredict(w http.ResponseWriter, r *http.Request) {
 		WriteError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if len(req.Items) == 0 {
-		WriteError(w, http.StatusBadRequest, "empty request: provide items")
+	if !s.validPredictItems(w, req.Items) {
 		return
-	}
-	if len(req.Items) > s.cfg.MaxBatch {
-		WriteError(w, http.StatusBadRequest, "batch of %d exceeds limit %d", len(req.Items), s.cfg.MaxBatch)
-		return
-	}
-	for i, tags := range req.Items {
-		if len(tags) == 0 {
-			WriteError(w, http.StatusBadRequest, "item %d has no tags", i)
-			return
-		}
 	}
 
 	snap := s.store.Load()
-	bufp := s.scratch.Get().(*[]float64)
+	bufp := s.scratch.Get()
 	defer s.scratch.Put(bufp)
 	buf := *bufp
 
@@ -118,9 +111,7 @@ func (s *Server) handleInternalPredict(w http.ResponseWriter, r *http.Request) {
 		Records:   snap.Records(),
 		Partials:  make([]PartialMixture, len(req.Items)),
 	}
-	if s.ing != nil {
-		resp.Epoch = s.ing.Epoch()
-	}
+	resp.Epoch = s.epoch()
 	for i, tags := range req.Items {
 		wSum := snap.PredictPartialInto(buf, tags, weighting)
 		resp.Partials[i].WeightSum = wSum
@@ -130,6 +121,94 @@ func (s *Server) handleInternalPredict(w http.ResponseWriter, r *http.Request) {
 	}
 	s.metrics.Predictions.Add(int64(len(req.Items)))
 	WriteJSON(w, http.StatusOK, resp)
+}
+
+// handleInternalPredictBinary is the binary-wire twin of the JSON path
+// above: same validation, same partial arithmetic, but the reply is
+// encoded straight from the scratch vector into a pooled frame — no
+// per-item vector copy, no float-to-text rendering. Errors still go out
+// as the JSON error envelope: they are off the hot path and a uniform
+// envelope keeps the gateway's error plumbing single-sourced.
+func (s *Server) handleInternalPredictBinary(w http.ResponseWriter, r *http.Request) {
+	body := GetWireBuf()
+	defer PutWireBuf(body)
+	r.Body = http.MaxBytesReader(w, r.Body, MaxBodyBytes)
+	if _, err := body.ReadFrom(r.Body); err != nil {
+		WriteError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return
+	}
+	items, weighting, crc, err := DecodePredictRequest(body.Bytes())
+	if err != nil {
+		WriteError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return
+	}
+	if !s.validPredictItems(w, items) {
+		return
+	}
+
+	snap := s.store.Load()
+	bufp := s.scratch.Get()
+	defer s.scratch.Put(bufp)
+	buf := *bufp
+
+	enc := GetPredictWireEncoder()
+	defer PutPredictWireEncoder(enc)
+	// The reply mirrors the request's CRC choice, so integrity stays an
+	// end-to-end gateway decision.
+	enc.Begin(weighting, snap.Records(), s.epoch(), len(buf), len(items), crc)
+	for _, tags := range items {
+		enc.Item(snap.PredictPartialInto(buf, tags, weighting), buf)
+	}
+	s.metrics.Predictions.Add(int64(len(items)))
+	w.Header().Set("Content-Type", WireContentType)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(enc.Finish())
+}
+
+// validPredictItems applies the shared /internal/predict batch checks;
+// on failure the 400 has been written.
+func (s *Server) validPredictItems(w http.ResponseWriter, items [][]string) bool {
+	if len(items) == 0 {
+		WriteError(w, http.StatusBadRequest, "empty request: provide items")
+		return false
+	}
+	if len(items) > s.cfg.MaxBatch {
+		WriteError(w, http.StatusBadRequest, "batch of %d exceeds limit %d", len(items), s.cfg.MaxBatch)
+		return false
+	}
+	for i, tags := range items {
+		if !ValidTags(w, i, tags) {
+			return false
+		}
+	}
+	return true
+}
+
+// ValidTags applies the per-item tag checks every predict entry point
+// shares — public JSON, internal JSON, and (via the gateway edge) the
+// binary wire: the item must have tags, and no tag may exceed
+// MaxTagLen, or a request one edge accepts would bounce off another's
+// decoder. On failure the 400 has been written.
+func ValidTags(w http.ResponseWriter, item int, tags []string) bool {
+	if len(tags) == 0 {
+		WriteError(w, http.StatusBadRequest, "item %d has no tags", item)
+		return false
+	}
+	for j, tag := range tags {
+		if len(tag) > MaxTagLen {
+			WriteError(w, http.StatusBadRequest, "item %d tag %d is %d bytes (limit %d)", item, j, len(tag), MaxTagLen)
+			return false
+		}
+	}
+	return true
+}
+
+// epoch returns the served fold epoch, zero when ingestion is off.
+func (s *Server) epoch() uint64 {
+	if s.ing == nil {
+		return 0
+	}
+	return s.ing.Epoch()
 }
 
 func (s *Server) handleInternalIngest(w http.ResponseWriter, r *http.Request) {

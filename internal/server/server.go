@@ -121,7 +121,7 @@ type Server struct {
 	handler http.Handler
 
 	// scratch recycles per-request prediction buffers.
-	scratch sync.Pool
+	scratch *profilestore.VecPool
 
 	// ing is the streaming write path's accumulator; nil until
 	// EnableIngest, which keeps /v1/ingest answering 503 ("disabled")
@@ -183,11 +183,7 @@ func New(cfg Config, store *profilestore.Store) (*Server, error) {
 		logger:  logger,
 	}
 	s.mw = NewMiddleware(cfg.MaxInFlight, s.metrics, logger, cfg.LogRequests)
-	nC := world.N()
-	s.scratch.New = func() any {
-		buf := make([]float64, nC)
-		return &buf
-	}
+	s.scratch = profilestore.NewVecPool(world.N())
 	mux := http.NewServeMux()
 	for _, path := range routes {
 		mux.HandleFunc(path, s.handlerFor(path))

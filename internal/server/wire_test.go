@@ -1,0 +1,368 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"math"
+	"testing"
+
+	"viewstags/internal/tagviews"
+)
+
+// TestWireRequestGoldenBytes pins the request frame layout byte for
+// byte: the codec is a cross-process contract, so an accidental layout
+// change must fail a test, not surface as gateway↔shard garbage after
+// a partial redeploy.
+func TestWireRequestGoldenBytes(t *testing.T) {
+	got := AppendPredictRequest(nil, [][]string{{"a", "bb"}, {"ccc"}}, tagviews.WeightIDF, false)
+	want := []byte{
+		'V', 'T', 'I', 'P', 'R', 'Q', '0', '1', // magic
+		0,      // flags: no CRC
+		3,      // weighting byte (WeightIDF)
+		2,      // nItems
+		2,      // item 0: nTags
+		1, 'a', // tag "a"
+		2, 'b', 'b', // tag "bb"
+		1,                // item 1: nTags
+		3, 'c', 'c', 'c', // tag "ccc"
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("request frame mismatch:\n got %v\nwant %v", got, want)
+	}
+
+	// The CRC variant appends exactly a flags flip and the IEEE
+	// checksum of everything after the flags byte.
+	withCRC := AppendPredictRequest(nil, [][]string{{"a", "bb"}, {"ccc"}}, tagviews.WeightIDF, true)
+	if withCRC[8] != 1 {
+		t.Fatalf("CRC frame flags byte %d, want 1", withCRC[8])
+	}
+	body := withCRC[9 : len(withCRC)-4]
+	wantSum := crc32.ChecksumIEEE(body)
+	if gotSum := binary.LittleEndian.Uint32(withCRC[len(withCRC)-4:]); gotSum != wantSum {
+		t.Fatalf("CRC trailer %08x, want %08x", gotSum, wantSum)
+	}
+}
+
+// TestWireResponseGoldenBytes pins the response frame layout.
+func TestWireResponseGoldenBytes(t *testing.T) {
+	var enc PredictWireEncoder
+	enc.Begin(tagviews.WeightUniform, 5, 9, 2, 2, false)
+	enc.Item(0, nil)                     // unknown item: weight sum only
+	enc.Item(1.5, []float64{0.25, 0.75}) // known item: wsum + raw slab
+	got := enc.Finish()
+
+	var want bytes.Buffer
+	want.WriteString("VTIPRS01")
+	want.WriteByte(0)                                       // flags
+	want.WriteByte(1)                                       // weighting byte (WeightUniform)
+	want.WriteByte(5)                                       // records uvarint
+	_ = binary.Write(&want, binary.LittleEndian, uint64(9)) // epoch
+	want.WriteByte(2)                                       // nC
+	want.WriteByte(2)                                       // nItems
+	_ = binary.Write(&want, binary.LittleEndian, float64(0))
+	_ = binary.Write(&want, binary.LittleEndian, float64(1.5))
+	_ = binary.Write(&want, binary.LittleEndian, float64(0.25))
+	_ = binary.Write(&want, binary.LittleEndian, float64(0.75))
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("response frame mismatch:\n got %v\nwant %v", got, want.Bytes())
+	}
+}
+
+func TestWireRequestRoundTrip(t *testing.T) {
+	cases := [][][]string{
+		{{"pop"}},
+		{{"a", "bb", "ccc"}, {"dd"}, {"e", "f"}},
+		{{"samba", "favela"}, {"日本語", "tag with spaces", ""}},
+	}
+	for _, crc := range []bool{false, true} {
+		for ci, items := range cases {
+			for _, w := range []tagviews.Weighting{tagviews.WeightUniform, tagviews.WeightByViews, tagviews.WeightIDF} {
+				frame := AppendPredictRequest(nil, items, w, crc)
+				gotItems, gotW, gotCRC, err := DecodePredictRequest(frame)
+				if err != nil {
+					t.Fatalf("case %d crc=%v: %v", ci, crc, err)
+				}
+				if gotW != w || gotCRC != crc {
+					t.Fatalf("case %d: weighting %v crc %v, want %v %v", ci, gotW, gotCRC, w, crc)
+				}
+				if len(gotItems) != len(items) {
+					t.Fatalf("case %d: %d items, want %d", ci, len(gotItems), len(items))
+				}
+				for i := range items {
+					if len(gotItems[i]) != len(items[i]) {
+						t.Fatalf("case %d item %d: %d tags, want %d", ci, i, len(gotItems[i]), len(items[i]))
+					}
+					for j := range items[i] {
+						if gotItems[i][j] != items[i][j] {
+							t.Fatalf("case %d item %d tag %d: %q, want %q", ci, i, j, gotItems[i][j], items[i][j])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestWireResponseRoundTrip(t *testing.T) {
+	const nC = 7
+	wsums := []float64{0, 2.5, 0.125, 0}
+	vecs := make([][]float64, len(wsums))
+	for i, ws := range wsums {
+		if ws == 0 {
+			continue
+		}
+		vecs[i] = make([]float64, nC)
+		for c := range vecs[i] {
+			vecs[i][c] = float64(i*nC+c) / 3
+		}
+	}
+	for _, crc := range []bool{false, true} {
+		var enc PredictWireEncoder
+		enc.Begin(tagviews.WeightIDF, 12345, 42, nC, len(wsums), crc)
+		for i, ws := range wsums {
+			enc.Item(ws, vecs[i])
+		}
+		frame := enc.Finish()
+
+		// Decode into a dirty reused value: absent rows must come back
+		// zeroed, not holding the previous response's floats.
+		pp := PredictPartials{
+			WSums: []float64{9, 9, 9, 9, 9, 9},
+			Sums:  bytes9(6 * nC),
+		}
+		if err := DecodePredictResponse(frame, &pp, 64, 1<<12); err != nil {
+			t.Fatalf("crc=%v: %v", crc, err)
+		}
+		if pp.Records != 12345 || pp.Epoch != 42 || pp.NC != nC || pp.NItems != len(wsums) || pp.Weighting != tagviews.WeightIDF {
+			t.Fatalf("header round-trip: %+v", pp)
+		}
+		for i, ws := range wsums {
+			if pp.WSums[i] != ws {
+				t.Fatalf("item %d wsum %v, want %v", i, pp.WSums[i], ws)
+			}
+			row := pp.Sums[i*nC : (i+1)*nC]
+			for c := range row {
+				want := 0.0
+				if vecs[i] != nil {
+					want = vecs[i][c]
+				}
+				if row[c] != want {
+					t.Fatalf("item %d country %d: %v, want %v (stale slab leak?)", i, c, row[c], want)
+				}
+			}
+		}
+	}
+}
+
+// bytes9 builds a poison slab for reuse tests.
+func bytes9(n int) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = 9
+	}
+	return s
+}
+
+// TestWireDecodeRejectsCorruption: truncations, bad magic, bad CRC,
+// trailing garbage and absurd counts must all error — never panic,
+// never allocate by the corrupt count.
+func TestWireDecodeRejectsCorruption(t *testing.T) {
+	items := [][]string{{"a", "bb"}, {"ccc"}}
+	req := AppendPredictRequest(nil, items, tagviews.WeightIDF, true)
+	var enc PredictWireEncoder
+	enc.Begin(tagviews.WeightIDF, 5, 9, 3, 1, true)
+	enc.Item(1, []float64{1, 2, 3})
+	resp := append([]byte(nil), enc.Finish()...)
+
+	t.Run("truncations", func(t *testing.T) {
+		for n := 0; n < len(req); n++ {
+			if _, _, _, err := DecodePredictRequest(req[:n]); err == nil {
+				t.Fatalf("request truncated to %d bytes decoded", n)
+			}
+		}
+		var pp PredictPartials
+		for n := 0; n < len(resp); n++ {
+			if err := DecodePredictResponse(resp[:n], &pp, 64, 1<<12); err == nil {
+				t.Fatalf("response truncated to %d bytes decoded", n)
+			}
+		}
+	})
+	t.Run("bad magic", func(t *testing.T) {
+		bad := append([]byte(nil), req...)
+		bad[0] = 'X'
+		if _, _, _, err := DecodePredictRequest(bad); err == nil {
+			t.Fatal("request with corrupt magic decoded")
+		}
+		// Frames must not cross-decode.
+		var pp PredictPartials
+		if err := DecodePredictResponse(req, &pp, 64, 1<<12); err == nil {
+			t.Fatal("request frame decoded as a response")
+		}
+	})
+	t.Run("bad crc", func(t *testing.T) {
+		for _, frame := range [][]byte{req, resp} {
+			bad := append([]byte(nil), frame...)
+			bad[len(bad)-10] ^= 0xff
+			var pp PredictPartials
+			reqErr := func() error { _, _, _, err := DecodePredictRequest(bad); return err }
+			respErr := func() error { return DecodePredictResponse(bad, &pp, 64, 1<<12) }
+			if bytes.HasPrefix(frame, wireReqMagic) {
+				if reqErr() == nil {
+					t.Fatal("flipped byte passed the request CRC")
+				}
+			} else if respErr() == nil {
+				t.Fatal("flipped byte passed the response CRC")
+			}
+		}
+	})
+	t.Run("trailing garbage", func(t *testing.T) {
+		plain := AppendPredictRequest(nil, items, tagviews.WeightIDF, false)
+		if _, _, _, err := DecodePredictRequest(append(plain, 0xAA)); err == nil {
+			t.Fatal("request with trailing garbage decoded")
+		}
+	})
+	t.Run("bad weighting", func(t *testing.T) {
+		bad := AppendPredictRequest(nil, items, tagviews.WeightIDF, false)
+		bad[9] = 77
+		if _, _, _, err := DecodePredictRequest(bad); err == nil {
+			t.Fatal("request with invalid weighting byte decoded")
+		}
+	})
+	t.Run("unknown flag bits", func(t *testing.T) {
+		// Fuzz-found: a flags byte with bits beyond CRC must be refused
+		// (a future layout), not silently decoded modulo the bits.
+		bad := AppendPredictRequest(nil, items, tagviews.WeightIDF, false)
+		bad[8] = 0x30
+		if _, _, _, err := DecodePredictRequest(bad); err == nil {
+			t.Fatal("request with unknown flag bits decoded")
+		}
+	})
+	t.Run("non-canonical varint", func(t *testing.T) {
+		// Fuzz-found: the codec must be bijective, so an over-long
+		// varint (0x80 0x00 spelling zero in two bytes) is an error.
+		bad := []byte("VTIPRQ01\x00\x01\x80\x00")
+		if _, _, _, err := DecodePredictRequest(bad); err == nil {
+			t.Fatal("request with a non-canonical varint decoded")
+		}
+	})
+	t.Run("absurd counts", func(t *testing.T) {
+		// nItems claiming more items than there are bytes left.
+		w := wireWriter{b: append([]byte(nil), wireReqMagic...)}
+		w.u8(0)
+		w.u8(byte(tagviews.WeightIDF))
+		w.uvarint(1 << 40)
+		if _, _, _, err := DecodePredictRequest(w.b); err == nil {
+			t.Fatal("request with absurd item count decoded")
+		}
+		// Response claiming a country table beyond the sanity bound.
+		w = wireWriter{b: append([]byte(nil), wireRespMagic...)}
+		w.u8(0)
+		w.u8(byte(tagviews.WeightIDF))
+		w.uvarint(1)
+		w.u64(0)
+		w.uvarint(1 << 30) // nC
+		w.uvarint(1)
+		var pp PredictPartials
+		if err := DecodePredictResponse(w.b, &pp, 64, 1<<12); err == nil {
+			t.Fatal("response with absurd country count decoded")
+		}
+	})
+	t.Run("caller shape bounds", func(t *testing.T) {
+		// A structurally valid frame whose claimed shape exceeds what
+		// the caller expects must error before the nItems×nC slab is
+		// sized: zero-weight items cost 8 wire bytes each but a full
+		// slab row, so without the caller's bound a kilobyte frame
+		// could demand a gigabyte allocation.
+		var enc PredictWireEncoder
+		enc.Begin(tagviews.WeightIDF, 1, 0, 8, 2, false)
+		enc.Item(0, nil)
+		enc.Item(0, nil)
+		frame := append([]byte(nil), enc.Finish()...)
+		var pp PredictPartials
+		if err := DecodePredictResponse(frame, &pp, 64, 4); err == nil {
+			t.Fatal("country count beyond the caller bound decoded")
+		}
+		if err := DecodePredictResponse(frame, &pp, 1, 64); err == nil {
+			t.Fatal("item count beyond the caller bound decoded")
+		}
+		if err := DecodePredictResponse(frame, &pp, 2, 8); err != nil {
+			t.Fatalf("frame at exactly the caller bounds refused: %v", err)
+		}
+	})
+}
+
+// TestWireNaNWeightSum: a NaN weight sum must not be treated as a
+// present vector on either side of the wire.
+func TestWireNaNWeightSum(t *testing.T) {
+	var enc PredictWireEncoder
+	enc.Begin(tagviews.WeightIDF, 1, 0, 2, 1, false)
+	enc.Item(math.NaN(), nil) // NaN > 0 is false: no slab follows
+	frame := enc.Finish()
+	var pp PredictPartials
+	if err := DecodePredictResponse(frame, &pp, 64, 1<<12); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(pp.WSums[0]) {
+		t.Fatalf("wsum %v, want NaN", pp.WSums[0])
+	}
+	for _, x := range pp.Sums[:pp.NC] {
+		if x != 0 {
+			t.Fatalf("NaN item carried a vector: %v", pp.Sums[:pp.NC])
+		}
+	}
+}
+
+// FuzzInternalCodec: decoding arbitrary bytes as either frame kind must
+// never panic, and every frame the encoder produces must decode back
+// losslessly (the round-trip property is checked whenever the fuzzer's
+// input parses as a seed-shaped request).
+func FuzzInternalCodec(f *testing.F) {
+	f.Add(AppendPredictRequest(nil, [][]string{{"a", "bb"}, {"ccc"}}, tagviews.WeightIDF, false))
+	f.Add(AppendPredictRequest(nil, [][]string{{"pop", "rock"}}, tagviews.WeightUniform, true))
+	var enc PredictWireEncoder
+	enc.Begin(tagviews.WeightByViews, 3, 1, 2, 2, true)
+	enc.Item(0, nil)
+	enc.Item(0.5, []float64{0.5, 0.5})
+	f.Add(append([]byte(nil), enc.Finish()...))
+	f.Add([]byte("VTIPRQ01"))
+	f.Add([]byte("VTIPRS01\x00\x03"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Neither decoder may panic or over-allocate on arbitrary input.
+		items, w, crc, err := DecodePredictRequest(data)
+		if err == nil {
+			// Whatever decoded must re-encode to the identical frame:
+			// decode∘encode is the identity on the codec's image.
+			again := AppendPredictRequest(nil, items, w, crc)
+			if !bytes.Equal(again, data) {
+				t.Fatalf("request re-encode mismatch:\n in  %v\n out %v", data, again)
+			}
+		}
+		var pp PredictPartials
+		if err := DecodePredictResponse(data, &pp, 64, 1<<12); err == nil {
+			var enc PredictWireEncoder
+			enc.Begin(pp.Weighting, pp.Records, pp.Epoch, pp.NC, pp.NItems, false)
+			for i := 0; i < pp.NItems; i++ {
+				enc.Item(pp.WSums[i], pp.Sums[i*pp.NC:(i+1)*pp.NC])
+			}
+			// Round-trip equality is only exact for CRC-less frames
+			// (the decoder strips the trailer) and non-NaN weight sums
+			// (NaN bit patterns survive but compare unequal); skip the
+			// byte comparison otherwise, the no-panic property already
+			// held.
+			if len(data) > 9 && data[8]&1 == 0 {
+				nanFree := true
+				for _, ws := range pp.WSums[:pp.NItems] {
+					if math.IsNaN(ws) {
+						nanFree = false
+						break
+					}
+				}
+				if nanFree && !bytes.Equal(enc.Finish(), data) {
+					t.Fatalf("response re-encode mismatch:\n in  %v\n out %v", data, enc.Finish())
+				}
+			}
+		}
+	})
+}
