@@ -54,6 +54,7 @@ func run() error {
 		coalesce    = flag.Duration("coalesce-window", 0, "micro-batch concurrent single predicts arriving within this window into one fan-out per shard (0 = off; useful range ~250us-1ms)")
 		maxIdle     = flag.Int("max-idle-per-host", 0, "keep-alive connections kept per shard (0 = 2 x max-inflight; never let this fall below expected concurrency or gathers churn connections)")
 		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this separate operator-only address (empty = off)")
+		slowReq     = flag.Duration("slow-request", 0, "log any request at or above this wall time, with its X-Request-Id and per-stage predict timings (0 = off)")
 	)
 	flag.Parse()
 	if *shards == "" {
@@ -84,6 +85,7 @@ func run() error {
 	cfg.Wire = wire
 	cfg.CoalesceWindow = *coalesce
 	cfg.MaxIdleConnsPerHost = *maxIdle
+	cfg.SlowRequest = *slowReq
 	g, err := cluster.NewGateway(cfg, targets)
 	if err != nil {
 		return err

@@ -138,6 +138,7 @@ func run() error {
 		zipfS       = flag.Float64("zipf", 1.1, "upload-stream Zipf exponent")
 		ingestFrac  = flag.Float64("ingest-frac", 0, "fraction of requests that are /v1/ingest event batches (0 = read-only)")
 		targetsFlag = flag.String("targets", "", "comma-separated base URLs to spread workers across (overrides -url; e.g. several gateways, or shards driven directly)")
+		benchOut    = flag.String("bench-out", "", "also write the run's results as machine-readable JSON to this path (e.g. BENCH_loadgen.json)")
 	)
 	flag.Parse()
 	if concurrency < 1 || *batch < 1 {
@@ -301,6 +302,33 @@ func run() error {
 	}
 	if *ingestFrac > 0 {
 		writes.report("write", "events", elapsed, *batch)
+	}
+	if *benchOut != "" {
+		rep := &benchReport{
+			Schema: benchSchema,
+			Config: benchConfig{
+				Targets:     targets,
+				Concurrency: concurrency,
+				Batch:       *batch,
+				Duration:    duration.String(),
+				Weighting:   *weighting,
+				IngestFrac:  *ingestFrac,
+				Videos:      *videos,
+				Seed:        *seed,
+				Zipf:        *zipfS,
+			},
+			ElapsedSeconds: elapsed.Seconds(),
+		}
+		if *ingestFrac < 1 {
+			rep.Read = reads.stream(elapsed)
+		}
+		if *ingestFrac > 0 {
+			rep.Write = writes.stream(elapsed)
+		}
+		if err := writeBenchReport(*benchOut, rep); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *benchOut)
 	}
 	// Success means each requested stream actually flowed: reads unless
 	// the mix is pure-write, writes whenever a write fraction was asked.

@@ -109,6 +109,7 @@ func run() error {
 		fsyncPolicy  = flag.String("fsync", "never", "WAL/checkpoint fsync policy: always (survives power loss) or never (survives process death)")
 		ckptEvery    = flag.Int("checkpoint-every", 16, "checkpoint the serving snapshot every N folds (0 = only at shutdown or via POST /v1/checkpoint)")
 		pprofAddr    = flag.String("pprof-addr", "", "serve net/http/pprof on this separate operator-only address (empty = off)")
+		slowReq      = flag.Duration("slow-request", 0, "log any request at or above this wall time, with its X-Request-Id (0 = off)")
 	)
 	flag.Parse()
 
@@ -206,6 +207,7 @@ func run() error {
 	cfg.ShardIndex = shardIndex
 	cfg.ShardCount = shardCount
 	cfg.RingSignature = ring.Signature()
+	cfg.SlowRequest = *slowReq
 	srv, err := server.New(cfg, store)
 	if err != nil {
 		return err
@@ -293,6 +295,7 @@ func run() error {
 			}); err != nil {
 				return err
 			}
+			srv.SetPersistHists(mgr.WALAppendHist(), mgr.CheckpointHist())
 			logger.Printf("persist: journaling to %s (fsync %s, checkpoint every %d folds)", *dataDir, *fsyncPolicy, *ckptEvery)
 		}
 		var compCtx context.Context
@@ -320,6 +323,7 @@ func run() error {
 			if err := srv.EnablePersist(mgr.Stats, nil); err != nil {
 				return err
 			}
+			srv.SetPersistHists(mgr.WALAppendHist(), mgr.CheckpointHist())
 			if recovered {
 				logger.Printf("persist: read-only daemon serving the recovered checkpoint (journal empty past it)")
 			}

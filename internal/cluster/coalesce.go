@@ -3,6 +3,7 @@ package cluster
 import (
 	"context"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 
@@ -41,12 +42,16 @@ type coalescer struct {
 	pending map[tagviews.Weighting]*coalesceBatch
 }
 
-// coalesceWaiter is one request's stake in a batch: its reply channel
-// and the [off, off+n) item rows it contributed.
+// coalesceWaiter is one request's stake in a batch: its reply channel,
+// the [off, off+n) item rows it contributed, its trace id (joined with
+// the other members' ids on the shard-bound header) and its enqueue
+// time (for the coalesce-wait stage timing).
 type coalesceWaiter struct {
-	ch  chan coalesceReply
-	off int
-	n   int
+	ch    chan coalesceReply
+	off   int
+	n     int
+	trace string
+	enq   time.Time
 }
 
 type coalesceBatch struct {
@@ -82,11 +87,16 @@ func itemsBytes(items [][]string) int {
 
 // coalesceReply is one waiter's share of a batch outcome: its
 // normalized distributions in pooled vectors (the waiter must return
-// each to g.scratch after rendering), or the batch-wide error.
+// each to g.scratch after rendering), or the batch-wide error — plus
+// the stage timings the slow-request log reports (wait is this
+// waiter's enqueue-to-fan-out time; fanout and merge are batch-wide).
 type coalesceReply struct {
-	vecs  []*[]float64
-	known []bool
-	fe    *replyError
+	vecs   []*[]float64
+	known  []bool
+	wait   time.Duration
+	fanout time.Duration
+	merge  time.Duration
+	fe     *replyError
 }
 
 func newCoalescer(g *Gateway, window time.Duration, limit int) *coalescer {
@@ -105,9 +115,10 @@ func newCoalescer(g *Gateway, window time.Duration, limit int) *coalescer {
 // opens one) and blocks until the batch's fan-out resolves or ctx ends.
 // len(items) must be in [1, limit] — the gateway's MaxBatch check
 // guarantees it.
-func (co *coalescer) do(ctx context.Context, items [][]string, weighting tagviews.Weighting, wstr string) coalesceReply {
+func (co *coalescer) do(ctx context.Context, items [][]string, weighting tagviews.Weighting, wstr, trace string) coalesceReply {
 	ch := make(chan coalesceReply, 1)
 	nb := itemsBytes(items)
+	enq := time.Now()
 	co.mu.Lock()
 	b := co.pending[weighting]
 	var runFirst *coalesceBatch
@@ -124,7 +135,7 @@ func (co *coalescer) do(ctx context.Context, items [][]string, weighting tagview
 		co.pending[weighting] = b
 		b.timer = time.AfterFunc(co.window, func() { co.flush(b) })
 	}
-	b.waiters = append(b.waiters, coalesceWaiter{ch: ch, off: len(b.items), n: len(items)})
+	b.waiters = append(b.waiters, coalesceWaiter{ch: ch, off: len(b.items), n: len(items), trace: trace, enq: enq})
 	b.items = append(b.items, items...)
 	b.bytes += nb
 	var runNow *coalesceBatch
@@ -176,17 +187,36 @@ func (co *coalescer) run(b *coalesceBatch) {
 	g := co.g
 	g.coalesceBatches.Add(1)
 	g.coalesceRequests.Add(int64(len(b.waiters)))
+	// The shard-bound trace is every member's id, comma-joined: one
+	// internal call serves all of them, and the shard's access log
+	// should name each (comma is in the request-id charset, so the
+	// joined id round-trips the shard's trace middleware intact).
+	trace := b.waiters[0].trace
+	if len(b.waiters) > 1 {
+		ids := make([]string, len(b.waiters))
+		for i, wt := range b.waiters {
+			ids[i] = wt.trace
+		}
+		trace = strings.Join(ids, ",")
+	}
+	fanStart := time.Now()
 	ctx, cancel := context.WithTimeout(context.Background(), g.cfg.ShardTimeout)
 	defer cancel()
-	merged, fe := g.predictFanout(ctx, b.items, b.weighting, b.wstr)
+	merged, fe := g.predictFanout(ctx, b.items, b.weighting, b.wstr, trace)
 	if fe != nil {
 		for _, wt := range b.waiters {
-			wt.ch <- coalesceReply{fe: fe}
+			wt.ch <- coalesceReply{wait: fanStart.Sub(wt.enq), fe: fe}
 		}
 		return
 	}
 	for _, wt := range b.waiters {
-		rep := coalesceReply{vecs: make([]*[]float64, wt.n), known: make([]bool, wt.n)}
+		rep := coalesceReply{
+			vecs:   make([]*[]float64, wt.n),
+			known:  make([]bool, wt.n),
+			wait:   fanStart.Sub(wt.enq),
+			fanout: merged.fanout,
+			merge:  merged.merge,
+		}
 		for j := 0; j < wt.n; j++ {
 			vp := g.scratch.Get()
 			copy(*vp, merged.row(wt.off+j))

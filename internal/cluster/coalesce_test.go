@@ -382,7 +382,7 @@ func TestGatewayCoalesceCanceledWaiter(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	done := make(chan coalesceReply, 1)
-	go func() { done <- g.co.do(ctx, [][]string{{"pop"}}, tagviews.WeightIDF, "idf") }()
+	go func() { done <- g.co.do(ctx, [][]string{{"pop"}}, tagviews.WeightIDF, "idf", "t-cancel") }()
 	select {
 	case rep := <-done:
 		if rep.fe == nil || rep.fe.status != http.StatusServiceUnavailable {

@@ -23,12 +23,17 @@ import (
 
 // mergedPredict is a fan-out result: per-item normalized distributions
 // in one row-major [nItems × nC] slab plus known flags. Values are
-// pooled (getMerged/putMerged); wsums is merge-time scratch.
+// pooled (getMerged/putMerged); wsums is merge-time scratch. fanout and
+// merge are the stage wall times predictFanout stamps for the
+// slow-request log (always overwritten on success, so pooling cannot
+// leak a previous request's timings).
 type mergedPredict struct {
-	nC    int
-	known []bool
-	wsums []float64
-	vecs  []float64
+	nC     int
+	known  []bool
+	wsums  []float64
+	vecs   []float64
+	fanout time.Duration
+	merge  time.Duration
 }
 
 // row returns item i's distribution, aliasing the slab.
@@ -130,9 +135,11 @@ func (g *Gateway) replyErr(rep shardReply) *replyError {
 // mixtures over the configured wire and merges them into normalized
 // per-item distributions: add the partial sums, add the weight masses,
 // divide — falling back to the shared prior when no shard knew any tag.
-// weighting and wstr are the parsed scheme and its canonical spelling.
-// On success the caller owns the returned value and must putMerged it.
-func (g *Gateway) predictFanout(ctx context.Context, items [][]string, weighting tagviews.Weighting, wstr string) (*mergedPredict, *replyError) {
+// weighting and wstr are the parsed scheme and its canonical spelling;
+// trace is the request id (or comma-joined member ids, for a coalesced
+// micro-batch) propagated to every shard. On success the caller owns
+// the returned value and must putMerged it.
+func (g *Gateway) predictFanout(ctx context.Context, items [][]string, weighting tagviews.Weighting, wstr, trace string) (*mergedPredict, *replyError) {
 	if i := g.downShard(nil); i >= 0 {
 		return nil, &replyError{status: http.StatusServiceUnavailable, retryAfterDur: g.cfg.HealthInterval,
 			msg: fmt.Sprintf("shard %d (%s) is down", i, g.targets[i])}
@@ -159,12 +166,15 @@ func (g *Gateway) predictFanout(ctx context.Context, items [][]string, weighting
 	for i := range bodies {
 		bodies[i] = body
 	}
-	replies := g.scatter(ctx, "/internal/predict", bodies, contentType)
+	fanStart := time.Now()
+	replies := g.scatter(ctx, "/internal/predict", bodies, contentType, trace)
+	fanDur := time.Since(fanStart)
 	if encBuf != nil {
 		*encBuf = body[:0]
 		reqBufPool.Put(encBuf)
 	}
 
+	mergeStart := time.Now()
 	merged := g.getMerged(len(items))
 	for _, rep := range replies {
 		if fe := g.replyErr(rep); fe != nil {
@@ -196,6 +206,8 @@ func (g *Gateway) predictFanout(ctx context.Context, items [][]string, weighting
 		}
 		merged.known[i] = true
 	}
+	merged.fanout = fanDur
+	merged.merge = time.Since(mergeStart)
 	g.metrics.Predictions.Add(int64(len(items)))
 	return merged, nil
 }

@@ -29,6 +29,7 @@ var gatewayRoutes = []string{
 	"/v1/stats",
 	"/healthz",
 	"/readyz",
+	"/metrics",
 }
 
 // GatewayRoutes returns every route path the gateway registers, in
@@ -110,6 +111,11 @@ type GatewayConfig struct {
 	// cost 1 round trip per shard instead of N. 0 disables (the
 	// default); ~250µs–1ms is the useful range, see OPERATIONS.md.
 	CoalesceWindow time.Duration
+	// SlowRequest enables the threshold-gated slow-request log: any
+	// request at or above this wall time gets one structured line with
+	// its trace id, and /v1/predict additionally logs per-stage timing
+	// (decode, coalesce wait, fan-out, merge, encode). 0 disables.
+	SlowRequest time.Duration
 }
 
 // DefaultGatewayConfig returns the standard gateway configuration.
@@ -238,7 +244,9 @@ func NewGateway(cfg GatewayConfig, targets []string) (*Gateway, error) {
 	for _, path := range gatewayRoutes {
 		mux.HandleFunc(path, g.handlerFor(path))
 	}
-	g.handler = server.NewMiddleware(cfg.MaxInFlight, g.metrics, cfg.Logger, cfg.LogRequests).Wrap(mux)
+	mw := server.NewMiddleware(cfg.MaxInFlight, g.metrics, cfg.Logger, cfg.LogRequests)
+	mw.SetSlowRequest(cfg.SlowRequest)
+	g.handler = mw.Wrap(mux)
 	return g, nil
 }
 
@@ -259,6 +267,8 @@ func (g *Gateway) handlerFor(path string) http.HandlerFunc {
 		return g.handleHealth
 	case "/readyz":
 		return g.handleReady
+	case "/metrics":
+		return g.handleMetrics
 	default:
 		panic("cluster: gateway route " + path + " has no handler")
 	}

@@ -11,9 +11,11 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"time"
 
 	"viewstags/internal/dist"
 	"viewstags/internal/ingest"
+	"viewstags/internal/obs"
 	"viewstags/internal/server"
 	"viewstags/internal/tagviews"
 )
@@ -32,13 +34,20 @@ type shardReply struct {
 // postShard round-trips one POST against a shard, feeding the health
 // tracker. Non-2xx statuses are returned for the caller to map — they
 // are protocol answers (shed, malformed), not transport failures, so
-// they do not count toward marking the shard down.
-func (g *Gateway) postShard(ctx context.Context, shard int, path string, body []byte, contentType string) shardReply {
+// they do not count toward marking the shard down. trace, when
+// non-empty, rides the X-Request-Id header so the shard's access log
+// carries the same id the client saw (for a coalesced micro-batch it is
+// every member's id, comma-joined) — the wire frames themselves never
+// change.
+func (g *Gateway) postShard(ctx context.Context, shard int, path string, body []byte, contentType, trace string) shardReply {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, g.targets[shard]+path, bytes.NewReader(body))
 	if err != nil {
 		return shardReply{shard: shard, err: err}
 	}
 	req.Header.Set("Content-Type", contentType)
+	if trace != "" {
+		req.Header.Set(obs.TraceHeader, trace)
+	}
 	resp, err := g.client.Do(req)
 	if err != nil {
 		// A canceled client context aborts every in-flight shard call;
@@ -68,8 +77,9 @@ func (g *Gateway) postShard(ctx context.Context, shard int, path string, body []
 }
 
 // scatter posts one body per involved shard concurrently and gathers
-// the replies. bodies[i] == nil skips shard i.
-func (g *Gateway) scatter(ctx context.Context, path string, bodies [][]byte, contentType string) []shardReply {
+// the replies. bodies[i] == nil skips shard i. trace is propagated to
+// every involved shard.
+func (g *Gateway) scatter(ctx context.Context, path string, bodies [][]byte, contentType, trace string) []shardReply {
 	replies := make([]shardReply, len(bodies))
 	var wg sync.WaitGroup
 	for i, body := range bodies {
@@ -80,7 +90,7 @@ func (g *Gateway) scatter(ctx context.Context, path string, bodies [][]byte, con
 		wg.Add(1)
 		go func(i int, body []byte) {
 			defer wg.Done()
-			replies[i] = g.postShard(ctx, i, path, body, contentType)
+			replies[i] = g.postShard(ctx, i, path, body, contentType, trace)
 		}(i, body)
 	}
 	wg.Wait()
@@ -116,6 +126,7 @@ func (g *Gateway) topShares(p []float64, k int) []server.CountryShare {
 }
 
 func (g *Gateway) handlePredict(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	if !server.RequirePost(w, r) {
 		return
 	}
@@ -123,6 +134,7 @@ func (g *Gateway) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if !server.DecodeBody(w, r, &req) {
 		return
 	}
+	decodeDur := time.Since(start)
 	parsed, err := tagviews.ParseWeighting(req.Weighting)
 	if err != nil {
 		server.WriteError(w, http.StatusBadRequest, "%v", err)
@@ -162,26 +174,30 @@ func (g *Gateway) handlePredict(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	trace := server.RequestID(r)
+	var waitDur, fanoutDur, mergeDur time.Duration
 	results := make([]server.PredictResult, len(items))
 	if g.co != nil {
 		// Coalescing on: splice this request's items onto the shared
 		// micro-batch and render from the rows handed back. Singles and
 		// small batches alike ride one fan-out per window.
-		rep := g.co.do(r.Context(), items, parsed, weighting)
+		rep := g.co.do(r.Context(), items, parsed, weighting, trace)
 		if rep.fe != nil {
 			g.writeReplyError(w, rep.fe)
 			return
 		}
+		waitDur, fanoutDur, mergeDur = rep.wait, rep.fanout, rep.merge
 		for i := range items {
 			results[i] = server.PredictResult{Known: rep.known[i], Top: g.topShares(*rep.vecs[i], req.Top)}
 			g.scratch.Put(rep.vecs[i])
 		}
 	} else {
-		merged, fe := g.predictFanout(r.Context(), items, parsed, weighting)
+		merged, fe := g.predictFanout(r.Context(), items, parsed, weighting, trace)
 		if fe != nil {
 			g.writeReplyError(w, fe)
 			return
 		}
+		fanoutDur, mergeDur = merged.fanout, merged.merge
 		for i := range items {
 			results[i] = server.PredictResult{Known: merged.known[i], Top: g.topShares(merged.row(i), req.Top)}
 		}
@@ -194,7 +210,14 @@ func (g *Gateway) handlePredict(w http.ResponseWriter, r *http.Request) {
 	} else {
 		resp.Results = results
 	}
+	encStart := time.Now()
 	server.WriteJSON(w, http.StatusOK, resp)
+	if slow := g.cfg.SlowRequest; slow > 0 {
+		if total := time.Since(start); total >= slow {
+			g.logger.Printf("cluster: slow-request trace=%s items=%d total=%s decode=%s coalesce_wait=%s fanout=%s merge=%s encode=%s",
+				trace, len(items), total, decodeDur, waitDur, fanoutDur, mergeDur, time.Since(encStart))
+		}
+	}
 }
 
 // gatherOK maps one shard reply onto the client response: transport
@@ -346,7 +369,7 @@ func (g *Gateway) handleIngest(w http.ResponseWriter, r *http.Request) {
 	// relies on per-epoch upload dedup plus client retry to converge;
 	// see OPERATIONS.md "Cluster topology" for the contract.
 	acks := make([]server.IngestResponse, len(g.targets))
-	for _, rep := range g.scatter(r.Context(), "/internal/ingest", bodies, "application/json") {
+	for _, rep := range g.scatter(r.Context(), "/internal/ingest", bodies, "application/json", server.RequestID(r)) {
 		if rep.status == -1 {
 			continue // shard not involved: no reply, no health signal
 		}

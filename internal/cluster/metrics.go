@@ -1,0 +1,65 @@
+package cluster
+
+import (
+	"net/http"
+	"strconv"
+
+	"viewstags/internal/obs"
+	"viewstags/internal/server"
+)
+
+// handleMetrics is the gateway's GET /metrics: the shared route
+// families (the same middleware-fed histograms a shard exposes), the
+// cluster-level view — per-shard health, epoch and epoch lag, the
+// conservative min-epoch fold horizon — the coalescer's batching
+// counters, and Go runtime gauges. Like /v1/stats, the scrape bypasses
+// the concurrency limiter so a saturated gateway can still explain
+// itself.
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		server.WriteError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	tw := obs.NewTextWriter()
+	g.metrics.WriteProm(tw)
+	g.writeClusterProm(tw)
+	obs.WriteGoRuntime(tw)
+	w.Header().Set("Content-Type", obs.TextContentType)
+	_, _ = w.Write(tw.Bytes())
+}
+
+// writeClusterProm renders the gateway-only families. Epoch lag is
+// measured against the highest epoch any shard reports: the natural
+// alert signal for one shard falling behind on folds (the absolute
+// epoch alone cannot say who is stale).
+func (g *Gateway) writeClusterProm(tw *obs.TextWriter) {
+	var maxEpoch uint64
+	for _, s := range g.shards {
+		if e := s.epoch.Load(); e > maxEpoch {
+			maxEpoch = e
+		}
+	}
+	tw.Gauge("viewstags_shard_up", "1 when the shard is in rotation, 0 when marked down.")
+	tw.Gauge("viewstags_shard_epoch", "Last fold epoch the shard reported.")
+	tw.Gauge("viewstags_shard_epoch_lag", "Folds the shard trails the most advanced shard by.")
+	tw.Gauge("viewstags_shard_records", "Training records the shard reported at its last poll.")
+	for i, s := range g.shards {
+		labels := []obs.Label{{Name: "shard", Value: strconv.Itoa(i)}}
+		up := 1.0
+		if s.down.Load() {
+			up = 0
+		}
+		epoch := s.epoch.Load()
+		tw.Sample("viewstags_shard_up", labels, up)
+		tw.Sample("viewstags_shard_epoch", labels, float64(epoch))
+		tw.Sample("viewstags_shard_epoch_lag", labels, float64(maxEpoch-epoch))
+		tw.Sample("viewstags_shard_records", labels, float64(s.records.Load()))
+	}
+	tw.Gauge("viewstags_cluster_min_epoch", "Lowest epoch any shard reports — the conservative fold horizon.")
+	tw.Sample("viewstags_cluster_min_epoch", nil, float64(g.minEpoch()))
+	tw.Counter("viewstags_coalesce_batches_total", "Shared fan-outs the micro-batching coalescer ran.")
+	tw.Sample("viewstags_coalesce_batches_total", nil, float64(g.coalesceBatches.Load()))
+	tw.Counter("viewstags_coalesce_requests_total", "Predict requests served through coalesced fan-outs.")
+	tw.Sample("viewstags_coalesce_requests_total", nil, float64(g.coalesceRequests.Load()))
+}

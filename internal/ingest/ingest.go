@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"viewstags/internal/geo"
+	"viewstags/internal/obs"
 	"viewstags/internal/profilestore"
 )
 
@@ -141,6 +142,9 @@ type Accumulator struct {
 
 	lastFoldNs atomic.Int64
 	lastTags   atomic.Int64
+	// foldHist distributes fold wall times for GET /metrics; the
+	// LastFoldMs stat keeps the most recent one for /v1/stats.
+	foldHist obs.Histogram
 
 	// foldMu fences writes against drains: Add and AddUploads hold it
 	// shared around journal-then-apply, Drain holds it exclusively — so
@@ -410,7 +414,11 @@ func (a *Accumulator) noteFold(d time.Duration, tags int) {
 	a.epoch.Add(1)
 	a.lastFoldNs.Store(d.Nanoseconds())
 	a.lastTags.Store(int64(tags))
+	a.foldHist.Observe(d)
 }
+
+// FoldHist returns the live fold-duration histogram for exposition.
+func (a *Accumulator) FoldHist() *obs.Histogram { return &a.foldHist }
 
 // Epoch returns the number of completed folds. An event accepted now is
 // visible to predictions once Epoch has advanced past its Add.

@@ -1,0 +1,378 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// TextContentType is the Prometheus text exposition content type the
+// /metrics handlers answer with.
+const TextContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Label is one name=value pair on a sample.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// TextWriter renders the Prometheus text exposition format (version
+// 0.0.4) without any external dependency. Usage: declare each family
+// once (Counter/Gauge/HistogramFamily), then emit its samples. The
+// writer panics on programmer errors — an undeclared or re-declared
+// family — because a malformed exposition is a bug, not a runtime
+// condition; wire-level conformance is checked by Validate in tests.
+type TextWriter struct {
+	buf      bytes.Buffer
+	families map[string]string // family name -> declared type
+}
+
+// NewTextWriter returns an empty exposition.
+func NewTextWriter() *TextWriter {
+	return &TextWriter{families: make(map[string]string)}
+}
+
+func (w *TextWriter) family(name, help, typ string) {
+	if _, dup := w.families[name]; dup {
+		panic("obs: duplicate metric family " + name)
+	}
+	w.families[name] = typ
+	w.buf.WriteString("# HELP ")
+	w.buf.WriteString(name)
+	w.buf.WriteByte(' ')
+	w.buf.WriteString(escapeHelp(help))
+	w.buf.WriteString("\n# TYPE ")
+	w.buf.WriteString(name)
+	w.buf.WriteByte(' ')
+	w.buf.WriteString(typ)
+	w.buf.WriteByte('\n')
+}
+
+// Counter declares a counter family.
+func (w *TextWriter) Counter(name, help string) { w.family(name, help, "counter") }
+
+// Gauge declares a gauge family.
+func (w *TextWriter) Gauge(name, help string) { w.family(name, help, "gauge") }
+
+// HistogramFamily declares a histogram family; emit its data with
+// Histogram.
+func (w *TextWriter) HistogramFamily(name, help string) { w.family(name, help, "histogram") }
+
+// Sample emits one counter or gauge sample. labels may be nil; they
+// are emitted sorted by name (the validator rejects unsorted labels,
+// and sorted output makes scrapes diffable).
+func (w *TextWriter) Sample(name string, labels []Label, v float64) {
+	typ, ok := w.families[name]
+	if !ok {
+		panic("obs: sample for undeclared family " + name)
+	}
+	if typ == "histogram" {
+		panic("obs: use Histogram for histogram family " + name)
+	}
+	w.sampleLine(name, labels, Label{}, v)
+}
+
+// Histogram emits one histogram series: cumulative _bucket lines for
+// every edge plus +Inf, then _sum (seconds) and _count.
+func (w *TextWriter) Histogram(name string, labels []Label, s HistSnapshot) {
+	if typ, ok := w.families[name]; !ok || typ != "histogram" {
+		panic("obs: histogram emission for non-histogram family " + name)
+	}
+	var cum uint64
+	for i := 0; i < numBuckets; i++ {
+		cum += s.Counts[i]
+		w.sampleLine(name+"_bucket", labels, Label{Name: "le", Value: formatFloat(bucketEdges[i])}, float64(cum))
+	}
+	cum += s.Counts[numBuckets]
+	w.sampleLine(name+"_bucket", labels, Label{Name: "le", Value: "+Inf"}, float64(cum))
+	w.sampleLine(name+"_sum", labels, Label{}, float64(s.SumNs)/1e9)
+	w.sampleLine(name+"_count", labels, Label{}, float64(cum))
+}
+
+// sampleLine writes one sample with labels sorted by name; extra (when
+// named) is merged into sort position — the histogram "le" label must
+// interleave correctly with caller labels like "route".
+func (w *TextWriter) sampleLine(name string, labels []Label, extra Label, v float64) {
+	w.buf.WriteString(name)
+	n := len(labels)
+	if extra.Name != "" {
+		n++
+	}
+	if n > 0 {
+		w.buf.WriteByte('{')
+		all := make([]Label, 0, n)
+		all = append(all, labels...)
+		if extra.Name != "" {
+			all = append(all, extra)
+		}
+		sort.Slice(all, func(a, b int) bool { return all[a].Name < all[b].Name })
+		for i, l := range all {
+			if i > 0 {
+				w.buf.WriteByte(',')
+			}
+			w.buf.WriteString(l.Name)
+			w.buf.WriteString(`="`)
+			w.buf.WriteString(escapeLabel(l.Value))
+			w.buf.WriteByte('"')
+		}
+		w.buf.WriteByte('}')
+	}
+	w.buf.WriteByte(' ')
+	w.buf.WriteString(formatFloat(v))
+	w.buf.WriteByte('\n')
+}
+
+// Bytes returns the rendered exposition.
+func (w *TextWriter) Bytes() []byte { return w.buf.Bytes() }
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Validate is the text-format conformance checker the tests and the CI
+// scrape step share. It parses every line of a 0.0.4 exposition and
+// returns the first violation: unknown line shape, a sample before its
+// # TYPE, a duplicate family declaration, unsorted or duplicate
+// labels, a duplicate series, an unparsable value, a histogram whose
+// cumulative buckets decrease, or a histogram whose +Inf bucket
+// disagrees with its _count.
+func Validate(exposition []byte) error {
+	type family struct {
+		typ     string
+		sampled bool
+	}
+	families := make(map[string]*family)
+	seen := make(map[string]bool)          // full series key -> emitted
+	histInf := make(map[string]float64)    // series key base -> +Inf cum
+	histPrev := make(map[string]float64)   // series key base -> last cum
+	histPrevLe := make(map[string]float64) // series key base -> last le
+	lines := strings.Split(string(exposition), "\n")
+	for ln, line := range lines {
+		if line == "" {
+			continue
+		}
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("metrics line %d: %s (%q)", ln+1, fmt.Sprintf(format, args...), line)
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return fail("unknown comment shape")
+			}
+			if fields[1] == "TYPE" {
+				name := fields[2]
+				if len(fields) != 4 {
+					return fail("TYPE without a type")
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fail("unknown type %q", fields[3])
+				}
+				if _, dup := families[name]; dup {
+					return fail("duplicate TYPE for family %s", name)
+				}
+				families[name] = &family{typ: fields[3]}
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fail("%v", err)
+		}
+		fam := families[name]
+		base := name
+		isBucket := false
+		if fam == nil {
+			// Histogram samples attach to their base family.
+			for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+				if strings.HasSuffix(name, suffix) {
+					base = strings.TrimSuffix(name, suffix)
+					if f := families[base]; f != nil && f.typ == "histogram" {
+						fam = f
+						isBucket = suffix == "_bucket"
+						break
+					}
+				}
+			}
+		}
+		if fam == nil {
+			return fail("sample for undeclared family %s", name)
+		}
+		fam.sampled = true
+		var prevName string
+		var le string
+		for i, l := range labels {
+			if i > 0 {
+				if l.Name == prevName {
+					return fail("duplicate label %s", l.Name)
+				}
+				if l.Name < prevName {
+					return fail("labels not sorted: %s after %s", l.Name, prevName)
+				}
+			}
+			prevName = l.Name
+			if l.Name == "le" {
+				le = l.Value
+			}
+		}
+		key := line[:strings.LastIndexByte(line, ' ')]
+		if seen[key] {
+			return fail("duplicate series")
+		}
+		seen[key] = true
+		if isBucket {
+			if le == "" {
+				return fail("histogram bucket without le")
+			}
+			// Series identity minus le: cumulative within one series.
+			skey := base + "|" + labelKey(labels, "le")
+			leV := math.Inf(1)
+			if le != "+Inf" {
+				leV, err = strconv.ParseFloat(le, 64)
+				if err != nil {
+					return fail("unparsable le %q", le)
+				}
+			}
+			if prev, ok := histPrevLe[skey]; ok && leV <= prev {
+				return fail("histogram le not increasing")
+			}
+			if prev, ok := histPrev[skey]; ok && value < prev {
+				return fail("histogram cumulative count decreased")
+			}
+			histPrev[skey] = value
+			histPrevLe[skey] = leV
+			if le == "+Inf" {
+				histInf[skey] = value
+			}
+		}
+		if fam.typ == "histogram" && strings.HasSuffix(name, "_count") {
+			skey := base + "|" + labelKey(labels, "le")
+			if inf, ok := histInf[skey]; !ok {
+				return fail("histogram _count before +Inf bucket")
+			} else if inf != value {
+				return fail("histogram _count %v != +Inf bucket %v", value, inf)
+			}
+		}
+	}
+	for name, fam := range families {
+		if !fam.sampled {
+			return fmt.Errorf("metrics: family %s declared but never sampled", name)
+		}
+	}
+	return nil
+}
+
+// labelKey renders labels (minus one excluded name) as a stable key.
+func labelKey(labels []Label, exclude string) string {
+	var b strings.Builder
+	for _, l := range labels {
+		if l.Name == exclude {
+			continue
+		}
+		b.WriteString(l.Name)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// parseSample splits one sample line into name, labels (in written
+// order) and value.
+func parseSample(line string) (string, []Label, float64, error) {
+	nameEnd := strings.IndexAny(line, "{ ")
+	if nameEnd <= 0 {
+		return "", nil, 0, fmt.Errorf("no metric name")
+	}
+	name := line[:nameEnd]
+	rest := line[nameEnd:]
+	var labels []Label
+	if rest[0] == '{' {
+		close := strings.IndexByte(rest, '}')
+		if close < 0 {
+			return "", nil, 0, fmt.Errorf("unterminated label set")
+		}
+		inner := rest[1:close]
+		rest = rest[close+1:]
+		for len(inner) > 0 {
+			eq := strings.IndexByte(inner, '=')
+			if eq <= 0 || eq+1 >= len(inner) || inner[eq+1] != '"' {
+				return "", nil, 0, fmt.Errorf("malformed label pair")
+			}
+			lname := inner[:eq]
+			// Scan the quoted value honoring escapes.
+			i := eq + 2
+			var val strings.Builder
+			for i < len(inner) && inner[i] != '"' {
+				if inner[i] == '\\' && i+1 < len(inner) {
+					i++
+					switch inner[i] {
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						val.WriteByte(inner[i])
+					}
+				} else {
+					val.WriteByte(inner[i])
+				}
+				i++
+			}
+			if i >= len(inner) {
+				return "", nil, 0, fmt.Errorf("unterminated label value")
+			}
+			labels = append(labels, Label{Name: lname, Value: val.String()})
+			i++ // closing quote
+			if i < len(inner) && inner[i] == ',' {
+				i++
+			}
+			inner = inner[i:]
+			i = 0
+		}
+	}
+	rest = strings.TrimLeft(rest, " ")
+	// A timestamp field may follow the value; this repo never emits
+	// one, but the validator tolerates it per the format.
+	valueField := rest
+	if sp := strings.IndexByte(rest, ' '); sp >= 0 {
+		valueField = rest[:sp]
+	}
+	var v float64
+	switch valueField {
+	case "+Inf":
+		v = math.Inf(1)
+	case "-Inf":
+		v = math.Inf(-1)
+	case "NaN":
+		v = math.NaN()
+	default:
+		var err error
+		v, err = strconv.ParseFloat(valueField, 64)
+		if err != nil {
+			return "", nil, 0, fmt.Errorf("unparsable value %q", valueField)
+		}
+	}
+	return name, labels, v, nil
+}

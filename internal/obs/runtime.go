@@ -1,0 +1,22 @@
+package obs
+
+import "runtime"
+
+// WriteGoRuntime appends the Go runtime families — goroutines, heap
+// and GC — to an exposition. Both daemons' /metrics handlers call it
+// last, so runtime gauges carry the standard go_ prefix after the
+// service's own viewstags_ families.
+func WriteGoRuntime(w *TextWriter) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	w.Gauge("go_goroutines", "Number of live goroutines.")
+	w.Sample("go_goroutines", nil, float64(runtime.NumGoroutine()))
+	w.Gauge("go_heap_alloc_bytes", "Bytes of allocated heap objects.")
+	w.Sample("go_heap_alloc_bytes", nil, float64(ms.HeapAlloc))
+	w.Gauge("go_heap_objects", "Number of allocated heap objects.")
+	w.Sample("go_heap_objects", nil, float64(ms.HeapObjects))
+	w.Counter("go_gc_runs_total", "Completed GC cycles.")
+	w.Sample("go_gc_runs_total", nil, float64(ms.NumGC))
+	w.Counter("go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.")
+	w.Sample("go_gc_pause_seconds_total", nil, float64(ms.PauseTotalNs)/1e9)
+}

@@ -12,9 +12,11 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"viewstags/internal/geo"
 	"viewstags/internal/ingest"
+	"viewstags/internal/obs"
 	"viewstags/internal/profilestore"
 )
 
@@ -79,6 +81,12 @@ type Manager struct {
 	// ckptMu serializes checkpoint writes (compactor cadence, admin
 	// route and shutdown flush may race).
 	ckptMu sync.Mutex
+
+	// walHist and ckptHist distribute Append and SaveCheckpoint wall
+	// times for GET /metrics; both are written under their respective
+	// locks but scraped lock-free.
+	walHist  obs.Histogram
+	ckptHist obs.Histogram
 }
 
 // Open scans (creating if absent) the data directory: leftover
@@ -286,6 +294,8 @@ func (m *Manager) replaySegment(seg *segment, last bool, fromGen uint64, apply f
 // process; rotation starts a fresh segment once the active one exceeds
 // SegmentBytes.
 func (m *Manager) Append(gen uint64, events []ingest.Event, uploads []string) error {
+	start := time.Now()
+	defer func() { m.walHist.Observe(time.Since(start)) }()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if !m.replayDone {
@@ -396,6 +406,8 @@ func (m *Manager) rotateLocked() error {
 // segment whose records the retained checkpoints all cover. A crash at
 // any point leaves the previous checkpoint intact.
 func (m *Manager) SaveCheckpoint(meta CheckpointMeta, data profilestore.SnapshotData) error {
+	start := time.Now()
+	defer func() { m.ckptHist.Observe(time.Since(start)) }()
 	m.ckptMu.Lock()
 	defer m.ckptMu.Unlock()
 	final := filepath.Join(m.opts.Dir, fmt.Sprintf("checkpoint-%016x.ckpt", meta.Gen))
@@ -522,6 +534,14 @@ func (m *Manager) Stats() Stats {
 	}
 	return st
 }
+
+// WALAppendHist returns the live Append-latency histogram for
+// exposition.
+func (m *Manager) WALAppendHist() *obs.Histogram { return &m.walHist }
+
+// CheckpointHist returns the live SaveCheckpoint-duration histogram for
+// exposition.
+func (m *Manager) CheckpointHist() *obs.Histogram { return &m.ckptHist }
 
 func fsyncDir(dir string) error {
 	d, err := os.Open(dir)

@@ -10,6 +10,7 @@ import (
 	"viewstags/internal/geo"
 	"viewstags/internal/geocache"
 	"viewstags/internal/ingest"
+	"viewstags/internal/obs"
 	"viewstags/internal/persist"
 	"viewstags/internal/placement"
 	"viewstags/internal/profilestore"
@@ -130,6 +131,9 @@ type TagInfo struct {
 
 type errorResponse struct {
 	Error string `json:"error"`
+	// RequestID echoes the request's trace id so a client can quote
+	// the exact id to grep for across gateway and shard logs.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // WriteJSON, WriteError, DecodeBody and RequirePost are the wire-level
@@ -144,9 +148,15 @@ func WriteJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// WriteError writes the uniform error envelope.
+// WriteError writes the uniform error envelope, echoing the request's
+// trace id (the trace middleware stamps it on the response headers
+// before any handler runs; outside the middleware the field is simply
+// omitted).
 func WriteError(w http.ResponseWriter, status int, format string, args ...any) {
-	WriteJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+	WriteJSON(w, status, errorResponse{
+		Error:     fmt.Sprintf(format, args...),
+		RequestID: w.Header().Get(obs.TraceHeader),
+	})
 }
 
 // DecodeBody decodes a JSON body with a size cap and strict fields, so

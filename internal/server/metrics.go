@@ -2,20 +2,26 @@ package server
 
 import (
 	"strings"
+
 	"sync/atomic"
+
+	"viewstags/internal/obs"
 )
 
-// RouteMetrics holds one route's counters. All fields are atomics;
-// read them with Load.
+// RouteMetrics holds one route's counters and its latency histogram.
+// The counters are atomics (read with Load); Latency is an
+// obs.Histogram whose Observe is allocation-free, so the middleware
+// can record every request at load-test rates.
 type RouteMetrics struct {
-	Requests  atomic.Int64
-	Errors    atomic.Int64
-	LatencyNs atomic.Int64 // summed wall time, for mean latency
+	Requests atomic.Int64
+	Errors   atomic.Int64
+	Latency  obs.Histogram
 }
 
-// Metrics is the server's counter set. It deliberately stays at
-// atomic-counter granularity — cheap enough to leave on at load-test
-// rates; percentiles belong to the load generator's P² sketches.
+// Metrics is the server's counter set: per-route request counters and
+// log-bucket latency histograms, cheap enough to leave on at load-test
+// rates. /v1/stats renders quantile summaries from the histograms and
+// GET /metrics exposes the full buckets for scraping.
 type Metrics struct {
 	Predict RouteMetrics
 	Ingest  RouteMetrics
@@ -57,12 +63,27 @@ func (m *Metrics) route(path string) *RouteMetrics {
 	}
 }
 
-// RouteSnapshot is one route's counters at a point in time.
+// EachRoute visits every route bucket with its exposition label, in a
+// fixed order — the iteration the /metrics renderers are built on.
+func (m *Metrics) EachRoute(f func(name string, rm *RouteMetrics)) {
+	f("predict", &m.Predict)
+	f("ingest", &m.Ingest)
+	f("place", &m.Place)
+	f("preload", &m.Preload)
+	f("internal", &m.Internal)
+	f("other", &m.Other)
+}
+
+// RouteSnapshot is one route's counters at a point in time. MeanMs and
+// the quantiles are all derived from the same histogram snapshot, so
+// the two surfaces (/v1/stats and /metrics) can never disagree.
 type RouteSnapshot struct {
-	Requests  int64   `json:"requests"`
-	Errors    int64   `json:"errors"`
-	MeanMs    float64 `json:"mean_ms"`
-	LatencyNs int64   `json:"-"`
+	Requests int64   `json:"requests"`
+	Errors   int64   `json:"errors"`
+	MeanMs   float64 `json:"mean_ms"`
+	P50Ms    float64 `json:"p50_ms"`
+	P95Ms    float64 `json:"p95_ms"`
+	P99Ms    float64 `json:"p99_ms"`
 }
 
 // Snapshot is the JSON shape of /v1/stats (wrapped with the ingest
@@ -84,12 +105,15 @@ type Snapshot struct {
 
 func snapRoute(m *RouteMetrics) RouteSnapshot {
 	s := RouteSnapshot{
-		Requests:  m.Requests.Load(),
-		Errors:    m.Errors.Load(),
-		LatencyNs: m.LatencyNs.Load(),
+		Requests: m.Requests.Load(),
+		Errors:   m.Errors.Load(),
 	}
-	if s.Requests > 0 {
-		s.MeanMs = float64(s.LatencyNs) / float64(s.Requests) / 1e6
+	h := m.Latency.Snapshot()
+	if h.Count > 0 {
+		s.MeanMs = h.Mean() * 1e3
+		s.P50Ms = h.Quantile(0.50) * 1e3
+		s.P95Ms = h.Quantile(0.95) * 1e3
+		s.P99Ms = h.Quantile(0.99) * 1e3
 	}
 	return s
 }
@@ -107,4 +131,25 @@ func (m *Metrics) Snapshot() Snapshot {
 		Rejected:    m.Rejected.Load(),
 		Predictions: m.Predictions.Load(),
 	}
+}
+
+// WriteProm renders the request-level families onto an exposition —
+// shared verbatim by the serve daemon's and the gateway's /metrics, so
+// the route families line up across the tier.
+func (m *Metrics) WriteProm(w *obs.TextWriter) {
+	w.Counter("viewstags_requests_total", "Requests served, by route group.")
+	w.Counter("viewstags_request_errors_total", "Requests answered with status >= 400, by route group.")
+	w.HistogramFamily("viewstags_request_duration_seconds", "Request wall time by route group, measured inside the middleware.")
+	m.EachRoute(func(name string, rm *RouteMetrics) {
+		labels := []obs.Label{{Name: "route", Value: name}}
+		w.Sample("viewstags_requests_total", labels, float64(rm.Requests.Load()))
+		w.Sample("viewstags_request_errors_total", labels, float64(rm.Errors.Load()))
+		w.Histogram("viewstags_request_duration_seconds", labels, rm.Latency.Snapshot())
+	})
+	w.Gauge("viewstags_in_flight", "Requests currently being served.")
+	w.Sample("viewstags_in_flight", nil, float64(m.InFlight.Load()))
+	w.Counter("viewstags_rejected_total", "Requests shed by the concurrency limiter.")
+	w.Sample("viewstags_rejected_total", nil, float64(m.Rejected.Load()))
+	w.Counter("viewstags_predictions_total", "Individual predictions served (a batch of k adds k).")
+	w.Sample("viewstags_predictions_total", nil, float64(m.Predictions.Load()))
 }

@@ -5,7 +5,10 @@ import (
 	"net/http"
 	"runtime/debug"
 	"strconv"
+	"sync/atomic"
 	"time"
+
+	"viewstags/internal/obs"
 )
 
 // statusWriter captures the response code for logging and metrics.
@@ -35,16 +38,26 @@ func SetRetryAfter(w http.ResponseWriter, d time.Duration) {
 	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
 }
 
+// RequestID returns the request's trace id — set by the trace
+// middleware before any handler runs, so handlers and fan-out code can
+// propagate it without re-deriving.
+func RequestID(r *http.Request) string { return r.Header.Get(obs.TraceHeader) }
+
 // Middleware is the serving tier's shared HTTP middleware stack —
-// concurrency limiting, panic recovery, optional access logging and
-// per-route metrics — factored out of Server so the cluster gateway
-// wraps its handlers in the identical chain (same shedding semantics,
-// same counters) instead of growing a parallel one.
+// request-id tracing, concurrency limiting, panic recovery, optional
+// access logging and per-route metrics — factored out of Server so the
+// cluster gateway wraps its handlers in the identical chain (same
+// shedding semantics, same counters) instead of growing a parallel
+// one.
 type Middleware struct {
 	metrics     *Metrics
 	logger      *log.Logger
 	sem         chan struct{}
 	logRequests bool
+	// slowNs is the slow-request log threshold in nanoseconds; 0
+	// disables. Atomic so it can be set after construction without
+	// racing in-flight requests.
+	slowNs atomic.Int64
 }
 
 // NewMiddleware builds a stack. maxInFlight bounds concurrently served
@@ -59,25 +72,57 @@ func NewMiddleware(maxInFlight int, metrics *Metrics, logger *log.Logger, logReq
 	}
 }
 
+// SetSlowRequest enables the threshold-gated slow-request log line:
+// requests whose wall time meets or exceeds d get one structured line
+// with their trace id. d <= 0 disables.
+func (m *Middleware) SetSlowRequest(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	m.slowNs.Store(d.Nanoseconds())
+}
+
 // Wrap chains the stack around next, innermost first: metrics ←
-// recovery ← logging ← concurrency limit. The limiter sits outermost so
-// a saturated server sheds load before doing any work.
+// recovery ← logging ← concurrency limit ← trace. The limiter sits
+// outside everything but the trace assignment, so a saturated server
+// sheds load before doing any work — and even a shed 503 carries a
+// request id for the client to quote.
 func (m *Middleware) Wrap(next http.Handler) http.Handler {
 	h := m.withMetrics(next)
 	h = m.withRecovery(h)
 	if m.logRequests {
 		h = m.withLogging(h)
 	}
-	return m.withLimit(h)
+	return m.withTrace(m.withLimit(h))
 }
 
 // limiterExempt lists the paths that bypass the concurrency limiter — a
 // loaded server must still answer its health checker (liveness AND
 // readiness: shedding a probe reads as "unready" and would eject a
 // merely busy node from rotation), expose the counters that explain the
-// overload, and (on shards) answer the gateway's cheap topology probe.
+// overload — /v1/stats and the /metrics scrape alike — and (on shards)
+// answer the gateway's cheap topology probe.
 func limiterExempt(path string) bool {
-	return path == "/healthz" || path == "/readyz" || path == "/v1/stats" || path == "/internal/meta"
+	return path == "/healthz" || path == "/readyz" || path == "/v1/stats" ||
+		path == "/metrics" || path == "/internal/meta"
+}
+
+// withTrace assigns the request id: an inbound X-Request-Id is honored
+// when well-formed (the gateway propagates ids to shards this way —
+// including comma-joined member ids for coalesced micro-batches),
+// anything else is replaced. The id is set on the request headers (for
+// handlers and fan-out to read back) and echoed on the response before
+// any handler runs, so WriteError can include it in error envelopes.
+func (m *Middleware) withTrace(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(obs.TraceHeader)
+		if !obs.ValidRequestID(id) {
+			id = obs.NewRequestID()
+			r.Header.Set(obs.TraceHeader, id)
+		}
+		w.Header().Set(obs.TraceHeader, id)
+		next.ServeHTTP(w, r)
+	})
 }
 
 // withLimit bounds in-flight requests with a semaphore; requests beyond
@@ -115,17 +160,21 @@ func (m *Middleware) withRecovery(next http.Handler) http.Handler {
 	})
 }
 
-// withLogging emits one access-log line per request.
+// withLogging emits one access-log line per request, trace id
+// included — the line the end-to-end trace test greps for.
 func (m *Middleware) withLogging(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		next.ServeHTTP(sw, r)
-		m.logger.Printf("server: %s %s %d %s", r.Method, r.URL.Path, sw.status, time.Since(start))
+		m.logger.Printf("server: %s %s %d %s trace=%s", r.Method, r.URL.Path, sw.status, time.Since(start), RequestID(r))
 	})
 }
 
-// withMetrics counts requests, errors and latency per route.
+// withMetrics counts requests and errors per route and records wall
+// time into the route's latency histogram (allocation-free Observe),
+// then emits the threshold-gated slow-request line when one is
+// configured.
 func (m *Middleware) withMetrics(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		rm := m.metrics.route(r.URL.Path)
@@ -134,10 +183,15 @@ func (m *Middleware) withMetrics(next http.Handler) http.Handler {
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		next.ServeHTTP(sw, r)
+		d := time.Since(start)
 		rm.Requests.Add(1)
-		rm.LatencyNs.Add(time.Since(start).Nanoseconds())
+		rm.Latency.Observe(d)
 		if sw.status >= 400 {
 			rm.Errors.Add(1)
+		}
+		if slow := m.slowNs.Load(); slow > 0 && d.Nanoseconds() >= slow {
+			m.logger.Printf("server: slow-request trace=%s method=%s path=%s status=%d total=%s",
+				RequestID(r), r.Method, r.URL.Path, sw.status, d)
 		}
 	})
 }

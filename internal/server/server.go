@@ -46,6 +46,7 @@ import (
 
 	"viewstags/internal/geo"
 	"viewstags/internal/ingest"
+	"viewstags/internal/obs"
 	"viewstags/internal/persist"
 	"viewstags/internal/placement"
 	"viewstags/internal/profilestore"
@@ -66,6 +67,7 @@ var routes = []string{
 	"/v1/checkpoint",
 	"/healthz",
 	"/readyz",
+	"/metrics",
 	"/internal/predict",
 	"/internal/ingest",
 	"/internal/meta",
@@ -102,6 +104,10 @@ type Config struct {
 	// signature differs from its own — that shard would own the wrong
 	// tags.
 	RingSignature string
+	// SlowRequest, when positive, logs one structured line (with the
+	// request's trace id) for every request at least this slow. Off by
+	// default.
+	SlowRequest time.Duration
 }
 
 // DefaultConfig returns the standard serving configuration.
@@ -143,6 +149,11 @@ type Server struct {
 	// deployments.
 	persistStats func() persist.Stats
 	checkpoint   func() (CheckpointStatus, error)
+	// walHist/ckptHist are the persist tier's live latency histograms
+	// (SetPersistHists); nil when the daemon is in-memory only. Read by
+	// GET /metrics.
+	walHist  *obs.Histogram
+	ckptHist *obs.Histogram
 
 	// mu serializes snapshot installs (batch Reload and ingest folds)
 	// and guards the catalog state for /v1/preload (absent when serving
@@ -183,6 +194,7 @@ func New(cfg Config, store *profilestore.Store) (*Server, error) {
 		logger:  logger,
 	}
 	s.mw = NewMiddleware(cfg.MaxInFlight, s.metrics, logger, cfg.LogRequests)
+	s.mw.SetSlowRequest(cfg.SlowRequest)
 	s.scratch = profilestore.NewVecPool(world.N())
 	mux := http.NewServeMux()
 	for _, path := range routes {
@@ -215,6 +227,8 @@ func (s *Server) handlerFor(path string) http.HandlerFunc {
 		return s.handleHealth
 	case "/readyz":
 		return s.handleReady
+	case "/metrics":
+		return s.handleMetrics
 	case "/internal/predict":
 		return s.handleInternalPredict
 	case "/internal/ingest":
@@ -281,6 +295,15 @@ func (s *Server) EnablePersist(stats func() persist.Stats, checkpoint func() (Ch
 	s.persistStats = stats
 	s.checkpoint = checkpoint
 	return nil
+}
+
+// SetPersistHists attaches the durable tier's live latency histograms
+// — WAL append and checkpoint duration, normally persist.Manager's
+// WALAppendHist/CheckpointHist — so GET /metrics can expose them.
+// Optional companion to EnablePersist; either argument may be nil.
+func (s *Server) SetPersistHists(wal, ckpt *obs.Histogram) {
+	s.walHist = wal
+	s.ckptHist = ckpt
 }
 
 // SetReady flips /readyz to 200: call once recovery has finished and
