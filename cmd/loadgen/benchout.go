@@ -4,11 +4,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"time"
+
+	"viewstags/internal/scenario"
 )
 
 // benchSchema versions the BENCH_loadgen.json layout so CI tooling can
-// reject a file written by an incompatible loadgen.
+// reject a file written by an incompatible loadgen. The stream blocks
+// are scenario.Stream — shared with BENCH_scenarios.json — so the two
+// documents agree field-for-field on what a stream looks like.
 const benchSchema = "viewstags-loadgen/v1"
 
 // benchConfig records the knobs that produced a run — enough to
@@ -19,6 +22,7 @@ type benchConfig struct {
 	Concurrency int      `json:"concurrency"`
 	Batch       int      `json:"batch"`
 	Duration    string   `json:"duration"`
+	Warmup      string   `json:"warmup,omitempty"`
 	Weighting   string   `json:"weighting"`
 	IngestFrac  float64  `json:"ingest_frac"`
 	Videos      int      `json:"videos"`
@@ -26,58 +30,16 @@ type benchConfig struct {
 	Zipf        float64  `json:"zipf"`
 }
 
-// benchLatency is one stream's latency block, milliseconds throughout,
-// from the same P² sketches the console report prints.
-type benchLatency struct {
-	MeanMs float64 `json:"mean_ms"`
-	P50Ms  float64 `json:"p50_ms"`
-	P90Ms  float64 `json:"p90_ms"`
-	P99Ms  float64 `json:"p99_ms"`
-	MaxMs  float64 `json:"max_ms"`
-}
-
-// benchStream is one direction's (read or write) machine-readable
-// block. Items are predictions served or events accepted.
-type benchStream struct {
-	Requests       int64        `json:"requests"`
-	Items          int64        `json:"items"`
-	Errors         int64        `json:"errors"`
-	Shed           int64        `json:"shed"`
-	Fallbacks      int64        `json:"fallbacks,omitempty"`
-	RequestsPerSec float64      `json:"requests_per_sec"`
-	ItemsPerSec    float64      `json:"items_per_sec"`
-	Latency        benchLatency `json:"latency"`
-}
-
-// benchReport is the whole BENCH_loadgen.json document.
+// benchReport is the whole BENCH_loadgen.json document. Elapsed is the
+// wall clock of the run; Measured excludes the warmup window and is the
+// denominator of every rate in the stream blocks.
 type benchReport struct {
-	Schema         string       `json:"schema"`
-	Config         benchConfig  `json:"config"`
-	ElapsedSeconds float64      `json:"elapsed_seconds"`
-	Read           *benchStream `json:"read,omitempty"`
-	Write          *benchStream `json:"write,omitempty"`
-}
-
-// stream snapshots a collector into the machine-readable block.
-func (c *collector) stream(elapsed time.Duration) *benchStream {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return &benchStream{
-		Requests:       c.requests,
-		Items:          c.items,
-		Errors:         c.errors,
-		Shed:           c.shed,
-		Fallbacks:      c.fallback,
-		RequestsPerSec: float64(c.requests) / elapsed.Seconds(),
-		ItemsPerSec:    float64(c.items) / elapsed.Seconds(),
-		Latency: benchLatency{
-			MeanMs: c.lat.Mean(),
-			P50Ms:  c.p50.Value(),
-			P90Ms:  c.p90.Value(),
-			P99Ms:  c.p99.Value(),
-			MaxMs:  c.lat.Max(),
-		},
-	}
+	Schema          string           `json:"schema"`
+	Config          benchConfig      `json:"config"`
+	ElapsedSeconds  float64          `json:"elapsed_seconds"`
+	MeasuredSeconds float64          `json:"measured_seconds"`
+	Read            *scenario.Stream `json:"read,omitempty"`
+	Write           *scenario.Stream `json:"write,omitempty"`
 }
 
 // writeBenchReport writes the document to path atomically (temp +

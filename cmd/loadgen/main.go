@@ -14,11 +14,23 @@
 // backpressure, and the periodic snapshot folds it triggers — shows up
 // in its own p50/p90/p99 block next to the read path's.
 //
+// With -warmup > 0 the first stretch of the run is excluded from every
+// reported number (console and -bench-out alike): requests completing
+// inside the window are tallied only as "warmup excluded", and rates
+// are computed over the measured remainder. The first seconds of a run
+// measure connection setup and cold caches, and on a short run they
+// visibly skew p99.
+//
+// Collection runs on scenario.Collector — the same warmup-aware,
+// P²-backed stream accounting the chaos harness scores SLOs with — so
+// the two load paths cannot drift in what "p99" or "error" means.
+//
 // Usage:
 //
 //	loadgen -url http://127.0.0.1:8091 -duration 10s -concurrency 4
 //	loadgen -url http://127.0.0.1:8091 -batch 32        # batched predicts
 //	loadgen -url http://127.0.0.1:8091 -ingest-frac 0.2 # mixed read/write
+//	loadgen -url http://127.0.0.1:8091 -warmup 2s       # measure the warm steady state
 package main
 
 import (
@@ -33,8 +45,8 @@ import (
 	"sync"
 	"time"
 
+	"viewstags/internal/scenario"
 	"viewstags/internal/server"
-	"viewstags/internal/stats"
 	"viewstags/internal/synth"
 	"viewstags/internal/xrand"
 )
@@ -44,74 +56,6 @@ func main() {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
-}
-
-// collector aggregates worker observations behind one mutex; at predict
-// rates the lock is uncontended enough to vanish in the HTTP cost.
-type collector struct {
-	mu       sync.Mutex
-	p50      *stats.P2Quantile
-	p90      *stats.P2Quantile
-	p99      *stats.P2Quantile
-	lat      stats.Summary
-	requests int64
-	items    int64 // predictions served / events accepted
-	errors   int64
-	shed     int64 // 503s: limiter or ingest backpressure
-	fallback int64 // predictions answered from the prior (known=false)
-}
-
-func newCollector() (*collector, error) {
-	c := &collector{}
-	for _, q := range []struct {
-		p    **stats.P2Quantile
-		frac float64
-	}{{&c.p50, 0.5}, {&c.p90, 0.9}, {&c.p99, 0.99}} {
-		est, err := stats.NewP2Quantile(q.frac)
-		if err != nil {
-			return nil, err
-		}
-		*q.p = est
-	}
-	return c, nil
-}
-
-func (c *collector) observe(latency time.Duration, items, fallback int64, failed, wasShed bool) {
-	ms := float64(latency.Nanoseconds()) / 1e6
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.requests++
-	if wasShed {
-		c.shed++
-		return
-	}
-	if failed {
-		c.errors++
-		return
-	}
-	c.p50.Add(ms)
-	c.p90.Add(ms)
-	c.p99.Add(ms)
-	c.lat.Add(ms)
-	c.items += items
-	c.fallback += fallback
-}
-
-// report prints one collector's block; itemNoun is "predictions" or
-// "events".
-func (c *collector) report(label, itemNoun string, elapsed time.Duration, batch int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	fmt.Printf("%s requests  %d (%.0f req/s, %d errors, %d shed)\n",
-		label, c.requests, float64(c.requests)/elapsed.Seconds(), c.errors, c.shed)
-	extra := ""
-	if itemNoun == "predictions" {
-		extra = fmt.Sprintf(", %d prior-fallbacks", c.fallback)
-	}
-	fmt.Printf("%s %-9s %d (%.0f/s, batch=%d%s)\n",
-		label, itemNoun, c.items, float64(c.items)/elapsed.Seconds(), batch, extra)
-	fmt.Printf("%s latency ms mean=%.3f p50=%.3f p90=%.3f p99=%.3f max=%.3f\n",
-		label, c.lat.Mean(), c.p50.Value(), c.p90.Value(), c.p99.Value(), c.lat.Max())
 }
 
 // uploadItem is one catalog video as the upload/view stream sees it.
@@ -137,6 +81,7 @@ func run() error {
 		weighting   = flag.String("weighting", "idf", "prediction weighting scheme")
 		zipfS       = flag.Float64("zipf", 1.1, "upload-stream Zipf exponent")
 		ingestFrac  = flag.Float64("ingest-frac", 0, "fraction of requests that are /v1/ingest event batches (0 = read-only)")
+		warmup      = flag.Duration("warmup", 0, "initial window excluded from all reported numbers (0 = measure everything)")
 		targetsFlag = flag.String("targets", "", "comma-separated base URLs to spread workers across (overrides -url; e.g. several gateways, or shards driven directly)")
 		benchOut    = flag.String("bench-out", "", "also write the run's results as machine-readable JSON to this path (e.g. BENCH_loadgen.json)")
 	)
@@ -146,6 +91,9 @@ func run() error {
 	}
 	if *ingestFrac < 0 || *ingestFrac > 1 {
 		return fmt.Errorf("ingest-frac must be in [0, 1]")
+	}
+	if *warmup < 0 || *warmup >= *duration {
+		return fmt.Errorf("warmup must be in [0, duration)")
 	}
 	// Workers are pinned target[w mod n]-style, so every target gets an
 	// equal worker share and each worker keeps one hot keep-alive pool.
@@ -201,11 +149,11 @@ func run() error {
 		}
 	}
 
-	reads, err := newCollector()
+	reads, err := scenario.NewCollector(time.Time{})
 	if err != nil {
 		return err
 	}
-	writes, err := newCollector()
+	writes, err := scenario.NewCollector(time.Time{})
 	if err != nil {
 		return err
 	}
@@ -217,6 +165,11 @@ func run() error {
 	}
 	startWall := time.Now()
 	deadline := startWall.Add(*duration)
+	if *warmup > 0 {
+		cutoff := startWall.Add(*warmup)
+		reads.SetCutoff(cutoff)
+		writes.SetCutoff(cutoff)
+	}
 	var wg sync.WaitGroup
 	for wkr := 0; wkr < concurrency; wkr++ {
 		wg.Add(1)
@@ -260,9 +213,9 @@ func run() error {
 					if encodeErr == nil {
 						start := time.Now()
 						accepted, shed, err = postIngest(client, ingestURL, &body)
-						writes.observe(time.Since(start), accepted, 0, err != nil, shed)
+						writes.Observe(time.Since(start), accepted, 0, err != nil, shed, time.Now())
 					} else {
-						writes.observe(0, 0, 0, true, false)
+						writes.Observe(0, 0, 0, true, false, time.Now())
 					}
 					if err != nil || shed {
 						for _, v := range flagged {
@@ -284,12 +237,12 @@ func run() error {
 						}
 					}
 					if err := json.NewEncoder(&body).Encode(&req); err != nil {
-						reads.observe(0, 0, 0, true, false)
+						reads.Observe(0, 0, 0, true, false, time.Now())
 						continue
 					}
 					start := time.Now()
 					preds, fallback, err := postPredict(client, predictURL, &body)
-					reads.observe(time.Since(start), preds, fallback, err != nil, false)
+					reads.Observe(time.Since(start), preds, fallback, err != nil, false, time.Now())
 				}
 			}
 		}(wkr)
@@ -297,11 +250,15 @@ func run() error {
 	wg.Wait()
 
 	elapsed := time.Since(startWall)
+	// Every rate and both reports run over the measured window: the
+	// warmup stretch contributed no counted observations, so dividing by
+	// the full elapsed time would understate sustained throughput.
+	measured := elapsed - *warmup
 	if *ingestFrac < 1 {
-		reads.report("read ", "predictions", elapsed, *batch)
+		reads.Report("read ", "predictions", measured, *batch)
 	}
 	if *ingestFrac > 0 {
-		writes.report("write", "events", elapsed, *batch)
+		writes.Report("write", "events", measured, *batch)
 	}
 	if *benchOut != "" {
 		rep := &benchReport{
@@ -311,19 +268,23 @@ func run() error {
 				Concurrency: concurrency,
 				Batch:       *batch,
 				Duration:    duration.String(),
+				Warmup:      warmup.String(),
 				Weighting:   *weighting,
 				IngestFrac:  *ingestFrac,
 				Videos:      *videos,
 				Seed:        *seed,
 				Zipf:        *zipfS,
 			},
-			ElapsedSeconds: elapsed.Seconds(),
+			ElapsedSeconds:  elapsed.Seconds(),
+			MeasuredSeconds: measured.Seconds(),
 		}
 		if *ingestFrac < 1 {
-			rep.Read = reads.stream(elapsed)
+			s := reads.Snapshot(measured)
+			rep.Read = &s
 		}
 		if *ingestFrac > 0 {
-			rep.Write = writes.stream(elapsed)
+			s := writes.Snapshot(measured)
+			rep.Write = &s
 		}
 		if err := writeBenchReport(*benchOut, rep); err != nil {
 			return err
@@ -332,21 +293,11 @@ func run() error {
 	}
 	// Success means each requested stream actually flowed: reads unless
 	// the mix is pure-write, writes whenever a write fraction was asked.
-	if *ingestFrac < 1 {
-		reads.mu.Lock()
-		preds := reads.items
-		reads.mu.Unlock()
-		if preds == 0 {
-			return fmt.Errorf("no successful predictions")
-		}
+	if *ingestFrac < 1 && reads.Items() == 0 {
+		return fmt.Errorf("no successful predictions")
 	}
-	if *ingestFrac > 0 {
-		writes.mu.Lock()
-		events := writes.items
-		writes.mu.Unlock()
-		if events == 0 {
-			return fmt.Errorf("no accepted ingest events")
-		}
+	if *ingestFrac > 0 && writes.Items() == 0 {
+		return fmt.Errorf("no accepted ingest events")
 	}
 	return nil
 }

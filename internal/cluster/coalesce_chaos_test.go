@@ -1,0 +1,194 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"net/http/httputil"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"viewstags/internal/server"
+)
+
+// flakyShard fronts one node with a proxy whose /internal/predict can
+// be "killed" at runtime: while dead, predict calls get their
+// connection dropped — a genuine transport failure, exactly what the
+// gateway sees when a shard is SIGKILLed mid-batch — while
+// /internal/meta and everything else pass through, keeping Sync and
+// health probes honest.
+type flakyShard struct {
+	ts   *httptest.Server
+	dead atomic.Bool
+}
+
+func newFlakyShard(t *testing.T, target string) *flakyShard {
+	t.Helper()
+	u, err := url.Parse(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp := httputil.NewSingleHostReverseProxy(u)
+	f := &flakyShard{}
+	f.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if f.dead.Load() && r.URL.Path == "/internal/predict" {
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Error("response writer is not a hijacker")
+				return
+			}
+			if conn, _, err := hj.Hijack(); err == nil {
+				_ = conn.Close()
+			}
+			return
+		}
+		rp.ServeHTTP(w, r)
+	}))
+	t.Cleanup(f.ts.Close)
+	return f
+}
+
+// predictRec runs one /v1/predict through the gateway handler and
+// returns the raw recorder (status + headers + body).
+func predictRec(t *testing.T, g *Gateway, req server.PredictRequest) *httptest.ResponseRecorder {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr := httptest.NewRequest(http.MethodPost, "/v1/predict", bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	g.Handler().ServeHTTP(rec, hr)
+	return rec
+}
+
+// wave fires all requests concurrently (start-barrier synchronized, so
+// they land in the same coalescing window with high probability) and
+// returns the recorders in request order.
+func wave(t *testing.T, g *Gateway, reqs []server.PredictRequest) []*httptest.ResponseRecorder {
+	t.Helper()
+	recs := make([]*httptest.ResponseRecorder, len(reqs))
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := range reqs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			recs[i] = predictRec(t, g, reqs[i])
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	return recs
+}
+
+// TestCoalesceShardDeathMidBatch pins the coalescer's failure
+// isolation: a shard dying under a coalesced window must fail exactly
+// that window's waiters — every one of them with a retryable
+// 503+Retry-After, not a 502 — and must not poison later windows: the
+// next window after the death fails the same clean way, and once the
+// shard is back the very next window serves answers identical to the
+// pre-death ones, through the same coalescer instance.
+func TestCoalesceShardDeathMidBatch(t *testing.T) {
+	nodes, _ := startCluster(t, 3)
+	flaky := newFlakyShard(t, nodes[2].ts.URL)
+	targets := []string{nodes[0].ts.URL, nodes[1].ts.URL, flaky.ts.URL}
+	g := newSyncedGateway(t, targets, func(c *GatewayConfig) {
+		c.CoalesceWindow = 10 * time.Millisecond
+		// High threshold: the point is the in-flight fan-out verdict,
+		// not health shedding — the shard must never be marked down, so
+		// every wave exercises the coalescer's own failure path.
+		c.FailThreshold = 1000
+	})
+
+	// Distinct singles that will share coalesced windows; the last one
+	// is prior-fallback, so known=false survives the round trip too.
+	tagSets := [][]string{{"pop"}, {"favela", "samba"}, {"music", "pop"}, {"favela"}, {"zz-unknown"}}
+	reqs := make([]server.PredictRequest, len(tagSets))
+	for i, tags := range tagSets {
+		reqs[i] = server.PredictRequest{Tags: tags, Weighting: "idf", Top: 5}
+	}
+
+	// Wave 0: healthy reference answers.
+	before := wave(t, g, reqs)
+	for i, rec := range before {
+		if rec.Code != http.StatusOK {
+			t.Fatalf("healthy wave req %d: status %d: %s", i, rec.Code, rec.Body.Bytes())
+		}
+	}
+
+	// Shard 2 dies. Two consecutive waves must fail cleanly: every
+	// waiter 503 with a Retry-After hint — the same retryable verdict
+	// health shedding gives — and the shard must NOT get marked down
+	// (high threshold), proving the verdict came from the fan-out path.
+	flaky.dead.Store(true)
+	for waveNo := 1; waveNo <= 2; waveNo++ {
+		recs := wave(t, g, reqs)
+		for i, rec := range recs {
+			if rec.Code != http.StatusServiceUnavailable {
+				t.Fatalf("dead wave %d req %d: status %d, want 503: %s", waveNo, i, rec.Code, rec.Body.Bytes())
+			}
+			if rec.Header().Get("Retry-After") == "" {
+				t.Fatalf("dead wave %d req %d: 503 without Retry-After", waveNo, i)
+			}
+			var e struct {
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error == "" {
+				t.Fatalf("dead wave %d req %d: no error envelope: %q", waveNo, i, rec.Body.Bytes())
+			}
+		}
+	}
+	if g.shards[2].down.Load() {
+		t.Fatal("shard 2 was marked down; the test meant to exercise the fan-out verdict, not shedding")
+	}
+
+	// Shard back: the next windows must be clean — same status, same
+	// known flags, same shares as before the death. A poisoned
+	// coalescer (stale waiter, corrupted batch offsets, a dead window's
+	// error leaking forward) fails exactly here.
+	flaky.dead.Store(false)
+	after := wave(t, g, reqs)
+	for i, rec := range after {
+		if rec.Code != http.StatusOK {
+			t.Fatalf("revived wave req %d: status %d: %s", i, rec.Code, rec.Body.Bytes())
+		}
+		var want, got server.PredictResponse
+		if err := json.Unmarshal(before[i].Body.Bytes(), &want); err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+			t.Fatal(err)
+		}
+		if got.Result == nil || want.Result == nil {
+			t.Fatalf("revived wave req %d: missing result", i)
+		}
+		if got.Result.Known != want.Result.Known {
+			t.Fatalf("revived wave req %d: known=%v, was %v before death", i, got.Result.Known, want.Result.Known)
+		}
+		if len(got.Result.Top) != len(want.Result.Top) {
+			t.Fatalf("revived wave req %d: %d countries, was %d", i, len(got.Result.Top), len(want.Result.Top))
+		}
+		for c := range want.Result.Top {
+			if got.Result.Top[c].Country != want.Result.Top[c].Country ||
+				math.Abs(got.Result.Top[c].Share-want.Result.Top[c].Share) > 1e-9 {
+				t.Fatalf("revived wave req %d country %d: %+v, was %+v",
+					i, c, got.Result.Top[c], want.Result.Top[c])
+			}
+		}
+	}
+
+	// The coalescer actually coalesced along the way (the waves are
+	// start-synchronized, so at least some windows were shared) — guard
+	// against this test silently degrading into serial fan-outs.
+	if g.coalesceRequests.Load() <= g.coalesceBatches.Load() {
+		t.Fatalf("no sharing observed: %d requests over %d batches",
+			g.coalesceRequests.Load(), g.coalesceBatches.Load())
+	}
+}

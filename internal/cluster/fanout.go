@@ -113,13 +113,20 @@ func (g *Gateway) downShard(needed []bool) int {
 }
 
 // replyErr maps one shard reply's transport/status outcome onto a
-// client-ending error, mirroring gatherOK: transport failures are 502,
-// shard sheds propagate as 503 with the shard's Retry-After, any other
-// non-200 is 502. nil means the reply body is ready to decode.
+// client-ending error: a TRANSPORT failure mid-fan-out is the moment a
+// shard died under us — the same condition health shedding answers
+// 503+Retry-After for once the detector catches up — so it gets the
+// identical retryable answer here, instead of a 502 that only a
+// request racing the detector would ever see. (Under coalescing this
+// is every waiter in the dead window's verdict, so it must be the
+// retryable one.) Shard sheds propagate as 503 with the shard's
+// Retry-After; any other non-200 — a shard that is alive but answered
+// malformed or mismatched — stays 502, the true bad-gateway case. nil
+// means the reply body is ready to decode.
 func (g *Gateway) replyErr(rep shardReply) *replyError {
 	switch {
 	case rep.err != nil:
-		return &replyError{status: http.StatusBadGateway,
+		return &replyError{status: http.StatusServiceUnavailable, retryAfterDur: g.cfg.HealthInterval,
 			msg: fmt.Sprintf("shard %d (%s): %v", rep.shard, g.targets[rep.shard], rep.err)}
 	case rep.status == http.StatusServiceUnavailable:
 		return &replyError{status: http.StatusServiceUnavailable, retryAfter: rep.retryAfter,

@@ -1,0 +1,242 @@
+package persist
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"viewstags/internal/ingest"
+	"viewstags/internal/xrand"
+)
+
+// The randomized fault-injection property test for WAL recovery. Each
+// trial builds a real multi-segment journal of acked batches, damages
+// it at a random byte — truncation (a crash mid-write) or a flip (a
+// torn sector, bit rot) — and pins the recovery contract:
+//
+//   - damage in the FINAL segment is a crash tail: Replay succeeds and
+//     applies exactly the acked prefix up to the damaged frame — never
+//     a record past it (over-replay), never a subset with holes;
+//   - damage anywhere EARLIER is unrecoverable history: Replay refuses
+//     with an error, and whatever it applied before stopping is still
+//     an exact prefix;
+//   - recovery never panics, and after a successful tail repair the
+//     journal accepts new appends and replays them on the next open.
+//
+// The damage offset, mode and journal shape all derive from one seed,
+// so a failure reproduces exactly.
+
+// frameIndex maps one intact segment's layout: end offset of each
+// frame (relative to file start) paired with the cumulative count of
+// records across the whole journal up to and including that frame.
+type walFrame struct {
+	end    int64 // first byte past this frame
+	global int   // 1-based global record ordinal
+}
+
+type walSegIndex struct {
+	path   string
+	size   int64
+	frames []walFrame
+}
+
+// indexWAL scans the intact journal with the production frame reader,
+// recording every frame boundary. Damage expectations are computed
+// from this map, not re-derived from recovery's own output.
+func indexWAL(t *testing.T, dir string) []walSegIndex {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var segs []walSegIndex
+	for _, ent := range entries {
+		if name := ent.Name(); len(name) > 4 && name[:4] == "wal-" {
+			segs = append(segs, walSegIndex{path: filepath.Join(dir, name)})
+		}
+	}
+	sort.Slice(segs, func(a, b int) bool { return segs[a].path < segs[b].path })
+	global := 0
+	for i := range segs {
+		seg := &segs[i]
+		raw, err := os.ReadFile(seg.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seg.size = int64(len(raw))
+		if !bytes.HasPrefix(raw, walMagic) {
+			t.Fatalf("intact segment %s lacks magic", seg.path)
+		}
+		br := bufio.NewReader(bytes.NewReader(raw[len(walMagic):]))
+		off := int64(len(walMagic))
+		for {
+			_, size, err := readRecord(br)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("intact segment %s unreadable at %d: %v", seg.path, off, err)
+			}
+			off += size
+			global++
+			seg.frames = append(seg.frames, walFrame{end: off, global: global})
+		}
+	}
+	return segs
+}
+
+// survivors returns how many of the journal's records remain acked
+// after damaging segment s at byte offset off: every record of earlier
+// segments, plus this segment's frames that end at or before the
+// damage. (A hit inside the magic header takes out the whole segment.)
+func survivors(segs []walSegIndex, s int, off int64) int {
+	n := 0
+	if s > 0 {
+		if f := segs[s-1].frames; len(f) > 0 {
+			n = f[len(f)-1].global
+		}
+	}
+	for _, fr := range segs[s].frames {
+		if fr.end <= off {
+			n = fr.global
+		}
+	}
+	return n
+}
+
+func TestWALRandomFaultRecovery(t *testing.T) {
+	src := xrand.NewSource(20110301)
+	const trials = 60
+	for trial := 0; trial < trials; trial++ {
+		trialSrc := src.Fork(fmt.Sprintf("trial-%d", trial))
+		t.Run(fmt.Sprintf("trial-%02d", trial), func(t *testing.T) {
+			runFaultTrial(t, trialSrc)
+		})
+	}
+}
+
+func runFaultTrial(t *testing.T, src *xrand.Source) {
+	dir := t.TempDir()
+	opts := quietOpts(dir)
+	// Tiny segments force rotation every few records, so damage lands
+	// mid-history as often as at the tail.
+	opts.SegmentBytes = 256
+
+	// Build the journal: batches are the acked history; gen is the
+	// 1-based batch ordinal so the replay sequence is self-describing.
+	nBatches := 6 + src.Intn(18)
+	type batch struct {
+		video string
+		views float64
+	}
+	acked := make([]batch, nBatches)
+	m, recs := mustOpen(t, opts, 0)
+	if len(recs) != 0 {
+		t.Fatalf("fresh dir replayed %d records", len(recs))
+	}
+	for i := range acked {
+		acked[i] = batch{
+			video: fmt.Sprintf("vid-%03d-%04d", i, src.Intn(10000)),
+			views: float64(1 + src.Intn(50)),
+		}
+		evs := []ingest.Event{event(acked[i].video, "tag", src.Intn(5), acked[i].views, src.Bernoulli(0.2))}
+		if err := m.Append(uint64(i+1), evs, nil); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	segs := indexWAL(t, dir)
+	if len(segs) < 2 {
+		t.Fatalf("journal did not rotate (%d segments); SegmentBytes too large for the trial", len(segs))
+	}
+
+	// Damage: a random byte of a random segment, truncated or flipped.
+	s := src.Intn(len(segs))
+	off := int64(src.Intn(int(segs[s].size)))
+	flip := src.Bernoulli(0.5)
+	if flip {
+		raw, err := os.ReadFile(segs[s].path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw[off] ^= 0x5a
+		if err := os.WriteFile(segs[s].path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		if err := os.Truncate(segs[s].path, off); err != nil {
+			t.Fatal(err)
+		}
+	}
+	last := s == len(segs)-1
+	want := survivors(segs, s, off)
+	mode := "truncate"
+	if flip {
+		mode = "flip"
+	}
+	ctx := fmt.Sprintf("%s seg %d/%d at %d/%d (want %d/%d records)",
+		mode, s, len(segs), off, segs[s].size, want, nBatches)
+
+	// Recover. Damage at the tail must repair; damage mid-history must
+	// refuse. Either way, what reached apply must be an exact acked
+	// prefix — the callback below verifies order and content in-line.
+	m2, err := Open(opts)
+	if err != nil {
+		t.Fatalf("%s: reopen: %v", ctx, err)
+	}
+	applied := 0
+	_, n, rerr := m2.Replay(0, func(evs []ingest.Event, _ []string) error {
+		if applied >= nBatches {
+			t.Fatalf("%s: over-replay: record %d beyond the acked history", ctx, applied+1)
+		}
+		if len(evs) != 1 || evs[0].Video != acked[applied].video || evs[0].Views != acked[applied].views {
+			t.Fatalf("%s: record %d is not the acked batch: got %+v want %+v",
+				ctx, applied+1, evs, acked[applied])
+		}
+		applied++
+		return nil
+	})
+	if !last {
+		if rerr == nil {
+			t.Fatalf("%s: mid-history damage recovered silently (%d records)", ctx, n)
+		}
+		// The refusal must come exactly at the damage: everything acked
+		// before it was already handed to apply, nothing after.
+		if applied != want {
+			t.Fatalf("%s: applied %d records before refusing, want %d", ctx, applied, want)
+		}
+		return
+	}
+	if rerr != nil {
+		t.Fatalf("%s: tail damage did not recover: %v", ctx, rerr)
+	}
+	if applied != want || int(n) != want {
+		t.Fatalf("%s: recovered %d records (reported %d), want %d", ctx, applied, n, want)
+	}
+
+	// The repaired journal must keep working: append, close, reopen,
+	// and the next replay sees the surviving prefix plus the new batch.
+	if err := m2.Append(uint64(nBatches+1), []ingest.Event{event("post-repair", "tag", 0, 7, false)}, nil); err != nil {
+		t.Fatalf("%s: append after repair: %v", ctx, err)
+	}
+	if err := m2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m3, recs3 := mustOpen(t, opts, 0)
+	defer func() { _ = m3.Close() }()
+	if len(recs3) != want+1 {
+		t.Fatalf("%s: post-repair reopen replayed %d records, want %d", ctx, len(recs3), want+1)
+	}
+	lastRec := recs3[len(recs3)-1]
+	if len(lastRec.events) != 1 || lastRec.events[0].Video != "post-repair" {
+		t.Fatalf("%s: post-repair batch did not survive: %+v", ctx, lastRec.events)
+	}
+}

@@ -1,0 +1,220 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"viewstags/internal/stats"
+)
+
+// Collector aggregates one request stream's observations behind a
+// mutex: counts by outcome plus streaming P² latency quantiles, so a
+// run of any length costs O(1) memory. It is shared by cmd/loadgen's
+// closed-loop report and the scenario engine's SLO scoring, which is
+// exactly why it lives here rather than in either binary.
+//
+// A collector may carry a warmup cutoff: observations whose request
+// *completed* before the cutoff are tallied separately (Warmup) and
+// excluded from every score-bearing counter and quantile — the first
+// seconds of a run measure connection setup and cold caches, and on a
+// short run they visibly skew p99.
+type Collector struct {
+	mu     sync.Mutex
+	cutoff time.Time // zero = no warmup exclusion
+	p50    *stats.P2Quantile
+	p90    *stats.P2Quantile
+	p99    *stats.P2Quantile
+	lat    stats.Summary
+
+	requests int64
+	items    int64 // predictions served / events accepted
+	errors   int64
+	shed     int64 // 503s: limiter, backpressure or health shedding
+	dropped  int64 // open-loop arrivals skipped at the outstanding cap
+	fallback int64 // predictions answered from the prior (known=false)
+	warmup   int64 // observations excluded by the warmup cutoff
+}
+
+// NewCollector returns an empty collector. A zero cutoff disables
+// warmup exclusion.
+func NewCollector(cutoff time.Time) (*Collector, error) {
+	c := &Collector{cutoff: cutoff}
+	for _, q := range []struct {
+		p    **stats.P2Quantile
+		frac float64
+	}{{&c.p50, 0.5}, {&c.p90, 0.9}, {&c.p99, 0.99}} {
+		est, err := stats.NewP2Quantile(q.frac)
+		if err != nil {
+			return nil, err
+		}
+		*q.p = est
+	}
+	return c, nil
+}
+
+// SetCutoff (re)arms the warmup exclusion window. Call before traffic
+// starts — the engine generates its catalog first, then pins the
+// cutoff to the actual traffic start.
+func (c *Collector) SetCutoff(t time.Time) {
+	c.mu.Lock()
+	c.cutoff = t
+	c.mu.Unlock()
+}
+
+// Observe folds one completed request in. completedAt decides warmup
+// exclusion (pass time.Now() from the request loop); items counts
+// predictions served or events accepted, fallback the prior-fallback
+// predictions among them. Shed wins over failed, mirroring the 503
+// short-circuit in the HTTP helpers.
+func (c *Collector) Observe(latency time.Duration, items, fallback int64, failed, wasShed bool, completedAt time.Time) {
+	ms := float64(latency.Nanoseconds()) / 1e6
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.cutoff.IsZero() && completedAt.Before(c.cutoff) {
+		c.warmup++
+		return
+	}
+	c.requests++
+	if wasShed {
+		c.shed++
+		return
+	}
+	if failed {
+		c.errors++
+		return
+	}
+	c.p50.Add(ms)
+	c.p90.Add(ms)
+	c.p99.Add(ms)
+	c.lat.Add(ms)
+	c.items += items
+	c.fallback += fallback
+}
+
+// Drop counts one open-loop arrival that was never issued because the
+// outstanding-request cap was hit — the engine's overload fuse. Dropped
+// arrivals count toward the error budget (the client asked and was not
+// served) but never into latency.
+func (c *Collector) Drop() {
+	c.mu.Lock()
+	c.dropped++
+	c.mu.Unlock()
+}
+
+// Latency is one stream's quantile block, milliseconds throughout.
+type Latency struct {
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P90Ms  float64 `json:"p90_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// Stream is one direction's (read or write) machine-readable summary —
+// the block both BENCH_loadgen.json and BENCH_scenarios.json embed.
+// Rates are computed over the measured (post-warmup) window.
+type Stream struct {
+	Requests       int64   `json:"requests"`
+	Items          int64   `json:"items"`
+	Errors         int64   `json:"errors"`
+	Shed           int64   `json:"shed"`
+	Dropped        int64   `json:"dropped,omitempty"`
+	Fallbacks      int64   `json:"fallbacks,omitempty"`
+	Warmup         int64   `json:"warmup_excluded,omitempty"`
+	RequestsPerSec float64 `json:"requests_per_sec"`
+	ItemsPerSec    float64 `json:"items_per_sec"`
+	Latency        Latency `json:"latency"`
+}
+
+// Snapshot renders the collector over the measured window (the run
+// minus any warmup). NaN quantiles (empty stream) are flattened to 0 so
+// the JSON stays valid.
+func (c *Collector) Snapshot(measured time.Duration) Stream {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	secs := measured.Seconds()
+	s := Stream{
+		Requests:  c.requests,
+		Items:     c.items,
+		Errors:    c.errors,
+		Shed:      c.shed,
+		Dropped:   c.dropped,
+		Fallbacks: c.fallback,
+		Warmup:    c.warmup,
+		Latency: Latency{
+			MeanMs: noNaN(c.lat.Mean()),
+			P50Ms:  noNaN(c.p50.Value()),
+			P90Ms:  noNaN(c.p90.Value()),
+			P99Ms:  noNaN(c.p99.Value()),
+			MaxMs:  noNaN(c.lat.Max()),
+		},
+	}
+	if secs > 0 {
+		s.RequestsPerSec = float64(c.requests) / secs
+		s.ItemsPerSec = float64(c.items) / secs
+	}
+	return s
+}
+
+// Requests returns the scored (post-warmup) request count.
+func (c *Collector) Requests() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.requests
+}
+
+// Items returns the scored item count.
+func (c *Collector) Items() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.items
+}
+
+// Report prints the human block cmd/loadgen shows; itemNoun is
+// "predictions" or "events".
+func (c *Collector) Report(label, itemNoun string, measured time.Duration, batch int) {
+	s := c.Snapshot(measured)
+	warm := ""
+	if s.Warmup > 0 {
+		warm = fmt.Sprintf(", %d warmup excluded", s.Warmup)
+	}
+	fmt.Printf("%s requests  %d (%.0f req/s, %d errors, %d shed%s)\n",
+		label, s.Requests, s.RequestsPerSec, s.Errors, s.Shed, warm)
+	extra := ""
+	if itemNoun == "predictions" {
+		extra = fmt.Sprintf(", %d prior-fallbacks", s.Fallbacks)
+	}
+	fmt.Printf("%s %-9s %d (%.0f/s, batch=%d%s)\n",
+		label, itemNoun, s.Items, s.ItemsPerSec, batch, extra)
+	fmt.Printf("%s latency ms mean=%.3f p50=%.3f p90=%.3f p99=%.3f max=%.3f\n",
+		label, s.Latency.MeanMs, s.Latency.P50Ms, s.Latency.P90Ms, s.Latency.P99Ms, s.Latency.MaxMs)
+}
+
+func noNaN(v float64) float64 {
+	if math.IsNaN(v) {
+		return 0
+	}
+	return v
+}
+
+// ErrorRate is the stream's error-budget fraction: hard failures plus
+// never-issued drops over everything the client attempted. Shed (503)
+// is deliberate backpressure and scored by its own budget.
+func (s Stream) ErrorRate() float64 {
+	attempts := s.Requests + s.Dropped
+	if attempts == 0 {
+		return 0
+	}
+	return float64(s.Errors+s.Dropped) / float64(attempts)
+}
+
+// ShedRate is the fraction of attempts answered 503.
+func (s Stream) ShedRate() float64 {
+	attempts := s.Requests + s.Dropped
+	if attempts == 0 {
+		return 0
+	}
+	return float64(s.Shed) / float64(attempts)
+}

@@ -1,0 +1,212 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+)
+
+// CompareOptions tunes the trajectory gate.
+type CompareOptions struct {
+	// Tolerance is the relative regression budget (default 0.15: fail
+	// on >15% worse). Improvements beyond it are reported as warnings,
+	// never failures — a faster run should update the baseline, not
+	// block the PR.
+	Tolerance float64
+	// LatencySlack multiplies Tolerance for latency quantiles (default
+	// 3): wall-clock percentiles on shared CI runners are the noisiest
+	// metrics in the report, and a gate tighter than the noise floor
+	// just teaches people to ignore it.
+	LatencySlack float64
+}
+
+func (o *CompareOptions) withDefaults() CompareOptions {
+	out := CompareOptions{Tolerance: 0.15, LatencySlack: 3}
+	if o != nil {
+		if o.Tolerance > 0 {
+			out.Tolerance = o.Tolerance
+		}
+		if o.LatencySlack > 0 {
+			out.LatencySlack = o.LatencySlack
+		}
+	}
+	return out
+}
+
+// CompareRow is one metric's baseline-vs-run verdict.
+type CompareRow struct {
+	Metric   string  `json:"metric"`
+	Baseline float64 `json:"baseline"`
+	Current  float64 `json:"current"`
+	// DeltaFrac is the relative change, signed so that positive is
+	// always WORSE (slower, more errors, less throughput).
+	DeltaFrac float64 `json:"delta_frac"`
+	Verdict   string  `json:"verdict"` // "ok", "improved", "regressed"
+}
+
+// CompareResult is the comparator's full output.
+type CompareResult struct {
+	Scenario    string       `json:"scenario"`
+	Rows        []CompareRow `json:"rows"`
+	Regressions int          `json:"regressions"`
+	Improved    int          `json:"improved"`
+}
+
+// cmpMetric describes one compared metric: how to read it and which
+// direction is worse. floor is the absolute dead zone — deltas smaller
+// than it are noise regardless of relative size. It serves two
+// purposes: near-zero baselines (0.1% error rate, 2ms p50) must not
+// explode into infinite relative "regressions", and the checked-in
+// baseline was produced on SOME machine — absolute wall-clock metrics
+// (latency, recovery, epoch staleness) carry cross-runner offsets a
+// purely relative gate would misread as perf changes.
+type cmpMetric struct {
+	name        string
+	read        func(*Report) (float64, bool)
+	lowerWorse  bool // throughput-style: lower is worse
+	latencyLike bool // gets the LatencySlack multiplier
+	floor       float64
+}
+
+func streamMetrics(label string, sel func(*Report) *Stream) []cmpMetric {
+	get := func(f func(Stream) float64) func(*Report) (float64, bool) {
+		return func(r *Report) (float64, bool) {
+			s := sel(r)
+			if s == nil {
+				return 0, false
+			}
+			return f(*s), true
+		}
+	}
+	return []cmpMetric{
+		{name: label + ".p50_ms", read: get(func(s Stream) float64 { return s.Latency.P50Ms }), latencyLike: true, floor: 10},
+		{name: label + ".p90_ms", read: get(func(s Stream) float64 { return s.Latency.P90Ms }), latencyLike: true, floor: 10},
+		{name: label + ".p99_ms", read: get(func(s Stream) float64 { return s.Latency.P99Ms }), latencyLike: true, floor: 20},
+		{name: label + ".error_rate", read: get(Stream.ErrorRate), floor: 0.02},
+		{name: label + ".shed_rate", read: get(Stream.ShedRate), floor: 0.05},
+		{name: label + ".requests_per_sec", read: get(func(s Stream) float64 { return s.RequestsPerSec }), lowerWorse: true, floor: 5},
+	}
+}
+
+func compareMetrics() []cmpMetric {
+	ms := streamMetrics("read", func(r *Report) *Stream { return r.Read })
+	ms = append(ms, streamMetrics("write", func(r *Report) *Stream { return r.Write })...)
+	ms = append(ms,
+		cmpMetric{name: "cluster.max_staleness_epochs",
+			read:  func(r *Report) (float64, bool) { return float64(r.Cluster.MaxStaleness), true },
+			floor: 15},
+		cmpMetric{name: "cluster.worst_recovery_seconds",
+			read: func(r *Report) (float64, bool) {
+				if r.Cluster.WorstRecovery <= 0 {
+					return 0, false // no chaos fired, or recovery unobserved
+				}
+				return r.Cluster.WorstRecovery, true
+			},
+			floor: 5},
+	)
+	return ms
+}
+
+// Compare diffs a run against a baseline, metric by metric. It refuses
+// shape mismatches (different scenario, topology or catalog) — a
+// trajectory only means something over identical experiments.
+func Compare(baseline, current *Report, opts *CompareOptions) (*CompareResult, error) {
+	if baseline.Scenario != current.Scenario {
+		return nil, fmt.Errorf("scenario: comparing %q run against %q baseline", current.Scenario, baseline.Scenario)
+	}
+	if baseline.Spec == nil || current.Spec == nil {
+		return nil, fmt.Errorf("scenario: report missing its spec block")
+	}
+	if baseline.Spec.Shards != current.Spec.Shards || baseline.Spec.Videos != current.Spec.Videos ||
+		len(baseline.Spec.Phases) != len(current.Spec.Phases) {
+		return nil, fmt.Errorf("scenario: %q spec shape changed (shards %d→%d, videos %d→%d, phases %d→%d) — refresh the baseline instead of comparing",
+			baseline.Scenario, baseline.Spec.Shards, current.Spec.Shards,
+			baseline.Spec.Videos, current.Spec.Videos, len(baseline.Spec.Phases), len(current.Spec.Phases))
+	}
+	o := opts.withDefaults()
+	// Chaos runs widen the latency dead zones: a percentile measured
+	// across a SIGKILL-and-rebuild window is heavy-tailed — the same
+	// scenario swings 10ms→140ms p99 run to run as the restarting
+	// shard's catalog rebuild steals cores — so only shifts larger than
+	// the observed chaos noise are verdicts. Steady-state scenarios
+	// keep the tight floors: that is where a latency trajectory is
+	// actually measurable.
+	latFloorScale := 1.0
+	if len(baseline.Spec.Chaos) > 0 {
+		latFloorScale = 8
+	}
+	res := &CompareResult{Scenario: current.Scenario}
+	for _, m := range compareMetrics() {
+		base, okB := m.read(baseline)
+		cur, okC := m.read(current)
+		if !okB || !okC {
+			continue // stream/metric absent on either side: nothing to gate
+		}
+		worse := cur - base // positive = grew
+		if m.lowerWorse {
+			worse = base - cur // positive = shrank
+		}
+		tol := o.Tolerance
+		floor := m.floor
+		if m.latencyLike {
+			tol *= o.LatencySlack
+			floor *= latFloorScale
+		}
+		row := CompareRow{Metric: m.name, Baseline: base, Current: cur, Verdict: "ok"}
+		if base != 0 {
+			row.DeltaFrac = worse / math.Abs(base)
+		} else if worse != 0 {
+			row.DeltaFrac = math.Inf(sign(worse))
+		}
+		// Outside the absolute dead zone AND the relative budget, in
+		// either direction.
+		if math.Abs(worse) > floor && math.Abs(row.DeltaFrac) > tol {
+			if worse > 0 {
+				row.Verdict = "regressed"
+				res.Regressions++
+			} else {
+				row.Verdict = "improved"
+				res.Improved++
+			}
+		}
+		// JSON has no ±Inf; clamp for the report.
+		if math.IsInf(row.DeltaFrac, 0) {
+			row.DeltaFrac = math.Copysign(999, row.DeltaFrac)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func sign(v float64) int {
+	if v < 0 {
+		return -1
+	}
+	return 1
+}
+
+// Render prints the comparison for humans: every gated metric, then
+// the verdict line CI greps.
+func (r *CompareResult) Render() string {
+	out := fmt.Sprintf("scenario %s: baseline comparison\n", r.Scenario)
+	for i := range r.Rows {
+		row := &r.Rows[i]
+		mark := "  "
+		switch row.Verdict {
+		case "regressed":
+			mark = "!!"
+		case "improved":
+			mark = "++"
+		}
+		out += fmt.Sprintf("  %s %-32s baseline=%.4g current=%.4g (%+.1f%%)\n",
+			mark, row.Metric, row.Baseline, row.Current, row.DeltaFrac*100)
+	}
+	switch {
+	case r.Regressions > 0:
+		out += fmt.Sprintf("  => REGRESSED: %d metric(s) beyond tolerance\n", r.Regressions)
+	case r.Improved > 0:
+		out += fmt.Sprintf("  => IMPROVED: %d metric(s) beyond tolerance — consider refreshing the baseline\n", r.Improved)
+	default:
+		out += "  => OK: within tolerance of baseline\n"
+	}
+	return out
+}

@@ -1,0 +1,77 @@
+package scenario
+
+import (
+	"net"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"sync/atomic"
+	"time"
+)
+
+// DelayProxy fronts one shard with a reverse proxy whose per-request
+// delay is settable at runtime — the slow-shard brownout injector. The
+// gateway is pointed at the proxy, so a brownout needs no cooperation
+// from the shard binary: the delay happens on the wire, exactly where
+// a congested link or an overloaded peer would put it.
+//
+// The delay applies to every proxied call, including /internal/meta
+// health probes — intentionally: a browned-out shard is slow to answer
+// its health checks too, and the gateway's FailThreshold discipline
+// (slow ≠ down, as long as calls complete) is part of what a brownout
+// scenario exercises.
+type DelayProxy struct {
+	ln    net.Listener
+	srv   *http.Server
+	delay atomic.Int64 // nanoseconds
+}
+
+// NewDelayProxy starts a proxy for the shard base URL on a fresh
+// loopback port.
+func NewDelayProxy(target string) (*DelayProxy, error) {
+	u, err := url.Parse(target)
+	if err != nil {
+		return nil, err
+	}
+	p := &DelayProxy{}
+	rp := httputil.NewSingleHostReverseProxy(u)
+	// A dead backend must surface to the gateway as a TRANSPORT failure
+	// (connection reset), not a synthesized 502: the gateway's health
+	// tracker only counts transport errors toward down-marking, and a
+	// proxy that answered politely for a dead shard would make the
+	// shard look alive forever. Hijack and drop the connection instead.
+	rp.ErrorHandler = func(w http.ResponseWriter, r *http.Request, err error) {
+		if hj, ok := w.(http.Hijacker); ok {
+			if conn, _, herr := hj.Hijack(); herr == nil {
+				_ = conn.Close()
+				return
+			}
+		}
+		w.WriteHeader(http.StatusBadGateway)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p.ln = ln
+	p.srv = &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if d := time.Duration(p.delay.Load()); d > 0 {
+			time.Sleep(d)
+		}
+		rp.ServeHTTP(w, r)
+	})}
+	go func() { _ = p.srv.Serve(ln) }()
+	return p, nil
+}
+
+// URL is the proxy's base URL — what the gateway's -shards list names.
+func (p *DelayProxy) URL() string { return "http://" + p.ln.Addr().String() }
+
+// SetDelay sets the injected per-request delay; 0 lifts the brownout.
+func (p *DelayProxy) SetDelay(d time.Duration) { p.delay.Store(int64(d)) }
+
+// Delay reports the current injected delay.
+func (p *DelayProxy) Delay() time.Duration { return time.Duration(p.delay.Load()) }
+
+// Close stops the proxy immediately.
+func (p *DelayProxy) Close() { _ = p.srv.Close() }

@@ -1,0 +1,62 @@
+package scenario
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestDelayProxyForwardsAndDelays(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte("pong"))
+	}))
+	defer backend.Close()
+	p, err := NewDelayProxy(backend.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	get := func() (string, time.Duration) {
+		start := time.Now()
+		resp, err := http.Get(p.URL() + "/ping")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = resp.Body.Close() }()
+		body, _ := io.ReadAll(resp.Body)
+		return string(body), time.Since(start)
+	}
+
+	if body, _ := get(); body != "pong" {
+		t.Fatalf("proxied body = %q", body)
+	}
+	p.SetDelay(100 * time.Millisecond)
+	if _, took := get(); took < 100*time.Millisecond {
+		t.Fatalf("browned-out call took %s, want >= 100ms", took)
+	}
+	p.SetDelay(0)
+	if _, took := get(); took > 90*time.Millisecond {
+		t.Fatalf("unslowed call still took %s", took)
+	}
+}
+
+func TestDelayProxyDeadBackendDropsConnection(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	p, err := NewDelayProxy(backend.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	backend.Close() // the SIGKILL stand-in
+
+	// The gateway counts only TRANSPORT failures toward down-marking,
+	// so a dead backend must surface as one, not as a polite 502.
+	resp, err := http.Get(p.URL() + "/internal/meta")
+	if err == nil {
+		resp.Body.Close()
+		t.Fatalf("dead backend answered status %d; want a transport error", resp.StatusCode)
+	}
+}

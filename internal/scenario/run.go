@@ -1,0 +1,439 @@
+package scenario
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// RunOptions parameterizes one engine run.
+type RunOptions struct {
+	// Bins are prebuilt serve/gateway binaries; zero means build them
+	// into the workdir (requires the go toolchain and the module root
+	// as the working directory or ModuleDir).
+	Bins Binaries
+	// ModuleDir is where `go build` runs when Bins is zero.
+	ModuleDir string
+	// Race race-instruments the built daemons (ignored when Bins is
+	// set), turning a chaos run into a data-race hunt too.
+	Race bool
+	// Workdir holds binaries and shard data dirs; "" makes a temp dir,
+	// removed afterward unless Keep.
+	Workdir string
+	Keep    bool
+	Logger  *log.Logger
+	// ScrapeInterval is the mid-run gateway poll cadence (default
+	// 500ms) feeding staleness and recovery measurement.
+	ScrapeInterval time.Duration
+}
+
+// scrapeSample is one mid-run observation of the gateway: the
+// /v1/stats cluster block plus the /metrics exposition's min-epoch
+// gauge (scraped like a real Prometheus would, so the text surface
+// stays exercised under chaos).
+type scrapeSample struct {
+	at           time.Duration // since traffic start
+	ok           bool
+	healthy      int
+	shardHealthy []bool
+	epochs       []uint64
+	minEpoch     uint64
+	promMin      float64
+	promOK       bool
+	coalesceB    int64
+	coalesceR    int64
+}
+
+// statsView mirrors the slice of gateway /v1/stats the engine reads.
+type statsView struct {
+	Cluster struct {
+		Shards []struct {
+			Index   int    `json:"index"`
+			Epoch   uint64 `json:"epoch"`
+			Healthy bool   `json:"healthy"`
+		} `json:"shards"`
+		Epoch            uint64 `json:"epoch"`
+		Healthy          int    `json:"healthy"`
+		CoalesceBatches  int64  `json:"coalesce_batches"`
+		CoalesceRequests int64  `json:"coalesce_requests"`
+	} `json:"cluster"`
+}
+
+// scraper polls the gateway on a fixed cadence, accumulating the
+// timeline recovery and staleness are computed from. Scrape failures
+// (gateway restarting) are recorded, not fatal.
+type scraper struct {
+	base     string
+	client   *http.Client
+	start    time.Time
+	interval time.Duration
+
+	mu      sync.Mutex
+	samples []scrapeSample
+}
+
+func (s *scraper) run(ctx context.Context) {
+	tick := time.NewTicker(s.interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			s.scrapeOnce(ctx)
+		}
+	}
+}
+
+func (s *scraper) scrapeOnce(ctx context.Context) {
+	sample := scrapeSample{at: time.Since(s.start)}
+	var sv statsView
+	if err := s.getJSON(ctx, s.base+"/v1/stats", &sv); err == nil {
+		sample.ok = true
+		sample.healthy = sv.Cluster.Healthy
+		sample.minEpoch = sv.Cluster.Epoch
+		sample.coalesceB = sv.Cluster.CoalesceBatches
+		sample.coalesceR = sv.Cluster.CoalesceRequests
+		sample.shardHealthy = make([]bool, len(sv.Cluster.Shards))
+		sample.epochs = make([]uint64, len(sv.Cluster.Shards))
+		for _, sh := range sv.Cluster.Shards {
+			if sh.Index >= 0 && sh.Index < len(sample.shardHealthy) {
+				sample.shardHealthy[sh.Index] = sh.Healthy
+				sample.epochs[sh.Index] = sh.Epoch
+			}
+		}
+	}
+	if v, err := s.promGauge(ctx, "viewstags_cluster_min_epoch"); err == nil {
+		sample.promMin = v
+		sample.promOK = true
+	}
+	s.mu.Lock()
+	s.samples = append(s.samples, sample)
+	s.mu.Unlock()
+}
+
+func (s *scraper) getJSON(ctx context.Context, url string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// promGauge fetches /metrics and extracts one gauge's value from the
+// exposition text.
+func (s *scraper) promGauge(ctx context.Context, name string) (float64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.base+"/metrics", nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return 0, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			return strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		}
+	}
+	return 0, fmt.Errorf("gauge %s not in exposition", name)
+}
+
+func (s *scraper) snapshot() []scrapeSample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]scrapeSample(nil), s.samples...)
+}
+
+// Run executes one scenario end to end: boot, traffic + chaos, scrape,
+// score. The returned report is fully scored; rep.Pass is the SLO
+// verdict. An error means the run itself could not be carried out
+// (boot failure, chaos that wouldn't apply) — an SLO breach is NOT an
+// error, it's a scored fail.
+func Run(sc *Spec, opts RunOptions) (*Report, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = log.New(os.Stderr, "scenario: ", log.LstdFlags)
+	}
+	workdir := opts.Workdir
+	if workdir == "" {
+		dir, err := Workdir()
+		if err != nil {
+			return nil, err
+		}
+		workdir = dir
+		if !opts.Keep {
+			defer func() { _ = os.RemoveAll(dir) }()
+		} else {
+			logger.Printf("keeping workdir %s", dir)
+		}
+	}
+	bins := opts.Bins
+	if bins.Serve == "" || bins.Gateway == "" {
+		logger.Printf("building serve + gateway into %s", workdir)
+		built, err := BuildBinaries(workdir, opts.ModuleDir, opts.Race)
+		if err != nil {
+			return nil, err
+		}
+		bins = built
+	}
+
+	logger.Printf("booting %d shard(s) + gateway (videos=%d durable=%v)", sc.Shards, sc.Videos, sc.Durable)
+	cluster, err := StartCluster(bins, sc, workdir, logger)
+	if err != nil {
+		return nil, err
+	}
+	defer cluster.Stop()
+
+	w, err := newWorkload(sc, cluster.GatewayURL())
+	if err != nil {
+		return nil, err
+	}
+
+	scrapeEvery := opts.ScrapeInterval
+	if scrapeEvery <= 0 {
+		scrapeEvery = 500 * time.Millisecond
+	}
+	trafficStart := time.Now()
+	w.start(trafficStart)
+	scr := &scraper{
+		base:     cluster.GatewayURL(),
+		client:   &http.Client{Timeout: 3 * time.Second},
+		start:    trafficStart,
+		interval: scrapeEvery,
+	}
+	runCtx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var bg sync.WaitGroup
+	bg.Add(1)
+	go func() { defer bg.Done(); scr.run(runCtx) }()
+
+	// Chaos timeline: fire each event at its offset, in order. A chaos
+	// step that cannot be applied aborts the run — scoring a scenario
+	// whose faults never happened would report a lie.
+	chaosErr := make(chan error, 1)
+	chaosDone := make(chan []ChaosResult, 1)
+	bg.Add(1)
+	go func() {
+		defer bg.Done()
+		events := append([]ChaosEvent(nil), sc.Chaos...)
+		sort.SliceStable(events, func(a, b int) bool { return events[a].At < events[b].At })
+		fired := make([]ChaosResult, 0, len(events))
+		for _, ev := range events {
+			wait := time.Until(trafficStart.Add(ev.At.D()))
+			select {
+			case <-runCtx.Done():
+				chaosDone <- fired
+				return
+			case <-time.After(wait):
+			}
+			logger.Printf("chaos: t=%s %s shard=%d", time.Since(trafficStart).Round(time.Millisecond), ev.Action, ev.Shard)
+			res := ChaosResult{At: time.Since(trafficStart).Seconds(), Action: ev.Action, Shard: ev.Shard}
+			var err error
+			switch ev.Action {
+			case ActionKillShard:
+				err = cluster.KillShard(ev.Shard)
+			case ActionRestartShard:
+				err = cluster.RestartShard(ev.Shard)
+			case ActionRestartGateway:
+				err = cluster.RestartGateway()
+			case ActionSlowShard:
+				cluster.SetShardDelay(ev.Shard, ev.Delay.D())
+			case ActionUnslowShard:
+				cluster.SetShardDelay(ev.Shard, 0)
+			}
+			if err != nil {
+				select {
+				case chaosErr <- fmt.Errorf("scenario: chaos %s: %w", ev.Action, err):
+				default:
+				}
+				chaosDone <- fired
+				return
+			}
+			fired = append(fired, res)
+		}
+		chaosDone <- fired
+	}()
+
+	logger.Printf("traffic: %s scripted (%s warmup excluded)", sc.Duration(), sc.Warmup)
+	w.run(runCtx)
+	trafficElapsed := time.Since(trafficStart)
+
+	// Let the scraper watch the post-traffic cluster briefly so a
+	// recovery that completes right at the end is still observed.
+	time.Sleep(2 * scrapeEvery)
+	cancel()
+	bg.Wait()
+	fired := <-chaosDone
+	select {
+	case err := <-chaosErr:
+		return nil, err
+	default:
+	}
+
+	samples := scr.snapshot()
+	rep := &Report{
+		Schema:         Schema,
+		Scenario:       sc.Name,
+		Spec:           sc,
+		ElapsedSeconds: trafficElapsed.Seconds(),
+	}
+	measured := trafficElapsed - sc.Warmup.D()
+	if measured <= 0 {
+		measured = trafficElapsed
+	}
+	anyRead, anyWrite := false, false
+	for i := range sc.Phases {
+		if sc.Phases[i].IngestFrac < 1 {
+			anyRead = true
+		}
+		if sc.Phases[i].IngestFrac > 0 {
+			anyWrite = true
+		}
+	}
+	if anyRead {
+		s := w.reads.Snapshot(measured)
+		rep.Read = &s
+	}
+	if anyWrite {
+		s := w.writes.Snapshot(measured)
+		rep.Write = &s
+	}
+	for i := range sc.Phases {
+		pr := PhaseResult{Name: sc.Phases[i].Name}
+		dur := sc.Phases[i].Duration.D()
+		if sc.Phases[i].IngestFrac < 1 {
+			s := w.phaseReads[i].Snapshot(dur)
+			pr.Read = &s
+		}
+		if sc.Phases[i].IngestFrac > 0 {
+			s := w.phaseWrites[i].Snapshot(dur)
+			pr.Write = &s
+		}
+		rep.Phases = append(rep.Phases, pr)
+	}
+	rep.Cluster = clusterResult(sc, samples)
+	rep.Chaos = resolveRecoveries(fired, samples)
+	for i := range rep.Chaos {
+		if r := rep.Chaos[i].Recovery; r > rep.Cluster.WorstRecovery {
+			rep.Cluster.WorstRecovery = r
+		}
+		if rep.Chaos[i].Recovery < 0 {
+			rep.Cluster.WorstRecovery = -1
+			break
+		}
+	}
+	Score(rep)
+	logger.Print(strings.TrimRight(Scorecard(rep), "\n"))
+	return rep, nil
+}
+
+// clusterResult folds the scrape timeline into the report's cluster
+// block. Staleness only considers scrapes where every shard is
+// healthy: while a shard is down its tracked epoch is frozen history,
+// and right after revival the spread IS the recovery lag we want
+// measured — both cases are covered because revival flips the shard
+// healthy before its folds catch up.
+func clusterResult(sc *Spec, samples []scrapeSample) ClusterResult {
+	out := ClusterResult{Shards: sc.Shards}
+	for _, s := range samples {
+		if !s.ok {
+			continue
+		}
+		out.Scrapes++
+		out.FinalHealthy = s.healthy
+		out.FinalEpoch = s.minEpoch
+		if s.coalesceB > out.CoalesceBatches {
+			out.CoalesceBatches = s.coalesceB
+			out.CoalesceRequests = s.coalesceR
+		}
+		if s.healthy == sc.Shards && len(s.epochs) == sc.Shards {
+			min, max := s.epochs[0], s.epochs[0]
+			for _, e := range s.epochs[1:] {
+				if e < min {
+					min = e
+				}
+				if e > max {
+					max = e
+				}
+			}
+			if spread := max - min; spread > out.MaxStaleness {
+				out.MaxStaleness = spread
+			}
+		}
+	}
+	return out
+}
+
+// resolveRecoveries computes each disruptive event's recovery time:
+// from the fault to the first scrape — at or after the first scrape
+// that actually OBSERVED the impact (gateway unreachable, or some
+// shard unhealthy) — where the gateway answers and reports the full
+// cluster healthy again. Skipping ahead to the impact matters: right
+// after a SIGKILL the health detector has not yet tripped, so the
+// very next scrape still shows all-healthy and would otherwise score
+// a fake millisecond "recovery". -1 when impact was observed but the
+// run ended before the cluster healed; 0 when the scraper never
+// caught the fault at all (it healed between scrapes).
+// Non-disruptive events (slow/unslow, restarts that are themselves
+// the heal step) carry no recovery of their own.
+func resolveRecoveries(fired []ChaosResult, samples []scrapeSample) []ChaosResult {
+	for i := range fired {
+		ev := &fired[i]
+		if ev.Action != ActionKillShard && ev.Action != ActionRestartGateway {
+			continue
+		}
+		impact := -1
+		for j, s := range samples {
+			if s.at.Seconds() < ev.At {
+				continue
+			}
+			if !s.ok || s.healthy < len(s.shardHealthy) || len(s.shardHealthy) == 0 {
+				impact = j
+				break
+			}
+		}
+		if impact < 0 {
+			ev.Recovery = 0
+			continue
+		}
+		ev.Recovery = -1
+		for _, s := range samples[impact:] {
+			if s.ok && len(s.shardHealthy) > 0 && s.healthy == len(s.shardHealthy) {
+				ev.Recovery = s.at.Seconds() - ev.At
+				break
+			}
+		}
+	}
+	return fired
+}

@@ -1,0 +1,99 @@
+package scenario
+
+import "fmt"
+
+// metricValue resolves one SLO's measured value from the report.
+// Cluster metrics read the scrape-derived block; stream metrics read
+// the P² snapshot of the named stream. A declared SLO over a stream
+// that never flowed (nil) scores the zero stream — bounds like
+// "throughput min" then fail loudly instead of vacuously passing.
+func metricValue(rep *Report, o *SLO) float64 {
+	if o.Stream == "cluster" {
+		switch o.Metric {
+		case MetricStaleness:
+			return float64(rep.Cluster.MaxStaleness)
+		case MetricRecoverySecs:
+			return rep.Cluster.WorstRecovery
+		}
+		return 0
+	}
+	var s Stream
+	switch o.Stream {
+	case "read":
+		if rep.Read != nil {
+			s = *rep.Read
+		}
+	case "write":
+		if rep.Write != nil {
+			s = *rep.Write
+		}
+	}
+	switch o.Metric {
+	case MetricP50:
+		return s.Latency.P50Ms
+	case MetricP90:
+		return s.Latency.P90Ms
+	case MetricP99:
+		return s.Latency.P99Ms
+	case MetricErrorRate:
+		return s.ErrorRate()
+	case MetricShedRate:
+		return s.ShedRate()
+	case MetricThroughput:
+		return s.RequestsPerSec
+	}
+	return 0
+}
+
+// Score fills the report's scorecard and overall pass verdict from the
+// spec's SLOs. A recovery SLO with no observed recovery (WorstRecovery
+// < 0: chaos fired but the cluster never came back inside the run)
+// fails regardless of bound.
+func Score(rep *Report) {
+	rep.Scorecard = rep.Scorecard[:0]
+	rep.Pass = true
+	for i := range rep.Spec.SLOs {
+		o := &rep.Spec.SLOs[i]
+		v := metricValue(rep, o)
+		row := ScoreRow{Name: o.Name, Stream: o.Stream, Metric: o.Metric, Value: v, Pass: true}
+		switch {
+		case o.Max != nil && o.Min != nil:
+			row.Bound = fmt.Sprintf("min %g, max %g", *o.Min, *o.Max)
+			row.Pass = v >= *o.Min && v <= *o.Max
+		case o.Max != nil:
+			row.Bound = fmt.Sprintf("max %g", *o.Max)
+			row.Pass = v <= *o.Max
+		case o.Min != nil:
+			row.Bound = fmt.Sprintf("min %g", *o.Min)
+			row.Pass = v >= *o.Min
+		}
+		if o.Metric == MetricRecoverySecs && v < 0 {
+			row.Pass = false // chaos fired, recovery never observed
+		}
+		if !row.Pass {
+			rep.Pass = false
+		}
+		rep.Scorecard = append(rep.Scorecard, row)
+	}
+}
+
+// Scorecard renders the pass/fail table for humans — one line per SLO,
+// verdict first, then the run verdict.
+func Scorecard(rep *Report) string {
+	out := fmt.Sprintf("scenario %s: scorecard\n", rep.Scenario)
+	for i := range rep.Scorecard {
+		row := &rep.Scorecard[i]
+		verdict := "PASS"
+		if !row.Pass {
+			verdict = "FAIL"
+		}
+		out += fmt.Sprintf("  %-4s %-16s %-7s %-18s value=%.4g (%s)\n",
+			verdict, row.Name, row.Stream, row.Metric, row.Value, row.Bound)
+	}
+	if rep.Pass {
+		out += "  => PASS: all SLOs met\n"
+	} else {
+		out += "  => FAIL: SLO breach\n"
+	}
+	return out
+}
