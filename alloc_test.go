@@ -16,6 +16,7 @@ import (
 	"testing"
 	"time"
 
+	"viewstags/internal/obs"
 	"viewstags/internal/profilestore"
 	"viewstags/internal/server"
 	"viewstags/internal/tagviews"
@@ -138,13 +139,15 @@ func TestAllocBudgets(t *testing.T) {
 
 	t.Run("InternalPredictBinary", func(t *testing.T) {
 		body := server.AppendPredictRequest(nil, items, tagviews.WeightIDF, false)
-		// Measured 35 (request plumbing + per-tag strings + trace echo);
-		// the budget trips if per-item response copies come back.
+		// Measured 38 (request plumbing + per-tag strings + trace echo;
+		// span recording into the pooled trace adds zero — see the
+		// SpanRecord gate); the budget trips if per-item response copies
+		// come back.
 		runHandler(t, "/internal/predict", server.WireContentType, body, 64)
 	})
 	t.Run("PredictSingleJSON", func(t *testing.T) {
 		body := []byte(`{"tags":["` + tags[0] + `","` + tags[1] + `","` + tags[2] + `"],"weighting":"idf","top":3}`)
-		// Measured 39 (JSON decode/encode dominates); rendering
+		// Measured 42 (JSON decode/encode dominates); rendering
 		// world-sized response vectors would add dozens more.
 		runHandler(t, "/v1/predict", "application/json", body, 72)
 	})
@@ -161,6 +164,21 @@ func TestAllocBudgets(t *testing.T) {
 		})
 		if allocs != 0 {
 			t.Fatalf("histogram Observe allocates %.1f/op, want 0", allocs)
+		}
+	})
+
+	// Span recording: stage instrumentation runs inside every traced
+	// request — decode, fanout legs, merge, encode — so Add must write
+	// into the pooled trace's fixed array and never touch the heap.
+	t.Run("SpanRecord", func(t *testing.T) {
+		tr := obs.GetTrace(obs.NewRequestID(), "/bench", time.Now())
+		defer obs.PutTrace(tr)
+		start := time.Now()
+		allocs := testing.AllocsPerRun(200, func() {
+			tr.Add("bench", obs.NoShard, start, time.Microsecond, "")
+		})
+		if allocs != 0 {
+			t.Fatalf("span record allocates %.1f/op, want 0", allocs)
 		}
 	})
 

@@ -769,7 +769,7 @@ func BenchmarkClusterGatewayPredict(b *testing.B) {
 	}{
 		{"wire-json", cluster.WireJSON, 0, []int{1, 32}},
 		{"wire-binary", cluster.WireBinary, 0, []int{1, 32}},
-		{"wire-binary-coalesce", cluster.WireBinary, 500 * time.Microsecond, []int{1, 32}},
+		{"wire-binary-coalesce", cluster.WireBinary, 500 * time.Microsecond, []int{1, 4, 32}},
 	}
 	for _, v := range variants {
 		cfg := cluster.DefaultGatewayConfig()

@@ -55,6 +55,7 @@ func run() error {
 		maxIdle     = flag.Int("max-idle-per-host", 0, "keep-alive connections kept per shard (0 = 2 x max-inflight; never let this fall below expected concurrency or gathers churn connections)")
 		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this separate operator-only address (empty = off)")
 		slowReq     = flag.Duration("slow-request", 0, "log any request at or above this wall time, with its X-Request-Id and per-stage predict timings (0 = off)")
+		traceDump   = flag.String("trace-dump-dir", ".", "flight recorder: dump the retained trace ring to traces_<event>.json here on SIGQUIT or a recovered handler panic (empty = off)")
 	)
 	flag.Parse()
 	if *shards == "" {
@@ -98,6 +99,14 @@ func run() error {
 		if err := server.StartPprof(ctx, *pprofAddr, logger); err != nil {
 			return err
 		}
+	}
+
+	// Flight recorder: SIGQUIT dumps the tail-sampled trace ring as a
+	// black box; a recovered handler panic dumps it automatically.
+	if *traceDump != "" {
+		server.StartFlightRecorder(ctx, g.Traces(), *traceDump, logger)
+		dir := *traceDump
+		g.SetPanicHook(func() { server.DumpOnce(g.Traces(), dir, "panic", logger) })
 	}
 
 	// Sync with retry: shards build their profile stores at startup, so

@@ -12,7 +12,9 @@ import (
 // reject a file written by an incompatible loadgen. The stream blocks
 // are scenario.Stream — shared with BENCH_scenarios.json — so the two
 // documents agree field-for-field on what a stream looks like.
-const benchSchema = "viewstags-loadgen/v1"
+// v2 added the slowest_read/slowest_write request-id blocks; consumers
+// reading the v1 fields by name are unaffected.
+const benchSchema = "viewstags-loadgen/v2"
 
 // benchConfig records the knobs that produced a run — enough to
 // reproduce it, and for trend tooling to refuse to compare runs with
@@ -33,6 +35,9 @@ type benchConfig struct {
 // benchReport is the whole BENCH_loadgen.json document. Elapsed is the
 // wall clock of the run; Measured excludes the warmup window and is the
 // denominator of every rate in the stream blocks.
+// SlowestRead/SlowestWrite are the worst measured request ids per
+// stream (slowest first, warmup excluded) — the cross-reference keys
+// into the serving tier's /debug/traces ring.
 type benchReport struct {
 	Schema          string           `json:"schema"`
 	Config          benchConfig      `json:"config"`
@@ -40,6 +45,8 @@ type benchReport struct {
 	MeasuredSeconds float64          `json:"measured_seconds"`
 	Read            *scenario.Stream `json:"read,omitempty"`
 	Write           *scenario.Stream `json:"write,omitempty"`
+	SlowestRead     []slowRequest    `json:"slowest_read,omitempty"`
+	SlowestWrite    []slowRequest    `json:"slowest_write,omitempty"`
 }
 
 // writeBenchReport writes the document to path atomically (temp +

@@ -45,6 +45,7 @@ import (
 	"sync"
 	"time"
 
+	"viewstags/internal/obs"
 	"viewstags/internal/scenario"
 	"viewstags/internal/server"
 	"viewstags/internal/synth"
@@ -84,6 +85,7 @@ func run() error {
 		warmup      = flag.Duration("warmup", 0, "initial window excluded from all reported numbers (0 = measure everything)")
 		targetsFlag = flag.String("targets", "", "comma-separated base URLs to spread workers across (overrides -url; e.g. several gateways, or shards driven directly)")
 		benchOut    = flag.String("bench-out", "", "also write the run's results as machine-readable JSON to this path (e.g. BENCH_loadgen.json)")
+		slowestN    = flag.Int("slowest", 8, "track this many slowest request ids per stream for /debug/traces cross-referencing (0 = off)")
 	)
 	flag.Parse()
 	if concurrency < 1 || *batch < 1 {
@@ -170,6 +172,12 @@ func run() error {
 		reads.SetCutoff(cutoff)
 		writes.SetCutoff(cutoff)
 	}
+	// Slowest-request ledgers: the daemon echoes X-Request-Id on every
+	// response, and its trace ring retains the slowest requests per
+	// route — recording the worst ids here lets a bench regression be
+	// cross-referenced against GET /debug/traces/{id} right after a run.
+	slowReads := newSlowTracker(*slowestN, startWall, startWall.Add(*warmup))
+	slowWrites := newSlowTracker(*slowestN, startWall, startWall.Add(*warmup))
 	var wg sync.WaitGroup
 	for wkr := 0; wkr < concurrency; wkr++ {
 		wg.Add(1)
@@ -212,8 +220,11 @@ func run() error {
 					var err error = encodeErr
 					if encodeErr == nil {
 						start := time.Now()
-						accepted, shed, err = postIngest(client, ingestURL, &body)
-						writes.Observe(time.Since(start), accepted, 0, err != nil, shed, time.Now())
+						var rid string
+						accepted, shed, rid, err = postIngest(client, ingestURL, &body)
+						done := time.Now()
+						writes.Observe(done.Sub(start), accepted, 0, err != nil, shed, done)
+						slowWrites.observe(rid, done.Sub(start), done)
 					} else {
 						writes.Observe(0, 0, 0, true, false, time.Now())
 					}
@@ -241,8 +252,10 @@ func run() error {
 						continue
 					}
 					start := time.Now()
-					preds, fallback, err := postPredict(client, predictURL, &body)
-					reads.Observe(time.Since(start), preds, fallback, err != nil, false, time.Now())
+					preds, fallback, rid, err := postPredict(client, predictURL, &body)
+					done := time.Now()
+					reads.Observe(done.Sub(start), preds, fallback, err != nil, false, done)
+					slowReads.observe(rid, done.Sub(start), done)
 				}
 			}
 		}(wkr)
@@ -281,10 +294,12 @@ func run() error {
 		if *ingestFrac < 1 {
 			s := reads.Snapshot(measured)
 			rep.Read = &s
+			rep.SlowestRead = slowReads.list()
 		}
 		if *ingestFrac > 0 {
 			s := writes.Snapshot(measured)
 			rep.Write = &s
+			rep.SlowestWrite = slowWrites.list()
 		}
 		if err := writeBenchReport(*benchOut, rep); err != nil {
 			return err
@@ -302,20 +317,23 @@ func run() error {
 	return nil
 }
 
-// postPredict sends one request and returns (#predictions, #fallbacks).
-func postPredict(client *http.Client, endpoint string, body io.Reader) (int64, int64, error) {
+// postPredict sends one request and returns (#predictions, #fallbacks,
+// echoed X-Request-Id). The id is read before any status check so even
+// errored requests stay traceable.
+func postPredict(client *http.Client, endpoint string, body io.Reader) (int64, int64, string, error) {
 	resp, err := client.Post(endpoint, "application/json", body)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, "", err
 	}
 	defer func() { _ = resp.Body.Close() }()
+	rid := resp.Header.Get(obs.TraceHeader)
 	if resp.StatusCode != http.StatusOK {
 		_, _ = io.Copy(io.Discard, resp.Body)
-		return 0, 0, fmt.Errorf("status %d", resp.StatusCode)
+		return 0, 0, rid, fmt.Errorf("status %d", resp.StatusCode)
 	}
 	var pr server.PredictResponse
 	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
-		return 0, 0, err
+		return 0, 0, rid, err
 	}
 	var preds, fallback int64
 	if pr.Result != nil {
@@ -330,31 +348,32 @@ func postPredict(client *http.Client, endpoint string, body io.Reader) (int64, i
 			fallback++
 		}
 	}
-	return preds, fallback, nil
+	return preds, fallback, rid, nil
 }
 
-// postIngest sends one event batch and returns (#accepted, shed). A 503
-// is backpressure — the daemon shedding load by design — reported
-// separately from errors.
-func postIngest(client *http.Client, endpoint string, body io.Reader) (int64, bool, error) {
+// postIngest sends one event batch and returns (#accepted, shed, echoed
+// X-Request-Id). A 503 is backpressure — the daemon shedding load by
+// design — reported separately from errors.
+func postIngest(client *http.Client, endpoint string, body io.Reader) (int64, bool, string, error) {
 	resp, err := client.Post(endpoint, "application/json", body)
 	if err != nil {
-		return 0, false, err
+		return 0, false, "", err
 	}
 	defer func() { _ = resp.Body.Close() }()
+	rid := resp.Header.Get(obs.TraceHeader)
 	if resp.StatusCode == http.StatusServiceUnavailable {
 		_, _ = io.Copy(io.Discard, resp.Body)
-		return 0, true, nil
+		return 0, true, rid, nil
 	}
 	if resp.StatusCode != http.StatusOK {
 		_, _ = io.Copy(io.Discard, resp.Body)
-		return 0, false, fmt.Errorf("status %d", resp.StatusCode)
+		return 0, false, rid, fmt.Errorf("status %d", resp.StatusCode)
 	}
 	var ir server.IngestResponse
 	if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
-		return 0, false, err
+		return 0, false, rid, err
 	}
-	return int64(ir.Accepted), false, nil
+	return int64(ir.Accepted), false, rid, nil
 }
 
 // predictOnce round-trips a single probe request.

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"sync"
+	"time"
+)
+
+// slowRequest is one of the slowest measured requests of a stream: its
+// X-Request-Id as echoed by the daemon, its wall latency, and when it
+// completed relative to run start. The id is the cross-reference key
+// into the serving tier's trace ring — `GET /debug/traces/{id}` on the
+// gateway returns the stitched per-stage breakdown, as long as the
+// request was slow enough (or broken enough) for tail sampling to
+// retain it; see OPERATIONS.md "Trace triage".
+type slowRequest struct {
+	ID        string  `json:"request_id"`
+	Ms        float64 `json:"ms"`
+	AtSeconds float64 `json:"at_seconds"`
+}
+
+// slowTracker keeps the N slowest requests observed across all
+// workers, slowest first. Warmup-window completions are excluded, like
+// every other reported number. Linear insertion is fine: N is small
+// and the fast path (not slow enough to place) is one comparison under
+// the lock.
+type slowTracker struct {
+	n      int
+	start  time.Time
+	cutoff time.Time // completions before this (warmup) are ignored
+
+	mu   sync.Mutex
+	reqs []slowRequest
+}
+
+func newSlowTracker(n int, start, cutoff time.Time) *slowTracker {
+	return &slowTracker{n: n, start: start, cutoff: cutoff}
+}
+
+// observe offers one completed request. Requests that carried no id
+// (transport error before any response) are skipped — there is nothing
+// to look up.
+func (t *slowTracker) observe(id string, d time.Duration, done time.Time) {
+	if t == nil || t.n <= 0 || id == "" || done.Before(t.cutoff) {
+		return
+	}
+	ms := float64(d) / float64(time.Millisecond)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.reqs) == t.n && ms <= t.reqs[len(t.reqs)-1].Ms {
+		return
+	}
+	at := done.Sub(t.start).Seconds()
+	i := len(t.reqs)
+	for i > 0 && t.reqs[i-1].Ms < ms {
+		i--
+	}
+	if len(t.reqs) < t.n {
+		t.reqs = append(t.reqs, slowRequest{})
+	}
+	copy(t.reqs[i+1:], t.reqs[i:])
+	t.reqs[i] = slowRequest{ID: id, Ms: ms, AtSeconds: at}
+}
+
+// list returns the tracked requests, slowest first.
+func (t *slowTracker) list() []slowRequest {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]slowRequest(nil), t.reqs...)
+}

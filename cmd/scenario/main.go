@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"viewstags/internal/scenario"
 )
@@ -65,6 +66,7 @@ run flags:
   -workdir DIR     scratch dir (default: temp, removed)
   -keep            keep the workdir for debugging
   -race            build the daemons with the race detector
+  -trace-dump-dir DIR  flight-recorder dump directory (default: next to -out)
 compare flags:
   -baseline FILE   checked-in baseline report
   -run FILE        fresh run report
@@ -84,6 +86,7 @@ func runCmd(args []string) error {
 		workdir  = fs.String("workdir", "", "scratch directory (default: temp)")
 		keep     = fs.Bool("keep", false, "keep the workdir afterward")
 		race     = fs.Bool("race", false, "race-instrument the built daemons")
+		dumpDir  = fs.String("trace-dump-dir", "", "flight recorder: write traces_<event>.json here on chaos events and SLO breaches (default: next to -out)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -106,11 +109,16 @@ func runCmd(args []string) error {
 	default:
 		return fmt.Errorf("run needs -scenario or -spec")
 	}
+	dir := *dumpDir
+	if dir == "" {
+		dir = filepath.Dir(*out)
+	}
 	rep, err := scenario.Run(sc, scenario.RunOptions{
 		Bins:    scenario.Binaries{Serve: *serveBin, Gateway: *gwBin},
 		Workdir: *workdir,
 		Keep:    *keep,
 		Race:    *race,
+		DumpDir: dir,
 	})
 	if err != nil {
 		return err

@@ -110,6 +110,7 @@ func run() error {
 		ckptEvery    = flag.Int("checkpoint-every", 16, "checkpoint the serving snapshot every N folds (0 = only at shutdown or via POST /v1/checkpoint)")
 		pprofAddr    = flag.String("pprof-addr", "", "serve net/http/pprof on this separate operator-only address (empty = off)")
 		slowReq      = flag.Duration("slow-request", 0, "log any request at or above this wall time, with its X-Request-Id (0 = off)")
+		traceDump    = flag.String("trace-dump-dir", ".", "flight recorder: dump the retained trace ring to traces_<event>.json here on SIGQUIT or a recovered handler panic (empty = off)")
 	)
 	flag.Parse()
 
@@ -212,6 +213,11 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	if mgr != nil {
+		// Durable-tier background traces (bg/wal, bg/checkpoint) share
+		// the node's tail-sampled ring with request traces.
+		mgr.SetTraceStore(srv.Traces())
+	}
 
 	// With a synthetic catalog the daemon can also serve preload
 	// advisories: precompute every video's predicted demand field.
@@ -237,6 +243,14 @@ func run() error {
 		}
 	}
 
+	// Flight recorder: SIGQUIT dumps the tail-sampled trace ring as a
+	// black box; a recovered handler panic dumps it automatically.
+	if *traceDump != "" {
+		server.StartFlightRecorder(ctx, srv.Traces(), *traceDump, logger)
+		dir := *traceDump
+		srv.SetPanicHook(func() { server.DumpOnce(srv.Traces(), dir, "panic", logger) })
+	}
+
 	// The streaming write path: accumulate /v1/ingest events and fold
 	// them into fresh snapshots in the background. The compactor runs on
 	// its own context, canceled only after the HTTP server has fully
@@ -258,6 +272,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		comp.SetTraceStore(srv.Traces())
 		if mgr != nil {
 			// Recovery: position the accumulator at the checkpoint's
 			// generation and epoch, replay the journal tail past it,

@@ -88,15 +88,23 @@ func itemsBytes(items [][]string) int {
 // coalesceReply is one waiter's share of a batch outcome: its
 // normalized distributions in pooled vectors (the waiter must return
 // each to g.scratch after rendering), or the batch-wide error — plus
-// the stage timings the slow-request log reports (wait is this
-// waiter's enqueue-to-fan-out time; fanout and merge are batch-wide).
+// the stage timings the slow-request log and the request trace report
+// (wait is this waiter's enqueue-to-fan-out time; fanStart, fanout,
+// merge and the shard legs are batch-wide). The legs travel by value:
+// a waiter whose context ended abandons its reply and its pooled trace
+// gets recycled, so the batch goroutine must never hold a pointer into
+// waiter-owned state.
 type coalesceReply struct {
-	vecs   []*[]float64
-	known  []bool
-	wait   time.Duration
-	fanout time.Duration
-	merge  time.Duration
-	fe     *replyError
+	vecs     []*[]float64
+	known    []bool
+	wait     time.Duration
+	fanStart time.Time
+	fanout   time.Duration
+	merge    time.Duration
+	legs     [maxTraceLegs]shardLeg
+	nlegs    int
+	members  int
+	fe       *replyError
 }
 
 func newCoalescer(g *Gateway, window time.Duration, limit int) *coalescer {
@@ -211,11 +219,15 @@ func (co *coalescer) run(b *coalesceBatch) {
 	}
 	for _, wt := range b.waiters {
 		rep := coalesceReply{
-			vecs:   make([]*[]float64, wt.n),
-			known:  make([]bool, wt.n),
-			wait:   fanStart.Sub(wt.enq),
-			fanout: merged.fanout,
-			merge:  merged.merge,
+			vecs:     make([]*[]float64, wt.n),
+			known:    make([]bool, wt.n),
+			wait:     fanStart.Sub(wt.enq),
+			fanStart: merged.fanStart,
+			fanout:   merged.fanout,
+			merge:    merged.merge,
+			legs:     merged.legs,
+			nlegs:    merged.nlegs,
+			members:  len(b.waiters),
 		}
 		for j := 0; j < wt.n; j++ {
 			vp := g.scratch.Get()

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"viewstags/internal/obs"
 	"viewstags/internal/server"
 	"viewstags/internal/tagviews"
 )
@@ -21,19 +22,42 @@ import (
 // merge arithmetic and the shard-failure semantics cannot drift
 // between them.
 
+// maxTraceLegs bounds the per-shard timing legs a fan-out records for
+// span tracing. A fixed array keeps the legs inside the pooled result
+// (and inside coalesceReply, which copies them by value) with zero
+// allocation; clusters wider than this trace the first maxTraceLegs
+// shards only.
+const maxTraceLegs = 16
+
+// shardLeg is one shard's leg of a predict fan-out: when the call
+// started, how long it took (connect + shard handler + body read), and
+// whether it failed. These become per-shard child spans on the
+// request's trace — the evidence that attributes a slow fan-out to a
+// specific shard.
+type shardLeg struct {
+	shard int
+	start time.Time
+	dur   time.Duration
+	err   bool
+}
+
 // mergedPredict is a fan-out result: per-item normalized distributions
 // in one row-major [nItems × nC] slab plus known flags. Values are
-// pooled (getMerged/putMerged); wsums is merge-time scratch. fanout and
-// merge are the stage wall times predictFanout stamps for the
-// slow-request log (always overwritten on success, so pooling cannot
-// leak a previous request's timings).
+// pooled (getMerged/putMerged); wsums is merge-time scratch. fanStart,
+// fanout, merge and the shard legs are the stage timings predictFanout
+// stamps for the slow-request log and the request trace (always
+// overwritten on success, so pooling cannot leak a previous request's
+// timings).
 type mergedPredict struct {
-	nC     int
-	known  []bool
-	wsums  []float64
-	vecs   []float64
-	fanout time.Duration
-	merge  time.Duration
+	nC       int
+	known    []bool
+	wsums    []float64
+	vecs     []float64
+	fanStart time.Time
+	fanout   time.Duration
+	merge    time.Duration
+	legs     [maxTraceLegs]shardLeg
+	nlegs    int
 }
 
 // row returns item i's distribution, aliasing the slab.
@@ -183,6 +207,19 @@ func (g *Gateway) predictFanout(ctx context.Context, items [][]string, weighting
 
 	mergeStart := time.Now()
 	merged := g.getMerged(len(items))
+	merged.fanStart = fanStart
+	merged.nlegs = 0
+	for _, rep := range replies {
+		if merged.nlegs < maxTraceLegs {
+			merged.legs[merged.nlegs] = shardLeg{
+				shard: rep.shard,
+				start: rep.start,
+				dur:   rep.dur,
+				err:   rep.err != nil || rep.status != http.StatusOK,
+			}
+			merged.nlegs++
+		}
+	}
 	for _, rep := range replies {
 		if fe := g.replyErr(rep); fe != nil {
 			g.putMerged(merged)
@@ -217,6 +254,26 @@ func (g *Gateway) predictFanout(ctx context.Context, items [][]string, weighting
 	merged.merge = time.Since(mergeStart)
 	g.metrics.Predictions.Add(int64(len(items)))
 	return merged, nil
+}
+
+// addFanoutSpans records the scatter-gather stage spans onto a predict
+// trace: the fan-out envelope, each shard leg (the attributable
+// slow-shard evidence), and the merge. tr may be nil (tracing off or
+// route exempt) — Add is nil-safe, the early return just skips the
+// loop.
+func addFanoutSpans(tr *obs.Trace, fanStart time.Time, fanout, merge time.Duration, legs []shardLeg) {
+	if tr == nil {
+		return
+	}
+	tr.Add("fanout", obs.NoShard, fanStart, fanout, "")
+	for _, leg := range legs {
+		status := ""
+		if leg.err {
+			status = "error"
+		}
+		tr.Add("shard", leg.shard, leg.start, leg.dur, status)
+	}
+	tr.Add("merge", obs.NoShard, fanStart.Add(fanout), merge, "")
 }
 
 // mergeBinaryReply decodes one shard's binary frame and accumulates it.

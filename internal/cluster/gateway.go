@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"viewstags/internal/obs"
 	"viewstags/internal/profilestore"
 	"viewstags/internal/server"
 )
@@ -30,6 +31,8 @@ var gatewayRoutes = []string{
 	"/healthz",
 	"/readyz",
 	"/metrics",
+	"/debug/traces",
+	"/debug/traces/",
 }
 
 // GatewayRoutes returns every route path the gateway registers, in
@@ -151,7 +154,11 @@ type Gateway struct {
 	metrics *server.Metrics
 	logger  *log.Logger
 	handler http.Handler
+	mw      *server.Middleware
 	shards  []*shardState
+	// traces is the gateway's own tail-sampled span ring; the
+	// /debug/traces family serves it and stitches shard-side views on.
+	traces *obs.TraceStore
 
 	// Global (unpartitioned) state learned from the shards at Sync:
 	// the country table and the traffic prior, identical on every
@@ -246,9 +253,20 @@ func NewGateway(cfg GatewayConfig, targets []string) (*Gateway, error) {
 	}
 	mw := server.NewMiddleware(cfg.MaxInFlight, g.metrics, cfg.Logger, cfg.LogRequests)
 	mw.SetSlowRequest(cfg.SlowRequest)
+	g.traces = obs.NewTraceStore(0)
+	mw.SetTraceStore(g.traces)
+	g.mw = mw
 	g.handler = mw.Wrap(mux)
 	return g, nil
 }
+
+// Traces returns the gateway's tail-sampled trace ring — the flight
+// recorder dumps it, tests inspect it.
+func (g *Gateway) Traces() *obs.TraceStore { return g.traces }
+
+// SetPanicHook installs the flight-recorder callback the middleware
+// fires after a handler panic. Call before serving traffic.
+func (g *Gateway) SetPanicHook(f func()) { g.mw.SetPanicHook(f) }
 
 // handlerFor resolves a gatewayRoutes entry to its handler — the same
 // total-switch pattern server uses, so a route cannot be registered
@@ -269,6 +287,8 @@ func (g *Gateway) handlerFor(path string) http.HandlerFunc {
 		return g.handleReady
 	case "/metrics":
 		return g.handleMetrics
+	case "/debug/traces", "/debug/traces/":
+		return g.handleDebugTraces
 	default:
 		panic("cluster: gateway route " + path + " has no handler")
 	}

@@ -22,6 +22,8 @@ import (
 
 // shardReply is one shard's answer to a scatter call: the decoded-later
 // body plus the transport-level facts the gather step branches on.
+// start and dur time the whole leg (connect + shard handler + body
+// read) for the per-shard trace spans.
 type shardReply struct {
 	shard       int
 	status      int
@@ -29,6 +31,8 @@ type shardReply struct {
 	contentType string
 	body        []byte
 	err         error
+	start       time.Time
+	dur         time.Duration
 }
 
 // postShard round-trips one POST against a shard, feeding the health
@@ -47,7 +51,13 @@ func (g *Gateway) postShard(ctx context.Context, shard int, path string, body []
 	req.Header.Set("Content-Type", contentType)
 	if trace != "" {
 		req.Header.Set(obs.TraceHeader, trace)
+		// Span context: tell the shard which gateway stage made the
+		// call, so its retained trace names its parent in a stitched
+		// cross-process view. Both wires are HTTP, so one header covers
+		// binary and JSON alike.
+		req.Header.Set(obs.SpanContextHeader, "gateway"+path)
 	}
+	start := time.Now()
 	resp, err := g.client.Do(req)
 	if err != nil {
 		// A canceled client context aborts every in-flight shard call;
@@ -57,7 +67,7 @@ func (g *Gateway) postShard(ctx context.Context, shard int, path string, body []
 		if ctx.Err() == nil {
 			g.markFail(shard)
 		}
-		return shardReply{shard: shard, err: err}
+		return shardReply{shard: shard, err: err, start: start, dur: time.Since(start)}
 	}
 	defer func() { _ = resp.Body.Close() }()
 	raw, err := io.ReadAll(resp.Body)
@@ -65,7 +75,7 @@ func (g *Gateway) postShard(ctx context.Context, shard int, path string, body []
 		if ctx.Err() == nil {
 			g.markFail(shard)
 		}
-		return shardReply{shard: shard, err: err}
+		return shardReply{shard: shard, err: err, start: start, dur: time.Since(start)}
 	}
 	return shardReply{
 		shard:       shard,
@@ -73,6 +83,8 @@ func (g *Gateway) postShard(ctx context.Context, shard int, path string, body []
 		retryAfter:  resp.Header.Get("Retry-After"),
 		contentType: resp.Header.Get("Content-Type"),
 		body:        raw,
+		start:       start,
+		dur:         time.Since(start),
 	}
 }
 
@@ -175,6 +187,8 @@ func (g *Gateway) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 
 	trace := server.RequestID(r)
+	tr := server.TraceFrom(r)
+	tr.Add("decode", obs.NoShard, start, decodeDur, "")
 	var waitDur, fanoutDur, mergeDur time.Duration
 	results := make([]server.PredictResult, len(items))
 	if g.co != nil {
@@ -187,6 +201,12 @@ func (g *Gateway) handlePredict(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		waitDur, fanoutDur, mergeDur = rep.wait, rep.fanout, rep.merge
+		// The batch-wide timings are de-muxed back to every waiter: each
+		// member's trace carries its own coalesce wait plus the shared
+		// fan-out legs (the shard-side spans live under the comma-joined
+		// batch id; /debug/traces stitching re-associates them).
+		tr.Add("coalesce_wait", obs.NoShard, rep.fanStart.Add(-rep.wait), rep.wait, "")
+		addFanoutSpans(tr, rep.fanStart, rep.fanout, rep.merge, rep.legs[:rep.nlegs])
 		for i := range items {
 			results[i] = server.PredictResult{Known: rep.known[i], Top: g.topShares(*rep.vecs[i], req.Top)}
 			g.scratch.Put(rep.vecs[i])
@@ -198,6 +218,7 @@ func (g *Gateway) handlePredict(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		fanoutDur, mergeDur = merged.fanout, merged.merge
+		addFanoutSpans(tr, merged.fanStart, merged.fanout, merged.merge, merged.legs[:merged.nlegs])
 		for i := range items {
 			results[i] = server.PredictResult{Known: merged.known[i], Top: g.topShares(merged.row(i), req.Top)}
 		}
@@ -212,6 +233,7 @@ func (g *Gateway) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	encStart := time.Now()
 	server.WriteJSON(w, http.StatusOK, resp)
+	tr.Add("encode", obs.NoShard, encStart, time.Since(encStart), "")
 	if slow := g.cfg.SlowRequest; slow > 0 {
 		if total := time.Since(start); total >= slow {
 			g.logger.Printf("cluster: slow-request trace=%s items=%d total=%s decode=%s coalesce_wait=%s fanout=%s merge=%s encode=%s",
@@ -369,7 +391,10 @@ func (g *Gateway) handleIngest(w http.ResponseWriter, r *http.Request) {
 	// relies on per-epoch upload dedup plus client retry to converge;
 	// see OPERATIONS.md "Cluster topology" for the contract.
 	acks := make([]server.IngestResponse, len(g.targets))
-	for _, rep := range g.scatter(r.Context(), "/internal/ingest", bodies, "application/json", server.RequestID(r)) {
+	fanStart := time.Now()
+	replies := g.scatter(r.Context(), "/internal/ingest", bodies, "application/json", server.RequestID(r))
+	server.TraceFrom(r).Add("fanout", obs.NoShard, fanStart, time.Since(fanStart), "")
+	for _, rep := range replies {
 		if rep.status == -1 {
 			continue // shard not involved: no reply, no health signal
 		}

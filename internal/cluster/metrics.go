@@ -25,6 +25,7 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	g.metrics.WriteProm(tw)
 	g.writeClusterProm(tw)
 	obs.WriteGoRuntime(tw)
+	obs.WriteBuildInfo(tw, obs.Label{Name: "ring_signature", Value: g.ring.Signature()})
 	w.Header().Set("Content-Type", obs.TextContentType)
 	_, _ = w.Write(tw.Bytes())
 }

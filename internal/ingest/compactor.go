@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"viewstags/internal/obs"
 	"viewstags/internal/profilestore"
 )
 
@@ -46,6 +47,11 @@ type Compactor struct {
 	checkpoint CheckpointFunc
 	ckptEvery  int
 	sinceCkpt  int
+	// traces, when set, records each non-empty fold as a "bg/fold"
+	// trace (drain/install/checkpoint child spans) in the node's
+	// tail-sampled ring — the background twin of request tracing, so a
+	// flight-recorder dump shows what the fold loop was doing too.
+	traces *obs.TraceStore
 	// broken is set when a fold install fails: the drained deltas are
 	// gone from the in-memory snapshot, so any LATER checkpoint would
 	// claim to cover their generation while missing their data — and
@@ -84,6 +90,14 @@ func (c *Compactor) SetCheckpoint(fn CheckpointFunc, everyFolds int) {
 	c.mu.Unlock()
 }
 
+// SetTraceStore attaches the tail-sampled trace ring fold traces are
+// offered to. Call before Run.
+func (c *Compactor) SetTraceStore(ts *obs.TraceStore) {
+	c.mu.Lock()
+	c.traces = ts
+	c.mu.Unlock()
+}
+
 // FoldNow drains and installs one epoch synchronously, checkpointing if
 // the cadence is due. It reports whether a fold happened (false:
 // nothing pending). Exposed for tests and for operators that want a
@@ -106,9 +120,26 @@ func (c *Compactor) CheckpointNow() (bool, error) {
 }
 
 func (c *Compactor) foldLocked(forceCkpt bool) (bool, error) {
+	begin := time.Now()
 	deltas, newRecords, _, gen := c.acc.Drain()
+	drainDur := time.Since(begin)
+	// Background trace: non-empty folds record a "bg/fold" trace so the
+	// flight recorder can show a fold competing with the requests it ran
+	// beside. tr stays nil for empty epochs and when tracing is off —
+	// Trace.Add is nil-safe, endTrace a no-op.
+	var tr *obs.Trace
+	endTrace := func(status int) {
+		if tr != nil {
+			tr.End(status, false, time.Since(begin))
+			c.traces.Offer(tr)
+		}
+	}
 	folded := false
 	if len(deltas) > 0 || newRecords > 0 {
+		if c.traces != nil {
+			tr = obs.GetTrace(obs.NewRequestID(), "bg/fold", begin)
+			tr.Add("drain", obs.NoShard, begin, drainDur, "")
+		}
 		start := time.Now()
 		if err := c.install(deltas, newRecords); err != nil {
 			// The drained deltas are lost from memory — but not from the
@@ -118,26 +149,35 @@ func (c *Compactor) foldLocked(forceCkpt bool) (bool, error) {
 			// a later checkpoint would mark this generation covered
 			// without its data in the snapshot, silently dropping acked
 			// records from every future recovery.
+			tr.Add("install", obs.NoShard, start, time.Since(start), "error")
+			endTrace(500)
 			if c.checkpoint != nil && !c.broken {
 				c.broken = true
 				c.logger.Printf("ingest: checkpointing disabled after a failed fold install; the journal retains the records — restart to recover")
 			}
 			return false, fmt.Errorf("ingest: fold install: %w", err)
 		}
+		tr.Add("install", obs.NoShard, start, time.Since(start), "")
 		c.acc.noteFold(time.Since(start), len(deltas))
 		folded = true
 		c.sinceCkpt++
 	}
 	if c.checkpoint != nil && (forceCkpt || (folded && c.ckptEvery > 0 && c.sinceCkpt >= c.ckptEvery)) {
 		if c.broken {
+			endTrace(500)
 			return folded, fmt.Errorf("ingest: checkpointing disabled after an earlier fold-install failure; restart to recover from the journal")
 		}
+		ckStart := time.Now()
 		if err := c.checkpoint(gen); err != nil {
 			// The fold itself succeeded; the WAL simply stays longer.
+			tr.Add("checkpoint", obs.NoShard, ckStart, time.Since(ckStart), "error")
+			endTrace(500)
 			return folded, fmt.Errorf("ingest: checkpoint: %w", err)
 		}
+		tr.Add("checkpoint", obs.NoShard, ckStart, time.Since(ckStart), "")
 		c.sinceCkpt = 0
 	}
+	endTrace(200)
 	return folded, nil
 }
 

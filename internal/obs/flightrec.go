@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// The flight recorder: on SIGQUIT, on a recovered panic, or when the
+// chaos harness sees an SLO violation or fires a fault, the process
+// trace ring is dumped to traces_<event>.json — the black box that
+// turns "p99 broke during the kill window" into the spans of the exact
+// requests that paid for it.
+
+// FlightDump is the dump file's JSON shape.
+type FlightDump struct {
+	Event    string      `json:"event"`
+	AtUnixNs int64       `json:"at_unix_ns"`
+	Count    int         `json:"count"`
+	Traces   []TraceView `json:"traces"`
+}
+
+// DumpTraces writes the store's retained traces to
+// dir/traces_<event>.json (atomically: temp file + rename, so a reader
+// never sees a torn dump). event is sanitized to [A-Za-z0-9._-]; the
+// written path is returned.
+func DumpTraces(store *TraceStore, dir, event string) (string, error) {
+	return WriteFlightDump(dir, event, store.Dump())
+}
+
+// WriteFlightDump is DumpTraces over already-collected views — the
+// chaos harness stitches its own set before dumping.
+func WriteFlightDump(dir, event string, views []TraceView) (string, error) {
+	if dir == "" {
+		dir = "."
+	}
+	safe := make([]byte, 0, len(event))
+	for i := 0; i < len(event); i++ {
+		c := event[i]
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z',
+			c == '.', c == '_', c == '-':
+			safe = append(safe, c)
+		default:
+			safe = append(safe, '-')
+		}
+	}
+	if len(safe) == 0 {
+		safe = append(safe, "dump"...)
+	}
+	path := filepath.Join(dir, "traces_"+string(safe)+".json")
+	dump := FlightDump{
+		Event:    event,
+		AtUnixNs: time.Now().UnixNano(),
+		Count:    len(views),
+		Traces:   views,
+	}
+	data, err := json.MarshalIndent(&dump, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("obs: flight dump %s: %w", event, err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return "", err
+	}
+	return path, nil
+}

@@ -78,16 +78,32 @@ func (w *TextWriter) Sample(name string, labels []Label, v float64) {
 // Histogram emits one histogram series: cumulative _bucket lines for
 // every edge plus +Inf, then _sum (seconds) and _count.
 func (w *TextWriter) Histogram(name string, labels []Label, s HistSnapshot) {
+	w.HistogramEx(name, labels, s, nil)
+}
+
+// HistogramEx is Histogram with OpenMetrics-style exemplars attached
+// to their bucket lines: `... 42 # {request_id="abc"} 0.0093`. Only
+// buckets present in exemplars get the suffix; the base 0.0.4 format
+// is untouched elsewhere, and Validate checks the exemplar grammar.
+func (w *TextWriter) HistogramEx(name string, labels []Label, s HistSnapshot, exemplars []BucketExemplar) {
 	if typ, ok := w.families[name]; !ok || typ != "histogram" {
 		panic("obs: histogram emission for non-histogram family " + name)
+	}
+	exFor := func(bucket int) *BucketExemplar {
+		for i := range exemplars {
+			if exemplars[i].Bucket == bucket {
+				return &exemplars[i]
+			}
+		}
+		return nil
 	}
 	var cum uint64
 	for i := 0; i < numBuckets; i++ {
 		cum += s.Counts[i]
-		w.sampleLine(name+"_bucket", labels, Label{Name: "le", Value: formatFloat(bucketEdges[i])}, float64(cum))
+		w.sampleLineEx(name+"_bucket", labels, Label{Name: "le", Value: formatFloat(bucketEdges[i])}, float64(cum), exFor(i))
 	}
 	cum += s.Counts[numBuckets]
-	w.sampleLine(name+"_bucket", labels, Label{Name: "le", Value: "+Inf"}, float64(cum))
+	w.sampleLineEx(name+"_bucket", labels, Label{Name: "le", Value: "+Inf"}, float64(cum), exFor(numBuckets))
 	w.sampleLine(name+"_sum", labels, Label{}, float64(s.SumNs)/1e9)
 	w.sampleLine(name+"_count", labels, Label{}, float64(cum))
 }
@@ -96,6 +112,11 @@ func (w *TextWriter) Histogram(name string, labels []Label, s HistSnapshot) {
 // named) is merged into sort position — the histogram "le" label must
 // interleave correctly with caller labels like "route".
 func (w *TextWriter) sampleLine(name string, labels []Label, extra Label, v float64) {
+	w.sampleLineEx(name, labels, extra, v, nil)
+}
+
+// sampleLineEx is sampleLine with an optional exemplar suffix.
+func (w *TextWriter) sampleLineEx(name string, labels []Label, extra Label, v float64, ex *BucketExemplar) {
 	w.buf.WriteString(name)
 	n := len(labels)
 	if extra.Name != "" {
@@ -122,6 +143,12 @@ func (w *TextWriter) sampleLine(name string, labels []Label, extra Label, v floa
 	}
 	w.buf.WriteByte(' ')
 	w.buf.WriteString(formatFloat(v))
+	if ex != nil && ex.RequestID != "" {
+		w.buf.WriteString(` # {request_id="`)
+		w.buf.WriteString(escapeLabel(ex.RequestID))
+		w.buf.WriteString(`"} `)
+		w.buf.WriteString(formatFloat(ex.Seconds))
+	}
 	w.buf.WriteByte('\n')
 }
 
@@ -198,7 +225,7 @@ func Validate(exposition []byte) error {
 			}
 			continue
 		}
-		name, labels, value, err := parseSample(line)
+		name, labels, value, exemplar, err := parseSample(line)
 		if err != nil {
 			return fail("%v", err)
 		}
@@ -243,6 +270,9 @@ func Validate(exposition []byte) error {
 			return fail("duplicate series")
 		}
 		seen[key] = true
+		if exemplar != "" && !isBucket {
+			return fail("exemplar on a non-bucket sample")
+		}
 		if isBucket {
 			if le == "" {
 				return fail("histogram bucket without le")
@@ -254,6 +284,15 @@ func Validate(exposition []byte) error {
 				leV, err = strconv.ParseFloat(le, 64)
 				if err != nil {
 					return fail("unparsable le %q", le)
+				}
+			}
+			if exemplar != "" {
+				exVal, exErr := validateExemplar(exemplar)
+				if exErr != nil {
+					return fail("%v", exErr)
+				}
+				if exVal > leV {
+					return fail("exemplar value %v above bucket le %v", exVal, leV)
 				}
 			}
 			if prev, ok := histPrevLe[skey]; ok && leV <= prev {
@@ -301,11 +340,17 @@ func labelKey(labels []Label, exclude string) string {
 }
 
 // parseSample splits one sample line into name, labels (in written
-// order) and value.
-func parseSample(line string) (string, []Label, float64, error) {
+// order), value and the raw exemplar section (the part after " # ",
+// empty when absent).
+func parseSample(line string) (string, []Label, float64, string, error) {
+	var exemplar string
+	if sep := strings.Index(line, " # "); sep >= 0 {
+		exemplar = line[sep+3:]
+		line = line[:sep]
+	}
 	nameEnd := strings.IndexAny(line, "{ ")
 	if nameEnd <= 0 {
-		return "", nil, 0, fmt.Errorf("no metric name")
+		return "", nil, 0, "", fmt.Errorf("no metric name")
 	}
 	name := line[:nameEnd]
 	rest := line[nameEnd:]
@@ -313,14 +358,14 @@ func parseSample(line string) (string, []Label, float64, error) {
 	if rest[0] == '{' {
 		close := strings.IndexByte(rest, '}')
 		if close < 0 {
-			return "", nil, 0, fmt.Errorf("unterminated label set")
+			return "", nil, 0, "", fmt.Errorf("unterminated label set")
 		}
 		inner := rest[1:close]
 		rest = rest[close+1:]
 		for len(inner) > 0 {
 			eq := strings.IndexByte(inner, '=')
 			if eq <= 0 || eq+1 >= len(inner) || inner[eq+1] != '"' {
-				return "", nil, 0, fmt.Errorf("malformed label pair")
+				return "", nil, 0, "", fmt.Errorf("malformed label pair")
 			}
 			lname := inner[:eq]
 			// Scan the quoted value honoring escapes.
@@ -341,7 +386,7 @@ func parseSample(line string) (string, []Label, float64, error) {
 				i++
 			}
 			if i >= len(inner) {
-				return "", nil, 0, fmt.Errorf("unterminated label value")
+				return "", nil, 0, "", fmt.Errorf("unterminated label value")
 			}
 			labels = append(labels, Label{Name: lname, Value: val.String()})
 			i++ // closing quote
@@ -371,8 +416,31 @@ func parseSample(line string) (string, []Label, float64, error) {
 		var err error
 		v, err = strconv.ParseFloat(valueField, 64)
 		if err != nil {
-			return "", nil, 0, fmt.Errorf("unparsable value %q", valueField)
+			return "", nil, 0, "", fmt.Errorf("unparsable value %q", valueField)
 		}
 	}
-	return name, labels, v, nil
+	return name, labels, v, exemplar, nil
+}
+
+// validateExemplar checks the OpenMetrics-style exemplar section this
+// repo emits — `{request_id="..."} <seconds>` — and returns the
+// exemplar value.
+func validateExemplar(ex string) (float64, error) {
+	if len(ex) == 0 || ex[0] != '{' {
+		return 0, fmt.Errorf("exemplar must start with a label set, got %q", ex)
+	}
+	close := strings.IndexByte(ex, '}')
+	if close < 0 {
+		return 0, fmt.Errorf("unterminated exemplar label set")
+	}
+	inner := ex[1:close]
+	if !strings.HasPrefix(inner, `request_id="`) || !strings.HasSuffix(inner, `"`) {
+		return 0, fmt.Errorf("exemplar labels must be request_id=\"...\", got %q", inner)
+	}
+	rest := strings.TrimLeft(ex[close+1:], " ")
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return 0, fmt.Errorf("unparsable exemplar value %q", rest)
+	}
+	return v, nil
 }

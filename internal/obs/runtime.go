@@ -1,6 +1,34 @@
 package obs
 
-import "runtime"
+import (
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// processStart anchors process_start_time_seconds: captured at package
+// init, which for both daemons is within milliseconds of exec.
+var processStart = time.Now()
+
+// WriteBuildInfo appends the identity gauges every scrape target
+// should carry: viewstags_build_info (value 1; go version, module
+// version and any caller labels such as the ring signature) and the
+// standard process_start_time_seconds, which lets a scraper detect
+// restarts and mixed-version clusters.
+func WriteBuildInfo(w *TextWriter, extra ...Label) {
+	version := "(devel)"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	labels := append([]Label{
+		{Name: "go_version", Value: runtime.Version()},
+		{Name: "version", Value: version},
+	}, extra...)
+	w.Gauge("viewstags_build_info", "Build identity; value is always 1.")
+	w.Sample("viewstags_build_info", labels, 1)
+	w.Gauge("process_start_time_seconds", "Unix time the process started.")
+	w.Sample("process_start_time_seconds", nil, float64(processStart.UnixNano())/1e9)
+}
 
 // WriteGoRuntime appends the Go runtime families — goroutines, heap
 // and GC — to an exposition. Both daemons' /metrics handlers call it

@@ -1,0 +1,256 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanRecordAllocs(t *testing.T) {
+	tr := GetTrace(NewRequestID(), "/v1/predict", time.Now())
+	defer PutTrace(tr)
+	start := time.Now()
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.n = 0
+		tr.Add("fanout", 2, start, time.Millisecond, "")
+		tr.AddRel("merge", NoShard, 100, 200, "")
+	})
+	if allocs != 0 {
+		t.Fatalf("span record allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestTraceSpanCapAndView(t *testing.T) {
+	start := time.Now()
+	tr := GetTrace("abc", "/v1/predict", start)
+	for i := 0; i < MaxSpans+5; i++ {
+		tr.Add("stage", NoShard, start.Add(time.Duration(i)), time.Microsecond, "")
+	}
+	tr.End(200, false, 3*time.Millisecond)
+	v := tr.view()
+	if len(v.Spans) != MaxSpans || v.Dropped != 5 {
+		t.Fatalf("spans=%d dropped=%d, want %d and 5", len(v.Spans), v.Dropped, MaxSpans)
+	}
+	if v.ID != "abc" || v.Status != 200 || v.DurNs != (3*time.Millisecond).Nanoseconds() {
+		t.Fatalf("view identity wrong: %+v", v)
+	}
+	if _, err := json.Marshal(v); err != nil {
+		t.Fatal(err)
+	}
+	PutTrace(tr)
+}
+
+func TestTraceIDMemberMatch(t *testing.T) {
+	tr := GetTrace("aaa,bbb,ccc", "/internal/predict", time.Now())
+	tr.SetMembers(3)
+	for _, want := range []string{"aaa", "bbb", "ccc", "aaa,bbb,ccc"} {
+		if !tr.idMatches(want) {
+			t.Errorf("idMatches(%q) = false, want true", want)
+		}
+	}
+	for _, not := range []string{"aa", "bb", "cc", "aaa,bbb", "ddd", ""} {
+		if tr.idMatches(not) {
+			t.Errorf("idMatches(%q) = true, want false", not)
+		}
+	}
+	// Without the member flag, only exact ids match.
+	tr2 := GetTrace("aaa,bbb", "/internal/predict", time.Now())
+	if tr2.idMatches("aaa") {
+		t.Error("non-batch trace matched a member id")
+	}
+	PutTrace(tr)
+	PutTrace(tr2)
+}
+
+func offerTrace(s *TraceStore, id, route string, status int, shed bool, dur time.Duration) bool {
+	tr := GetTrace(id, route, time.Now())
+	tr.Add("handler", NoShard, tr.start, dur, "")
+	tr.End(status, shed, dur)
+	return s.Offer(tr)
+}
+
+func TestTraceStoreTailSampling(t *testing.T) {
+	s := NewTraceStore(64)
+	if !offerTrace(s, "err-1", "/v1/predict", 500, false, time.Millisecond) {
+		t.Fatal("errored trace must be retained")
+	}
+	if !offerTrace(s, "shed-1", "/v1/predict", 503, true, time.Microsecond) {
+		t.Fatal("shed trace must be retained")
+	}
+	// Fill the slow window with fast traces, then offer a slow one: it
+	// must make the per-route slowest-K cut.
+	for i := 0; i < 200; i++ {
+		offerTrace(s, fmt.Sprintf("fast-%d", i), "/v1/predict", 200, false, 10*time.Microsecond)
+	}
+	if !offerTrace(s, "slow-1", "/v1/predict", 200, false, 2*time.Second) {
+		t.Fatal("slowest trace must be retained")
+	}
+	if _, ok := s.Get("err-1"); !ok {
+		t.Fatal("Get(err-1) lost")
+	}
+	got := s.List(TraceFilter{Route: "/v1/predict", Status: "error", Limit: 10})
+	if len(got) < 2 {
+		t.Fatalf("error filter returned %d traces, want >= 2", len(got))
+	}
+	slow := s.List(TraceFilter{MinDur: time.Second})
+	if len(slow) != 1 || slow[0].ID != "slow-1" {
+		t.Fatalf("MinDur filter = %+v, want just slow-1", slow)
+	}
+	shed := s.List(TraceFilter{Status: "shed"})
+	if len(shed) != 1 || shed[0].ID != "shed-1" {
+		t.Fatalf("shed filter = %+v, want just shed-1", shed)
+	}
+	if n := s.Len(); n == 0 || n > 64*len(s.shards) {
+		t.Fatalf("retained count %d out of bounds", n)
+	}
+}
+
+func TestTraceStoreMemberLookup(t *testing.T) {
+	s := NewTraceStore(16)
+	tr := GetTrace("m1,m2,m3", "/internal/predict", time.Now())
+	tr.SetMembers(3)
+	tr.End(200, false, 5*time.Second) // slow: retained
+	if !s.Offer(tr) {
+		t.Fatal("slow batch trace must be retained")
+	}
+	v, ok := s.Get("m2")
+	if !ok || v.ID != "m1,m2,m3" || v.Members != 3 {
+		t.Fatalf("member lookup = %+v ok=%v", v, ok)
+	}
+	if got := s.List(TraceFilter{MatchID: "m3"}); len(got) != 1 {
+		t.Fatalf("MatchID filter found %d, want 1", len(got))
+	}
+}
+
+// TestTraceStoreRecordVsScrapeRace mirrors
+// TestHistogramObserveVsScrapeRace for the trace ring: many goroutines
+// record and offer traces while /debug/traces-shaped reads (List, Get,
+// Dump) run concurrently. -race is the assertion; the reads also
+// marshal to catch a view that aliases pooled memory.
+func TestTraceStoreRecordVsScrapeRace(t *testing.T) {
+	s := NewTraceStore(32)
+	const writers = 8
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			i := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				i++
+				id := fmt.Sprintf("w%d-%d", w, i)
+				tr := GetTrace(id, "/v1/predict", time.Now())
+				tr.Add("handler", NoShard, tr.start, time.Duration(i%1000)*time.Microsecond, "")
+				status := 200
+				if i%17 == 0 {
+					status = 500
+				}
+				tr.End(status, i%29 == 0, time.Duration(i%1000)*time.Microsecond)
+				s.Offer(tr)
+			}
+		}(w)
+	}
+	for i := 0; i < 200; i++ {
+		views := s.List(TraceFilter{Limit: 16})
+		for _, v := range views {
+			if _, err := json.Marshal(v); err != nil {
+				t.Fatalf("scrape %d: %v", i, err)
+			}
+			if !strings.HasPrefix(v.ID, "w") {
+				t.Fatalf("scrape %d: corrupt id %q", i, v.ID)
+			}
+		}
+		s.Get("w0-1")
+		if i%20 == 0 {
+			s.Dump()
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestExemplars(t *testing.T) {
+	var e Exemplars
+	now := time.Now()
+	e.Observe(3*time.Millisecond, "req-a", now)
+	e.Observe(90*time.Second, "req-b", now)
+	top := e.Top(4)
+	if len(top) != 2 {
+		t.Fatalf("Top = %d exemplars, want 2", len(top))
+	}
+	if top[0].RequestID != "req-b" || top[1].RequestID != "req-a" {
+		t.Fatalf("Top order wrong: %+v", top)
+	}
+	if top[0].Seconds != 90 {
+		t.Fatalf("exemplar seconds = %v, want 90", top[0].Seconds)
+	}
+	// A kilobyte coalesced id is cut at a member boundary.
+	long := strings.Repeat("0123456789abcdef,", 64)
+	long = long[:len(long)-1]
+	e.Observe(time.Second, long, now)
+	for _, ex := range e.Top(8) {
+		if len(ex.RequestID) > exemplarIDCap || strings.HasSuffix(ex.RequestID, ",") {
+			t.Fatalf("stored id not cut cleanly: %q", ex.RequestID)
+		}
+	}
+	allocs := testing.AllocsPerRun(1000, func() { e.Observe(time.Millisecond, "req-c", now) })
+	if allocs != 0 {
+		t.Fatalf("Exemplars.Observe allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestExemplarExposition(t *testing.T) {
+	var h Histogram
+	var e Exemplars
+	now := time.Now()
+	h.Observe(5 * time.Millisecond)
+	e.Observe(5*time.Millisecond, "req-x", now)
+	w := NewTextWriter()
+	w.HistogramFamily("ex_test_seconds", "exemplar carrier")
+	w.HistogramEx("ex_test_seconds", []Label{{Name: "route", Value: "predict"}}, h.Snapshot(), e.Top(4))
+	out := w.Bytes()
+	if !strings.Contains(string(out), `# {request_id="req-x"} 0.005`) {
+		t.Fatalf("exemplar missing from exposition:\n%s", out)
+	}
+	if err := Validate(out); err != nil {
+		t.Fatalf("exposition with exemplar failed validation: %v", err)
+	}
+}
+
+func TestValidateRejectsBadExemplars(t *testing.T) {
+	for _, bad := range []string{
+		// Exemplar on a non-bucket sample.
+		"# TYPE g gauge\ng 1 # {request_id=\"x\"} 0.5\n",
+		// Exemplar value above the bucket's le.
+		"# TYPE h histogram\nh_bucket{le=\"0.1\"} 1 # {request_id=\"x\"} 0.5\nh_bucket{le=\"+Inf\"} 1\nh_sum 0.01\nh_count 1\n",
+		// Malformed exemplar labels.
+		"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1 # {trace=\"x\"} 0.5\nh_sum 0.01\nh_count 1\n",
+	} {
+		if err := Validate([]byte(bad)); err == nil {
+			t.Errorf("Validate accepted bad exemplar exposition:\n%s", bad)
+		}
+	}
+}
+
+func TestWriteBuildInfo(t *testing.T) {
+	w := NewTextWriter()
+	WriteBuildInfo(w, Label{Name: "ring_signature", Value: "abc123"})
+	out := string(w.Bytes())
+	for _, want := range []string{"viewstags_build_info{", `ring_signature="abc123"`, "go_version=", "process_start_time_seconds "} {
+		if !strings.Contains(out, want) {
+			t.Errorf("build info exposition missing %q:\n%s", want, out)
+		}
+	}
+	if err := Validate(w.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+}

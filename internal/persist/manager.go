@@ -87,6 +87,35 @@ type Manager struct {
 	// locks but scraped lock-free.
 	walHist  obs.Histogram
 	ckptHist obs.Histogram
+
+	// traces, when set, records each Append as a "bg/wal" trace and
+	// each SaveCheckpoint as "bg/checkpoint" in the node's tail-sampled
+	// ring, so slow or failing disk I/O shows up in flight-recorder
+	// dumps next to the requests it stalled. Set via SetTraceStore
+	// before serving traffic; read without a lock thereafter.
+	traces *obs.TraceStore
+}
+
+// SetTraceStore attaches the tail-sampled trace ring the durable tier's
+// background traces are offered to. Call before serving traffic (the
+// field is read lock-free by Append).
+func (m *Manager) SetTraceStore(ts *obs.TraceStore) { m.traces = ts }
+
+// offerBG records one background operation as a single-span trace.
+func (m *Manager) offerBG(route, span string, start time.Time, err error) {
+	ts := m.traces
+	if ts == nil {
+		return
+	}
+	status, spanStatus := 200, ""
+	if err != nil {
+		status, spanStatus = 500, "error"
+	}
+	d := time.Since(start)
+	tr := obs.GetTrace(obs.NewRequestID(), route, start)
+	tr.Add(span, obs.NoShard, start, d, spanStatus)
+	tr.End(status, false, d)
+	ts.Offer(tr)
 }
 
 // Open scans (creating if absent) the data directory: leftover
@@ -293,9 +322,12 @@ func (m *Manager) replaySegment(seg *segment, last bool, fromGen uint64, apply f
 // (and stable storage too, under Fsync), so an acked batch survives the
 // process; rotation starts a fresh segment once the active one exceeds
 // SegmentBytes.
-func (m *Manager) Append(gen uint64, events []ingest.Event, uploads []string) error {
+func (m *Manager) Append(gen uint64, events []ingest.Event, uploads []string) (err error) {
 	start := time.Now()
-	defer func() { m.walHist.Observe(time.Since(start)) }()
+	defer func() {
+		m.walHist.Observe(time.Since(start))
+		m.offerBG("bg/wal", "append", start, err)
+	}()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if !m.replayDone {
@@ -405,9 +437,12 @@ func (m *Manager) rotateLocked() error {
 // then prune checkpoints beyond the retained history and every WAL
 // segment whose records the retained checkpoints all cover. A crash at
 // any point leaves the previous checkpoint intact.
-func (m *Manager) SaveCheckpoint(meta CheckpointMeta, data profilestore.SnapshotData) error {
+func (m *Manager) SaveCheckpoint(meta CheckpointMeta, data profilestore.SnapshotData) (err error) {
 	start := time.Now()
-	defer func() { m.ckptHist.Observe(time.Since(start)) }()
+	defer func() {
+		m.ckptHist.Observe(time.Since(start))
+		m.offerBG("bg/checkpoint", "save", start, err)
+	}()
 	m.ckptMu.Lock()
 	defer m.ckptMu.Unlock()
 	final := filepath.Join(m.opts.Dir, fmt.Sprintf("checkpoint-%016x.ckpt", meta.Gen))

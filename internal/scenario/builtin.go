@@ -23,11 +23,11 @@ func d(v time.Duration) Duration { return Duration(v) }
 var builtins = map[string]func() *Spec{
 	"chaos-smoke": func() *Spec {
 		return &Spec{
-			Name:        "chaos-smoke",
-			Description: "3-shard flash crowd; SIGKILL shard 1 mid-spike, restart it, require recovery within budget",
-			Shards:      3,
-			Videos:      4000,
-			Seed:        20110301,
+			Name:           "chaos-smoke",
+			Description:    "3-shard flash crowd; SIGKILL shard 1 mid-spike, restart it, require recovery within budget",
+			Shards:         3,
+			Videos:         4000,
+			Seed:           20110301,
 			FoldInterval:   d(300 * time.Millisecond),
 			CoalesceWindow: d(2 * time.Millisecond),
 			HealthInterval: d(250 * time.Millisecond),
@@ -62,11 +62,11 @@ var builtins = map[string]func() *Spec{
 	},
 	"flash-crowd-kill": func() *Spec {
 		return &Spec{
-			Name:        "flash-crowd-kill",
-			Description: "longer kill-and-recover under a viral-tag spike: baseline load, spike, kill, recover, cool down",
-			Shards:      3,
-			Videos:      8000,
-			Seed:        20110301,
+			Name:           "flash-crowd-kill",
+			Description:    "longer kill-and-recover under a viral-tag spike: baseline load, spike, kill, recover, cool down",
+			Shards:         3,
+			Videos:         8000,
+			Seed:           20110301,
 			FoldInterval:   d(300 * time.Millisecond),
 			CoalesceWindow: d(2 * time.Millisecond),
 			HealthInterval: d(250 * time.Millisecond),
@@ -94,11 +94,11 @@ var builtins = map[string]func() *Spec{
 	},
 	"diurnal": func() *Spec {
 		return &Spec{
-			Name:        "diurnal",
-			Description: "regional viewing waves sweeping across timezones, no chaos — the steady-state geo workload",
-			Shards:      3,
-			Videos:      8000,
-			Seed:        20110301,
+			Name:           "diurnal",
+			Description:    "regional viewing waves sweeping across timezones, no chaos — the steady-state geo workload",
+			Shards:         3,
+			Videos:         8000,
+			Seed:           20110301,
 			FoldInterval:   d(300 * time.Millisecond),
 			CoalesceWindow: d(2 * time.Millisecond),
 			Warmup:         d(2 * time.Second),
@@ -120,11 +120,11 @@ var builtins = map[string]func() *Spec{
 	},
 	"brownout": func() *Spec {
 		return &Spec{
-			Name:        "brownout",
-			Description: "slow-shard brownout via delaying proxy: one shard answers 150ms late; scatter-gather p99 must absorb it, not error",
-			Shards:      3,
-			Videos:      6000,
-			Seed:        20110301,
+			Name:           "brownout",
+			Description:    "slow-shard brownout via delaying proxy: one shard answers 150ms late; scatter-gather p99 must absorb it, not error",
+			Shards:         3,
+			Videos:         6000,
+			Seed:           20110301,
 			FoldInterval:   d(300 * time.Millisecond),
 			CoalesceWindow: d(2 * time.Millisecond),
 			HealthInterval: d(250 * time.Millisecond),
@@ -155,11 +155,11 @@ var builtins = map[string]func() *Spec{
 	},
 	"ingest-burst": func() *Spec {
 		return &Spec{
-			Name:        "ingest-burst",
-			Description: "write-heavy burst with catalog churn between read-mostly shoulders; fold pipeline and backpressure under stress",
-			Shards:      3,
-			Videos:      6000,
-			Seed:        20110301,
+			Name:           "ingest-burst",
+			Description:    "write-heavy burst with catalog churn between read-mostly shoulders; fold pipeline and backpressure under stress",
+			Shards:         3,
+			Videos:         6000,
+			Seed:           20110301,
 			FoldInterval:   d(200 * time.Millisecond),
 			CoalesceWindow: d(2 * time.Millisecond),
 			Warmup:         d(2 * time.Second),

@@ -45,14 +45,21 @@ type ClusterResult struct {
 	WorstRecovery    float64 `json:"worst_recovery_seconds,omitempty"`
 }
 
-// ScoreRow is one SLO's verdict in the scorecard.
+// ScoreRow is one SLO's verdict in the scorecard. WorstTrace is the
+// request id of the worst retained trace behind the row's metric (the
+// stream's slowest trace for latency/throughput rows, its worst
+// error/shed for rate rows) — fetch it with GET /debug/traces/{id} on
+// the gateway for the stitched cross-process view. Empty when the
+// gateway retained nothing matching (e.g. an error-rate row with zero
+// errors) or the SLO has no single backing request (cluster rows).
 type ScoreRow struct {
-	Name   string  `json:"name"`
-	Stream string  `json:"stream"`
-	Metric string  `json:"metric"`
-	Value  float64 `json:"value"`
-	Bound  string  `json:"bound"` // "max 2000" / "min 20", for humans
-	Pass   bool    `json:"pass"`
+	Name       string  `json:"name"`
+	Stream     string  `json:"stream"`
+	Metric     string  `json:"metric"`
+	Value      float64 `json:"value"`
+	Bound      string  `json:"bound"` // "max 2000" / "min 20", for humans
+	Pass       bool    `json:"pass"`
+	WorstTrace string  `json:"worst_trace,omitempty"`
 }
 
 // Report is the whole BENCH_scenarios.json document.
@@ -66,6 +73,7 @@ type Report struct {
 	Phases         []PhaseResult `json:"phases,omitempty"`
 	Cluster        ClusterResult `json:"cluster"`
 	Chaos          []ChaosResult `json:"chaos,omitempty"`
+	Traces         *TraceRefs    `json:"traces,omitempty"`
 	Scorecard      []ScoreRow    `json:"scorecard"`
 	Pass           bool          `json:"pass"`
 }

@@ -34,6 +34,11 @@ type RunOptions struct {
 	// ScrapeInterval is the mid-run gateway poll cadence (default
 	// 500ms) feeding staleness and recovery measurement.
 	ScrapeInterval time.Duration
+	// DumpDir, when set, turns on the engine's flight recorder: every
+	// fired chaos event and any SLO breach dumps the gateway's retained
+	// trace ring to traces_<event>.json in this directory (cmd/scenario
+	// points it next to the -out report).
+	DumpDir string
 }
 
 // scrapeSample is one mid-run observation of the gateway: the
@@ -122,11 +127,17 @@ func (s *scraper) scrapeOnce(ctx context.Context) {
 }
 
 func (s *scraper) getJSON(ctx context.Context, url string, out any) error {
+	return getJSONInto(ctx, s.client, url, out)
+}
+
+// getJSONInto is the engine's one-shot JSON GET, shared by the scraper
+// and the trace fetcher.
+func getJSONInto(ctx context.Context, client *http.Client, url string, out any) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return err
 	}
-	resp, err := s.client.Do(req)
+	resp, err := client.Do(req)
 	if err != nil {
 		return err
 	}
@@ -234,6 +245,12 @@ func Run(sc *Spec, opts RunOptions) (*Report, error) {
 	}
 	runCtx, cancel := context.WithCancel(context.Background())
 	defer cancel()
+	trc := &tracer{
+		base:   cluster.GatewayURL(),
+		client: &http.Client{Timeout: 3 * time.Second},
+		logger: logger,
+	}
+	var dumps []string // written by the chaos goroutine, read after bg.Wait()
 	var bg sync.WaitGroup
 	bg.Add(1)
 	go func() { defer bg.Done(); scr.run(runCtx) }()
@@ -281,6 +298,15 @@ func Run(sc *Spec, opts RunOptions) (*Report, error) {
 				return
 			}
 			fired = append(fired, res)
+			// Flight recorder: black-box the gateway's retained ring
+			// right after the fault lands, so "what was in flight when
+			// the shard died" survives even if the run later crashes.
+			if opts.DumpDir != "" {
+				event := fmt.Sprintf("chaos-%s-%d", ev.Action, ev.Shard)
+				if p := trc.dump(opts.DumpDir, event); p != "" {
+					dumps = append(dumps, p)
+				}
+			}
 		}
 		chaosDone <- fired
 	}()
@@ -353,7 +379,20 @@ func Run(sc *Spec, opts RunOptions) (*Report, error) {
 			break
 		}
 	}
+	// Trace attribution: with the cluster still up, ask the gateway for
+	// the worst retained trace per stream so the scorecard can name the
+	// exact request behind each violated or near-miss SLO.
+	refCtx, refCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	refs := trc.refs(refCtx)
+	refCancel()
+	refs.Dumps = dumps
+	rep.Traces = &refs
 	Score(rep)
+	if !rep.Pass && opts.DumpDir != "" {
+		if p := trc.dump(opts.DumpDir, "slo-breach"); p != "" {
+			rep.Traces.Dumps = append(rep.Traces.Dumps, p)
+		}
+	}
 	logger.Print(strings.TrimRight(Scorecard(rep), "\n"))
 	return rep, nil
 }

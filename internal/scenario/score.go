@@ -55,7 +55,8 @@ func Score(rep *Report) {
 	for i := range rep.Spec.SLOs {
 		o := &rep.Spec.SLOs[i]
 		v := metricValue(rep, o)
-		row := ScoreRow{Name: o.Name, Stream: o.Stream, Metric: o.Metric, Value: v, Pass: true}
+		row := ScoreRow{Name: o.Name, Stream: o.Stream, Metric: o.Metric, Value: v, Pass: true,
+			WorstTrace: attributeTrace(rep.Traces, o)}
 		switch {
 		case o.Max != nil && o.Min != nil:
 			row.Bound = fmt.Sprintf("min %g, max %g", *o.Min, *o.Max)
@@ -87,8 +88,12 @@ func Scorecard(rep *Report) string {
 		if !row.Pass {
 			verdict = "FAIL"
 		}
-		out += fmt.Sprintf("  %-4s %-16s %-7s %-18s value=%.4g (%s)\n",
+		line := fmt.Sprintf("  %-4s %-16s %-7s %-18s value=%.4g (%s)",
 			verdict, row.Name, row.Stream, row.Metric, row.Value, row.Bound)
+		if row.WorstTrace != "" {
+			line += " worst-trace=" + row.WorstTrace
+		}
+		out += line + "\n"
 	}
 	if rep.Pass {
 		out += "  => PASS: all SLOs met\n"

@@ -1,0 +1,49 @@
+package server
+
+import (
+	"context"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"viewstags/internal/obs"
+)
+
+// StartFlightRecorder installs the SIGQUIT flight-recorder listener:
+// each SIGQUIT dumps the node's tail-sampled trace ring to
+// traces_sigquit.json in dir (atomic write; each dump overwrites the
+// last). Installing the handler replaces Go's default SIGQUIT behavior
+// (goroutine dump + exit) with a non-fatal black-box dump — the
+// operator's "what was this process just doing" lever; see
+// OPERATIONS.md "Trace triage". The listener stops when ctx ends.
+//
+// Both daemons share this helper; the companion panic hook (dump on a
+// recovered handler panic) is wired via SetPanicHook with DumpOnce.
+func StartFlightRecorder(ctx context.Context, store *obs.TraceStore, dir string, logger *log.Logger) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGQUIT)
+	go func() {
+		defer signal.Stop(ch)
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ch:
+				DumpOnce(store, dir, "sigquit", logger)
+			}
+		}
+	}()
+}
+
+// DumpOnce writes one flight-recorder dump (traces_<event>.json in
+// dir), logging the outcome — the shared body of the SIGQUIT listener
+// and the panic hooks.
+func DumpOnce(store *obs.TraceStore, dir, event string, logger *log.Logger) {
+	path, err := obs.DumpTraces(store, dir, event)
+	if err != nil {
+		logger.Printf("flight recorder: dump %s: %v", event, err)
+		return
+	}
+	logger.Printf("flight recorder: dumped %d retained traces to %s", store.Len(), path)
+}

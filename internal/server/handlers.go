@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"viewstags/internal/dist"
 	"viewstags/internal/geo"
@@ -228,6 +229,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	defer s.scratch.Put(bufp)
 	buf := *bufp
 
+	predictStart := time.Now()
 	resp := PredictResponse{Weighting: weighting.String()}
 	if single {
 		if !ValidTags(w, 0, req.Tags) {
@@ -247,6 +249,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		}
 		s.metrics.Predictions.Add(int64(len(req.Batch)))
 	}
+	TraceFrom(r).Add("predict", obs.NoShard, predictStart, time.Since(predictStart), "")
 	WriteJSON(w, http.StatusOK, resp)
 }
 
@@ -376,12 +379,17 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	journalStart := time.Now()
 	if err := s.ing.Add(events); err != nil {
 		// Backpressure sheds with the fold interval as the Retry-After
 		// hint — the buffer only clears when the next fold drains it.
+		TraceFrom(r).Add("journal", obs.NoShard, journalStart, time.Since(journalStart), "error")
 		s.writeIngestError(w, err)
 		return
 	}
+	// The journal span covers Add end to end: buffer splice plus the
+	// synchronous WAL append when the daemon is durable.
+	TraceFrom(r).Add("journal", obs.NoShard, journalStart, time.Since(journalStart), "")
 	st := s.ing.Stats()
 	WriteJSON(w, http.StatusOK, IngestResponse{
 		Accepted: len(events),

@@ -3,8 +3,10 @@ package server
 import (
 	"errors"
 	"net/http"
+	"time"
 
 	"viewstags/internal/ingest"
+	"viewstags/internal/obs"
 	"viewstags/internal/tagviews"
 )
 
@@ -112,6 +114,7 @@ func (s *Server) handleInternalPredict(w http.ResponseWriter, r *http.Request) {
 		Partials:  make([]PartialMixture, len(req.Items)),
 	}
 	resp.Epoch = s.epoch()
+	predictStart := time.Now()
 	for i, tags := range req.Items {
 		wSum := snap.PredictPartialInto(buf, tags, weighting)
 		resp.Partials[i].WeightSum = wSum
@@ -119,6 +122,7 @@ func (s *Server) handleInternalPredict(w http.ResponseWriter, r *http.Request) {
 			resp.Partials[i].Sum = append([]float64(nil), buf...)
 		}
 	}
+	TraceFrom(r).Add("predict", obs.NoShard, predictStart, time.Since(predictStart), "")
 	s.metrics.Predictions.Add(int64(len(req.Items)))
 	WriteJSON(w, http.StatusOK, resp)
 }
@@ -156,9 +160,13 @@ func (s *Server) handleInternalPredictBinary(w http.ResponseWriter, r *http.Requ
 	// The reply mirrors the request's CRC choice, so integrity stays an
 	// end-to-end gateway decision.
 	enc.Begin(weighting, snap.Records(), s.epoch(), len(buf), len(items), crc)
+	predictStart := time.Now()
 	for _, tags := range items {
 		enc.Item(snap.PredictPartialInto(buf, tags, weighting), buf)
 	}
+	// Span record is allocation-free, so even the binary hot path keeps
+	// its zero-steady-state budget.
+	TraceFrom(r).Add("predict", obs.NoShard, predictStart, time.Since(predictStart), "")
 	s.metrics.Predictions.Add(int64(len(items)))
 	w.Header().Set("Content-Type", WireContentType)
 	w.WriteHeader(http.StatusOK)

@@ -11,12 +11,21 @@ import (
 // RouteMetrics holds one route's counters and its latency histogram.
 // The counters are atomics (read with Load); Latency is an
 // obs.Histogram whose Observe is allocation-free, so the middleware
-// can record every request at load-test rates.
+// can record every request at load-test rates. Exemplars remembers the
+// request id of the most recent observation in each latency bucket
+// (also allocation-free), so a histogram spike links to a fetchable
+// /debug/traces id.
 type RouteMetrics struct {
-	Requests atomic.Int64
-	Errors   atomic.Int64
-	Latency  obs.Histogram
+	Requests  atomic.Int64
+	Errors    atomic.Int64
+	Latency   obs.Histogram
+	Exemplars obs.Exemplars
 }
+
+// maxExemplarsPerRoute bounds the exemplars surfaced per route on both
+// /metrics and /v1/stats: the slowest occupied buckets are what link a
+// tail spike to a trace; deeper history belongs to the trace ring.
+const maxExemplarsPerRoute = 4
 
 // Metrics is the server's counter set: per-route request counters and
 // log-bucket latency histograms, cheap enough to leave on at load-test
@@ -84,6 +93,9 @@ type RouteSnapshot struct {
 	P50Ms    float64 `json:"p50_ms"`
 	P95Ms    float64 `json:"p95_ms"`
 	P99Ms    float64 `json:"p99_ms"`
+	// Exemplars are the slowest buckets' most recent request ids —
+	// each one a /debug/traces/{id} lookup away from its spans.
+	Exemplars []obs.BucketExemplar `json:"exemplars,omitempty"`
 }
 
 // Snapshot is the JSON shape of /v1/stats (wrapped with the ingest
@@ -114,6 +126,7 @@ func snapRoute(m *RouteMetrics) RouteSnapshot {
 		s.P50Ms = h.Quantile(0.50) * 1e3
 		s.P95Ms = h.Quantile(0.95) * 1e3
 		s.P99Ms = h.Quantile(0.99) * 1e3
+		s.Exemplars = m.Exemplars.Top(maxExemplarsPerRoute)
 	}
 	return s
 }
@@ -144,7 +157,8 @@ func (m *Metrics) WriteProm(w *obs.TextWriter) {
 		labels := []obs.Label{{Name: "route", Value: name}}
 		w.Sample("viewstags_requests_total", labels, float64(rm.Requests.Load()))
 		w.Sample("viewstags_request_errors_total", labels, float64(rm.Errors.Load()))
-		w.Histogram("viewstags_request_duration_seconds", labels, rm.Latency.Snapshot())
+		w.HistogramEx("viewstags_request_duration_seconds", labels, rm.Latency.Snapshot(),
+			rm.Exemplars.Top(maxExemplarsPerRoute))
 	})
 	w.Gauge("viewstags_in_flight", "Requests currently being served.")
 	w.Sample("viewstags_in_flight", nil, float64(m.InFlight.Load()))

@@ -29,6 +29,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		writePersistProm(tw, s.persistStats(), s.walHist, s.ckptHist)
 	}
 	obs.WriteGoRuntime(tw)
+	if s.cfg.RingSignature != "" {
+		obs.WriteBuildInfo(tw, obs.Label{Name: "ring_signature", Value: s.cfg.RingSignature})
+	} else {
+		obs.WriteBuildInfo(tw)
+	}
 	w.Header().Set("Content-Type", obs.TextContentType)
 	_, _ = w.Write(tw.Bytes())
 }

@@ -1,10 +1,12 @@
 package server
 
 import (
+	"context"
 	"log"
 	"net/http"
 	"runtime/debug"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -43,6 +45,38 @@ func SetRetryAfter(w http.ResponseWriter, d time.Duration) {
 // propagate it without re-deriving.
 func RequestID(r *http.Request) string { return r.Header.Get(obs.TraceHeader) }
 
+// traceKey carries the request's span buffer through the context.
+type traceKey struct{}
+
+// TraceFrom returns the request's span buffer, or nil when tracing is
+// off (no store attached) or the route is trace-exempt. Handlers call
+// Trace.Add on the result — nil-safe, so no guard is needed.
+func TraceFrom(r *http.Request) *obs.Trace {
+	tr, _ := r.Context().Value(traceKey{}).(*obs.Trace)
+	return tr
+}
+
+// validSpanParent bounds the honored X-Span-Context header: short,
+// printable "role/span" tokens only, so logs and trace dumps never
+// carry attacker-shaped bytes.
+func validSpanParent(s string) bool {
+	if s == "" || len(s) > 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= '0' && c <= '9':
+		case c >= 'a' && c <= 'z':
+		case c >= 'A' && c <= 'Z':
+		case c == '-' || c == '_' || c == '.' || c == '/':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
 // Middleware is the serving tier's shared HTTP middleware stack —
 // request-id tracing, concurrency limiting, panic recovery, optional
 // access logging and per-route metrics — factored out of Server so the
@@ -58,6 +92,13 @@ type Middleware struct {
 	// disables. Atomic so it can be set after construction without
 	// racing in-flight requests.
 	slowNs atomic.Int64
+	// traces, when set, turns on span recording: every traced request
+	// carries a pooled span buffer and offers it to this store at the
+	// end (tail sampling decides retention).
+	traces *obs.TraceStore
+	// onPanic, when set, is the flight-recorder hook the recovery
+	// middleware fires after logging a handler panic.
+	onPanic func()
 }
 
 // NewMiddleware builds a stack. maxInFlight bounds concurrently served
@@ -71,6 +112,15 @@ func NewMiddleware(maxInFlight int, metrics *Metrics, logger *log.Logger, logReq
 		logRequests: logRequests,
 	}
 }
+
+// SetTraceStore attaches the tail-sampled trace ring and turns span
+// recording on. Call before serving traffic.
+func (m *Middleware) SetTraceStore(ts *obs.TraceStore) { m.traces = ts }
+
+// SetPanicHook installs the flight-recorder callback the recovery
+// middleware fires after a handler panic (after the stack is logged).
+// Call before serving traffic.
+func (m *Middleware) SetPanicHook(f func()) { m.onPanic = f }
 
 // SetSlowRequest enables the threshold-gated slow-request log line:
 // requests whose wall time meets or exceeds d get one structured line
@@ -100,11 +150,13 @@ func (m *Middleware) Wrap(next http.Handler) http.Handler {
 // loaded server must still answer its health checker (liveness AND
 // readiness: shedding a probe reads as "unready" and would eject a
 // merely busy node from rotation), expose the counters that explain the
-// overload — /v1/stats and the /metrics scrape alike — and (on shards)
-// answer the gateway's cheap topology probe.
+// overload — /v1/stats and the /metrics scrape alike — (on shards)
+// answer the gateway's cheap topology probe, and serve the trace ring:
+// an overload is precisely when /debug/traces is wanted.
 func limiterExempt(path string) bool {
 	return path == "/healthz" || path == "/readyz" || path == "/v1/stats" ||
-		path == "/metrics" || path == "/internal/meta"
+		path == "/metrics" || path == "/internal/meta" ||
+		path == "/debug/traces" || strings.HasPrefix(path, "/debug/traces/")
 }
 
 // withTrace assigns the request id: an inbound X-Request-Id is honored
@@ -113,6 +165,12 @@ func limiterExempt(path string) bool {
 // anything else is replaced. The id is set on the request headers (for
 // handlers and fan-out to read back) and echoed on the response before
 // any handler runs, so WriteError can include it in error envelopes.
+//
+// When a trace store is attached, the request also gets a pooled span
+// buffer from obs (reachable via TraceFrom): downstream stages record
+// child spans into it, and the finished trace is offered to the
+// tail-sampling ring — including requests the limiter sheds, which is
+// the whole point of sampling at the outermost layer.
 func (m *Middleware) withTrace(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := r.Header.Get(obs.TraceHeader)
@@ -121,8 +179,36 @@ func (m *Middleware) withTrace(next http.Handler) http.Handler {
 			r.Header.Set(obs.TraceHeader, id)
 		}
 		w.Header().Set(obs.TraceHeader, id)
-		next.ServeHTTP(w, r)
+		if m.traces == nil || traceExempt(r.URL.Path) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		start := time.Now()
+		tr := obs.GetTrace(id, r.URL.Path, start)
+		if p := r.Header.Get(obs.SpanContextHeader); validSpanParent(p) {
+			tr.SetParent(p)
+		}
+		if n := strings.Count(id, ","); n > 0 {
+			// A comma-joined id marks a coalesced micro-batch: record the
+			// member count so trace lookups can de-mux it.
+			tr.SetMembers(n + 1)
+		}
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r.WithContext(context.WithValue(r.Context(), traceKey{}, tr)))
+		// A 503 is backpressure by design everywhere in this tier —
+		// the local limiter's shed or a shard's propagated one — so it
+		// counts as shed here too, matching how loadgen and the chaos
+		// harness classify it.
+		tr.End(sw.status, sw.status == http.StatusServiceUnavailable, time.Since(start))
+		m.traces.Offer(tr)
 	})
+}
+
+// traceExempt lists paths that never record spans: probes, scrape and
+// stats surfaces, and the /debug/traces family itself (tracing the
+// trace reader would fill the ring with its own reflections).
+func traceExempt(path string) bool {
+	return limiterExempt(path) || strings.HasPrefix(path, "/debug/")
 }
 
 // withLimit bounds in-flight requests with a semaphore; requests beyond
@@ -140,6 +226,7 @@ func (m *Middleware) withLimit(next http.Handler) http.Handler {
 			next.ServeHTTP(w, r)
 		default:
 			m.metrics.Rejected.Add(1)
+			TraceFrom(r).MarkShed()
 			SetRetryAfter(w, 0)
 			http.Error(w, "server at capacity", http.StatusServiceUnavailable)
 		}
@@ -154,6 +241,11 @@ func (m *Middleware) withRecovery(next http.Handler) http.Handler {
 			if rec := recover(); rec != nil {
 				m.logger.Printf("server: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
 				http.Error(w, "internal error", http.StatusInternalServerError)
+				if m.onPanic != nil {
+					// Flight recorder: a panic is exactly the moment the
+					// ring's recent history is worth preserving.
+					m.onPanic()
+				}
 			}
 		}()
 		next.ServeHTTP(w, r)
@@ -186,9 +278,13 @@ func (m *Middleware) withMetrics(next http.Handler) http.Handler {
 		d := time.Since(start)
 		rm.Requests.Add(1)
 		rm.Latency.Observe(d)
+		rm.Exemplars.Observe(d, RequestID(r), start.Add(d))
+		status := ""
 		if sw.status >= 400 {
 			rm.Errors.Add(1)
+			status = "error"
 		}
+		TraceFrom(r).Add("handler", obs.NoShard, start, d, status)
 		if slow := m.slowNs.Load(); slow > 0 && d.Nanoseconds() >= slow {
 			m.logger.Printf("server: slow-request trace=%s method=%s path=%s status=%d total=%s",
 				RequestID(r), r.Method, r.URL.Path, sw.status, d)

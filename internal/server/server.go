@@ -71,6 +71,8 @@ var routes = []string{
 	"/internal/predict",
 	"/internal/ingest",
 	"/internal/meta",
+	"/debug/traces",
+	"/debug/traces/",
 }
 
 // Routes returns every route path the server registers, in registration
@@ -155,6 +157,11 @@ type Server struct {
 	walHist  *obs.Histogram
 	ckptHist *obs.Histogram
 
+	// traces is the tail-sampled trace ring behind /debug/traces and
+	// the flight recorder; always on (span recording is allocation-free
+	// and the ring is bounded).
+	traces *obs.TraceStore
+
 	// mu serializes snapshot installs (batch Reload and ingest folds)
 	// and guards the catalog state for /v1/preload (absent when serving
 	// a crawled dataset with no synthetic ground truth).
@@ -195,6 +202,8 @@ func New(cfg Config, store *profilestore.Store) (*Server, error) {
 	}
 	s.mw = NewMiddleware(cfg.MaxInFlight, s.metrics, logger, cfg.LogRequests)
 	s.mw.SetSlowRequest(cfg.SlowRequest)
+	s.traces = obs.NewTraceStore(0)
+	s.mw.SetTraceStore(s.traces)
 	s.scratch = profilestore.NewVecPool(world.N())
 	mux := http.NewServeMux()
 	for _, path := range routes {
@@ -235,6 +244,8 @@ func (s *Server) handlerFor(path string) http.HandlerFunc {
 		return s.handleInternalIngest
 	case "/internal/meta":
 		return s.handleInternalMeta
+	case "/debug/traces", "/debug/traces/":
+		return s.handleDebugTraces
 	default:
 		panic("server: route " + path + " has no handler")
 	}
@@ -358,6 +369,13 @@ func (s *Server) installLocked(snap *profilestore.Snapshot, w tagviews.Weighting
 
 // Metrics returns the server's counters.
 func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Traces returns the tail-sampled trace ring — the daemon wires its
+// SIGQUIT flight recorder and panic hook over it.
+func (s *Server) Traces() *obs.TraceStore { return s.traces }
+
+// SetPanicHook forwards to the middleware's flight-recorder hook.
+func (s *Server) SetPanicHook(f func()) { s.mw.SetPanicHook(f) }
 
 // Handler returns the fully middleware-wrapped HTTP handler.
 func (s *Server) Handler() http.Handler { return s.handler }
