@@ -49,7 +49,8 @@ func run() error {
 		logRequests = flag.Bool("log-requests", false, "log every request")
 		grace       = flag.Duration("grace", 10*time.Second, "shutdown drain timeout")
 		healthEvery = flag.Duration("health-interval", time.Second, "shard health poll cadence")
-		syncWait    = flag.Duration("sync-wait", 30*time.Second, "how long to retry the startup shard sync")
+		syncWait    = flag.Duration("sync-wait", 30*time.Second, "how long to retry the startup shard sync (jittered exponential backoff)")
+		replicas    = flag.Int("replicas", 1, "copies of each tag's slice the shard tier places (must match every shard's -replicas; 1 = unreplicated)")
 		wireName    = flag.String("internal-wire", "binary", "gateway-to-shard predict codec: binary (compact float64 frames) or json (debug fallback)")
 		coalesce    = flag.Duration("coalesce-window", 0, "micro-batch concurrent single predicts arriving within this window into one fan-out per shard (0 = off; useful range ~250us-1ms)")
 		maxIdle     = flag.Int("max-idle-per-host", 0, "keep-alive connections kept per shard (0 = 2 x max-inflight; never let this fall below expected concurrency or gathers churn connections)")
@@ -87,6 +88,7 @@ func run() error {
 	cfg.CoalesceWindow = *coalesce
 	cfg.MaxIdleConnsPerHost = *maxIdle
 	cfg.SlowRequest = *slowReq
+	cfg.Replicas = *replicas
 	g, err := cluster.NewGateway(cfg, targets)
 	if err != nil {
 		return err
@@ -111,21 +113,10 @@ func run() error {
 
 	// Sync with retry: shards build their profile stores at startup, so
 	// give a freshly launched cluster time to assemble before giving up.
-	deadline := time.Now().Add(*syncWait)
-	for {
-		err = g.Sync(ctx)
-		if err == nil {
-			break
-		}
-		if time.Now().After(deadline) || ctx.Err() != nil {
-			return fmt.Errorf("shard sync: %w", err)
-		}
-		logger.Printf("gateway: sync not ready (%v), retrying...", err)
-		select {
-		case <-ctx.Done():
-			return ctx.Err()
-		case <-time.After(time.Second):
-		}
+	// The schedule is jittered exponential backoff, so a fleet of
+	// gateways restarting together does not probe the shards in waves.
+	if err := g.SyncRetry(ctx, *syncWait); err != nil {
+		return err
 	}
 	logger.Printf("gateway: synced %d shards (wire %s, coalesce %s), serving on http://%s (^C to drain)",
 		len(targets), wire, *coalesce, *addr)

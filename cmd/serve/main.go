@@ -105,6 +105,7 @@ func run() error {
 		ingestEvery  = flag.Duration("ingest-interval", 3*time.Second, "fold interval for live view events (0 disables /v1/ingest)")
 		ingestBuffer = flag.Int("ingest-buffer", 1<<20, "max tag attributions (events x tags) buffered between folds")
 		shardSpec    = flag.String("shard", "", "serve one tag partition as shard i/n (0-based, e.g. 0/3); empty = the whole vocabulary")
+		replicas     = flag.Int("replicas", 1, "copies of each tag's slice the cluster ring places (must match the gateway's -replicas; 1 = unreplicated)")
 		dataDir      = flag.String("data-dir", "", "durable state directory: WAL + snapshot checkpoints + crash recovery (empty = in-memory only)")
 		fsyncPolicy  = flag.String("fsync", "never", "WAL/checkpoint fsync policy: always (survives power loss) or never (survives process death)")
 		ckptEvery    = flag.Int("checkpoint-every", 16, "checkpoint the serving snapshot every N folds (0 = only at shutdown or via POST /v1/checkpoint)")
@@ -120,7 +121,10 @@ func run() error {
 	}
 	// The ring is built even standalone (n=1): /internal/meta always
 	// reports a signature, so a gateway can verify any node it fronts.
-	ring, err := cluster.NewRing(shardCount, 0)
+	// With -replicas R the ring places each tag on R distinct shards and
+	// the signature covers R, so a replica-factor mismatch between shards
+	// and gateway is caught at sync, not discovered as double-counting.
+	ring, err := cluster.NewRingReplicas(shardCount, 0, *replicas)
 	if err != nil {
 		return err
 	}
@@ -146,7 +150,9 @@ func run() error {
 
 	var owns func(string) bool
 	if shardCount > 1 {
-		owns = func(name string) bool { return ring.Owner(name) == shardIndex }
+		// With replicas a shard holds every tag it is ANY of the R owners
+		// for, not just the primary — Owns generalizes Owner == index.
+		owns = func(name string) bool { return ring.Owns(name, shardIndex) }
 	}
 	snap, err := profilestore.BuildOwned(res.Analysis, owns)
 	if err != nil {
@@ -207,7 +213,16 @@ func run() error {
 	cfg.LogRequests = *logRequests
 	cfg.ShardIndex = shardIndex
 	cfg.ShardCount = shardCount
+	cfg.Replicas = *replicas
 	cfg.RingSignature = ring.Signature()
+	cfg.Topology = ring
+	cfg.MakeTopology = func(shards, replicas int) (server.ShardTopology, error) {
+		r, err := cluster.NewRingReplicas(shards, 0, replicas)
+		if err != nil {
+			return nil, err
+		}
+		return r, nil
+	}
 	cfg.SlowRequest = *slowReq
 	srv, err := server.New(cfg, store)
 	if err != nil {
@@ -273,6 +288,10 @@ func run() error {
 			return err
 		}
 		comp.SetTraceStore(srv.Traces())
+		// Shard transfers (replica catch-up, live reshard) fold pending
+		// deltas before exporting or merging, so transferred state is
+		// never missing buffered-but-unfolded events.
+		srv.SetFoldHook(comp.FoldNow)
 		if mgr != nil {
 			// Recovery: position the accumulator at the checkpoint's
 			// generation and epoch, replay the journal tail past it,

@@ -145,7 +145,7 @@ func TestCoalesceShardDeathMidBatch(t *testing.T) {
 			}
 		}
 	}
-	if g.shards[2].down.Load() {
+	if g.topo.Load().shards[2].down.Load() {
 		t.Fatal("shard 2 was marked down; the test meant to exercise the fan-out verdict, not shedding")
 	}
 

@@ -406,7 +406,7 @@ func TestMergeSkipsNaNWeightSum(t *testing.T) {
 	enc.Item(math.NaN(), nil)
 	merged := g.getMerged(1)
 	defer g.putMerged(merged)
-	if fe := g.mergeBinaryReply(merged, shardReply{shard: 0, status: http.StatusOK, body: enc.Finish()}, 1); fe != nil {
+	if fe := g.mergeBinaryReply(g.topo.Load(), merged, shardReply{shard: 0, status: http.StatusOK, body: enc.Finish()}, 1); fe != nil {
 		t.Fatalf("NaN-weight frame rejected: %+v", fe)
 	}
 	if ws := merged.wsums[0]; ws != 0 {
@@ -435,7 +435,7 @@ func TestMergeJSONRejectsWrongWidth(t *testing.T) {
 			t.Fatal(err)
 		}
 		merged := g.getMerged(1)
-		fe := g.mergeJSONReply(merged, shardReply{shard: 0, status: http.StatusOK, body: body}, 1)
+		fe := g.mergeJSONReply(g.topo.Load(), merged, shardReply{shard: 0, status: http.StatusOK, body: body}, 1)
 		g.putMerged(merged)
 		if fe == nil || fe.status != http.StatusBadGateway {
 			t.Fatalf("width %d (table %d): %+v, want a 502 reply error", width, nC, fe)

@@ -31,14 +31,18 @@ const maxTraceLegs = 16
 
 // shardLeg is one shard's leg of a predict fan-out: when the call
 // started, how long it took (connect + shard handler + body read), and
-// whether it failed. These become per-shard child spans on the
+// whether it failed. failover marks legs from a re-scatter after a
+// replica failed mid-fan-out — in the trace they span as "failover"
+// instead of "shard", so a stitched view names which replica ended up
+// serving a failed-over read. These become per-shard child spans on the
 // request's trace — the evidence that attributes a slow fan-out to a
 // specific shard.
 type shardLeg struct {
-	shard int
-	start time.Time
-	dur   time.Duration
-	err   bool
+	shard    int
+	start    time.Time
+	dur      time.Duration
+	err      bool
+	failover bool
 }
 
 // mergedPredict is a fan-out result: per-item normalized distributions
@@ -124,8 +128,8 @@ func (g *Gateway) writeReplyError(w http.ResponseWriter, fe *replyError) {
 
 // downShard returns the index of the first down shard among the needed
 // ones (nil = all), or -1. The non-writing core of shedIfDown.
-func (g *Gateway) downShard(needed []bool) int {
-	for i, s := range g.shards {
+func (tp *topology) downShard(needed []bool) int {
+	for i, s := range tp.shards {
 		if needed != nil && !needed[i] {
 			continue
 		}
@@ -147,11 +151,11 @@ func (g *Gateway) downShard(needed []bool) int {
 // Retry-After; any other non-200 — a shard that is alive but answered
 // malformed or mismatched — stays 502, the true bad-gateway case. nil
 // means the reply body is ready to decode.
-func (g *Gateway) replyErr(rep shardReply) *replyError {
+func (g *Gateway) replyErr(tp *topology, rep shardReply) *replyError {
 	switch {
 	case rep.err != nil:
 		return &replyError{status: http.StatusServiceUnavailable, retryAfterDur: g.cfg.HealthInterval,
-			msg: fmt.Sprintf("shard %d (%s): %v", rep.shard, g.targets[rep.shard], rep.err)}
+			msg: fmt.Sprintf("shard %d (%s): %v", rep.shard, tp.targets[rep.shard], rep.err)}
 	case rep.status == http.StatusServiceUnavailable:
 		return &replyError{status: http.StatusServiceUnavailable, retryAfter: rep.retryAfter,
 			msg: fmt.Sprintf("shard %d shedding: %s", rep.shard, errText(rep.body))}
@@ -170,66 +174,120 @@ func (g *Gateway) replyErr(rep shardReply) *replyError {
 // trace is the request id (or comma-joined member ids, for a coalesced
 // micro-batch) propagated to every shard. On success the caller owns
 // the returned value and must putMerged it.
+//
+// With replicas (R >= 2) a shard failing mid-fan-out is not fatal:
+// the failed shards join the request's exclusion list and the whole
+// fan-out re-scatters to the survivors, whose shard-side assignment
+// filter re-routes the failed replicas' slices to the next live owner.
+// The re-scatter must be total — the survivors' first replies were
+// computed against the old exclusion and are missing the failed
+// shards' assignments — so failover costs one extra round trip, and
+// read availability holds as long as every slice keeps a live replica.
 func (g *Gateway) predictFanout(ctx context.Context, items [][]string, weighting tagviews.Weighting, wstr, trace string) (*mergedPredict, *replyError) {
-	if i := g.downShard(nil); i >= 0 {
-		return nil, &replyError{status: http.StatusServiceUnavailable, retryAfterDur: g.cfg.HealthInterval,
-			msg: fmt.Sprintf("shard %d (%s) is down", i, g.targets[i])}
+	tp := g.topo.Load()
+	replicas := tp.ring.Replicas()
+	exclude := tp.excludedShards(nil)
+	if len(exclude) > 0 {
+		if replicas <= 1 {
+			i := exclude[0]
+			return nil, &replyError{status: http.StatusServiceUnavailable, retryAfterDur: g.cfg.HealthInterval,
+				msg: fmt.Sprintf("shard %d (%s) is down", i, tp.targets[i])}
+		}
+		if !tp.ring.Covered(exclude) {
+			return nil, &replyError{status: http.StatusServiceUnavailable, retryAfterDur: g.cfg.HealthInterval,
+				msg: fmt.Sprintf("%d of %d shards unavailable — slice coverage lost", len(exclude), len(tp.targets))}
+		}
 	}
 
-	// Every shard sees every item's full tag list: it skips tags it
-	// does not own, but needs the original positions for the harmonic
-	// rank discount (see profilestore.PredictPartialInto).
-	var body []byte
-	contentType := server.WireContentType
-	var encBuf *[]byte
-	if g.cfg.Wire == WireJSON {
-		contentType = "application/json"
-		b, err := json.Marshal(server.InternalPredictRequest{Items: items, Weighting: wstr})
-		if err != nil {
-			return nil, &replyError{status: http.StatusInternalServerError, msg: err.Error()}
+	merged := g.getMerged(len(items))
+	merged.nlegs = 0
+	var fanDur time.Duration
+	var replies []shardReply
+	for attempt := 0; ; attempt++ {
+		// Every shard sees every item's full tag list: it skips tags it
+		// does not own, but needs the original positions for the harmonic
+		// rank discount (see profilestore.PredictPartialInto). The
+		// exclusion list rides along so each replica set elects exactly
+		// one server per tag.
+		var body []byte
+		contentType := server.WireContentType
+		var encBuf *[]byte
+		if g.cfg.Wire == WireJSON {
+			contentType = "application/json"
+			b, err := json.Marshal(server.InternalPredictRequest{Items: items, Weighting: wstr, Exclude: exclude})
+			if err != nil {
+				g.putMerged(merged)
+				return nil, &replyError{status: http.StatusInternalServerError, msg: err.Error()}
+			}
+			body = b
+		} else {
+			encBuf = reqBufPool.Get().(*[]byte)
+			body = server.AppendPredictRequestExclude((*encBuf)[:0], items, weighting, exclude, false)
 		}
-		body = b
-	} else {
-		encBuf = reqBufPool.Get().(*[]byte)
-		body = server.AppendPredictRequest((*encBuf)[:0], items, weighting, false)
-	}
-	bodies := make([][]byte, len(g.targets))
-	for i := range bodies {
-		bodies[i] = body
-	}
-	fanStart := time.Now()
-	replies := g.scatter(ctx, "/internal/predict", bodies, contentType, trace)
-	fanDur := time.Since(fanStart)
-	if encBuf != nil {
-		*encBuf = body[:0]
-		reqBufPool.Put(encBuf)
+		bodies := make([][]byte, len(tp.targets))
+		for i := range bodies {
+			bodies[i] = body
+		}
+		for _, x := range exclude {
+			bodies[x] = nil
+		}
+		fanStart := time.Now()
+		replies = g.scatter(ctx, tp, "/internal/predict", bodies, contentType, trace)
+		fanDur += time.Since(fanStart)
+		if attempt == 0 {
+			merged.fanStart = fanStart
+		}
+		if encBuf != nil {
+			*encBuf = body[:0]
+			reqBufPool.Put(encBuf)
+		}
+
+		var failed []int
+		for _, rep := range replies {
+			if rep.status == -1 {
+				continue
+			}
+			if merged.nlegs < maxTraceLegs {
+				merged.legs[merged.nlegs] = shardLeg{
+					shard:    rep.shard,
+					start:    rep.start,
+					dur:      rep.dur,
+					err:      rep.err != nil || rep.status != http.StatusOK,
+					failover: attempt > 0,
+				}
+				merged.nlegs++
+			}
+			if rep.err != nil || rep.status == http.StatusServiceUnavailable {
+				failed = append(failed, rep.shard)
+			}
+		}
+		if len(failed) == 0 || replicas <= 1 {
+			break
+		}
+		g.failovers.Add(int64(len(failed)))
+		exclude = append(exclude, failed...)
+		if !tp.ring.Covered(exclude) {
+			g.putMerged(merged)
+			return nil, &replyError{status: http.StatusServiceUnavailable, retryAfterDur: g.cfg.HealthInterval,
+				msg: fmt.Sprintf("%d of %d shards unavailable — slice coverage lost", len(exclude), len(tp.targets))}
+		}
+		g.logger.Printf("cluster: predict failing over from shard(s) %v, re-scattering to survivors", failed)
 	}
 
 	mergeStart := time.Now()
-	merged := g.getMerged(len(items))
-	merged.fanStart = fanStart
-	merged.nlegs = 0
 	for _, rep := range replies {
-		if merged.nlegs < maxTraceLegs {
-			merged.legs[merged.nlegs] = shardLeg{
-				shard: rep.shard,
-				start: rep.start,
-				dur:   rep.dur,
-				err:   rep.err != nil || rep.status != http.StatusOK,
-			}
-			merged.nlegs++
+		if rep.status == -1 {
+			continue
 		}
-	}
-	for _, rep := range replies {
-		if fe := g.replyErr(rep); fe != nil {
+		if fe := g.replyErr(tp, rep); fe != nil {
 			g.putMerged(merged)
 			return nil, fe
 		}
 		var fe *replyError
 		if rep.contentType == server.WireContentType {
-			fe = g.mergeBinaryReply(merged, rep, len(items))
+			fe = g.mergeBinaryReply(tp, merged, rep, len(items))
 		} else {
-			fe = g.mergeJSONReply(merged, rep, len(items))
+			fe = g.mergeJSONReply(tp, merged, rep, len(items))
 		}
 		if fe != nil {
 			g.putMerged(merged)
@@ -271,17 +329,23 @@ func addFanoutSpans(tr *obs.Trace, fanStart time.Time, fanout, merge time.Durati
 		if leg.err {
 			status = "error"
 		}
-		tr.Add("shard", leg.shard, leg.start, leg.dur, status)
+		name := "shard"
+		if leg.failover {
+			// A re-scatter leg after a replica failure: the span names
+			// which surviving replica served the failed-over read.
+			name = "failover"
+		}
+		tr.Add(name, leg.shard, leg.start, leg.dur, status)
 	}
 	tr.Add("merge", obs.NoShard, fanStart.Add(fanout), merge, "")
 }
 
 // mergeBinaryReply decodes one shard's binary frame and accumulates it.
-func (g *Gateway) mergeBinaryReply(merged *mergedPredict, rep shardReply, nItems int) *replyError {
+func (g *Gateway) mergeBinaryReply(tp *topology, merged *mergedPredict, rep shardReply, nItems int) *replyError {
 	pp := g.partialsPool.Get().(*server.PredictPartials)
 	defer g.partialsPool.Put(pp)
 	if err := server.DecodePredictResponse(rep.body, pp, nItems, merged.nC); err != nil {
-		g.markFail(rep.shard)
+		g.markFail(tp, rep.shard)
 		return &replyError{status: http.StatusBadGateway,
 			msg: fmt.Sprintf("shard %d: undecodable response: %v", rep.shard, err)}
 	}
@@ -305,15 +369,15 @@ func (g *Gateway) mergeBinaryReply(merged *mergedPredict, rep shardReply, nItems
 			row[c] += x
 		}
 	}
-	g.markOK(rep.shard, pp.Epoch)
+	g.markOK(tp, rep.shard, pp.Epoch)
 	return nil
 }
 
 // mergeJSONReply is the debug-wire twin of mergeBinaryReply.
-func (g *Gateway) mergeJSONReply(merged *mergedPredict, rep shardReply, nItems int) *replyError {
+func (g *Gateway) mergeJSONReply(tp *topology, merged *mergedPredict, rep shardReply, nItems int) *replyError {
 	var resp server.InternalPredictResponse
 	if err := json.Unmarshal(rep.body, &resp); err != nil {
-		g.markFail(rep.shard)
+		g.markFail(tp, rep.shard)
 		return &replyError{status: http.StatusBadGateway,
 			msg: fmt.Sprintf("shard %d: undecodable response: %v", rep.shard, err)}
 	}
@@ -341,6 +405,6 @@ func (g *Gateway) mergeJSONReply(merged *mergedPredict, rep shardReply, nItems i
 			row[c] += x
 		}
 	}
-	g.markOK(rep.shard, resp.Epoch)
+	g.markOK(tp, rep.shard, resp.Epoch)
 	return nil
 }

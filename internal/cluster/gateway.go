@@ -28,6 +28,7 @@ var gatewayRoutes = []string{
 	"/v1/ingest",
 	"/v1/tags",
 	"/v1/stats",
+	"/v1/reshard",
 	"/healthz",
 	"/readyz",
 	"/metrics",
@@ -119,6 +120,13 @@ type GatewayConfig struct {
 	// its trace id, and /v1/predict additionally logs per-stage timing
 	// (decode, coalesce wait, fan-out, merge, encode). 0 disables.
 	SlowRequest time.Duration
+	// Replicas is the copies-per-tag count the shard tier places
+	// (cmd/serve -replicas, identical on every shard). With R >= 2 the
+	// gateway fails reads over to a surviving replica instead of
+	// shedding, routes writes to every replica of the owning slice, and
+	// re-syncs a revived replica from its peers before reading from it.
+	// 0 and 1 both mean unreplicated.
+	Replicas int
 }
 
 // DefaultGatewayConfig returns the standard gateway configuration.
@@ -140,6 +148,36 @@ type shardState struct {
 	records atomic.Int64
 	fails   atomic.Int64 // consecutive failures
 	down    atomic.Bool
+	// syncing marks a revived replica that has not yet been rebuilt
+	// from its peers: it missed every write delivered while it was
+	// down, so it stays out of READ rotation (serving from it would
+	// time-travel the tags it holds) while writes flow to it again.
+	// The gateway's catch-up transfer clears it. Only ever set when
+	// the tier is replicated — at R=1 there is no peer to rebuild
+	// from, and revival keeps its historical semantics.
+	syncing atomic.Bool
+}
+
+// topology is the gateway's immutable view of the shard tier at one
+// instant: the targets, the ring partitioning them, and the per-shard
+// health state. Serving paths load it once per request through an
+// atomic pointer; a live reshard installs a fresh topology at cutover,
+// so a request never observes half a swap.
+type topology struct {
+	ring    *Ring
+	targets []string
+	shards  []*shardState
+}
+
+// excludedShards appends the indexes currently out of read rotation —
+// down or re-syncing — to dst and returns it.
+func (tp *topology) excludedShards(dst []int) []int {
+	for i, s := range tp.shards {
+		if s.down.Load() || s.syncing.Load() {
+			dst = append(dst, i)
+		}
+	}
+	return dst
 }
 
 // Gateway is the cluster edge: it owns request semantics (validation,
@@ -148,17 +186,40 @@ type shardState struct {
 // Sync before serving.
 type Gateway struct {
 	cfg     GatewayConfig
-	targets []string
-	ring    *Ring
 	client  *http.Client
 	metrics *server.Metrics
 	logger  *log.Logger
 	handler http.Handler
 	mw      *server.Middleware
-	shards  []*shardState
+	// topo is the current shard-tier view; see type topology.
+	topo atomic.Pointer[topology]
 	// traces is the gateway's own tail-sampled span ring; the
 	// /debug/traces family serves it and stitches shard-side views on.
 	traces *obs.TraceStore
+
+	// gate is the request barrier a reshard cutover closes: every
+	// client-facing data handler holds it shared for its full duration,
+	// and Reshard takes it exclusively across transfer+adopt+cutover so
+	// no in-flight request straddles two topologies. The coalescer's
+	// flush goroutine deliberately takes NO gate — a pending writer
+	// would deadlock against waiters already inside the gate — it just
+	// loads whichever topology is current.
+	gate sync.RWMutex
+	// writeGate additionally covers the write path only: replica
+	// catch-up holds it exclusively across its export+import pair so
+	// the fold-then-replace merge is an exact dedup, while reads keep
+	// flowing (the syncing replica is excluded from them anyway).
+	writeGate sync.RWMutex
+	// opMu serializes the topology operations themselves (reshard,
+	// catch-up).
+	opMu sync.Mutex
+
+	// failovers counts reads re-scattered to surviving replicas after a
+	// shard failed mid-fan-out (viewstags_replica_failover_total).
+	failovers atomic.Int64
+	// handoff is the last reshard's observable record; nil before the
+	// first one.
+	handoff atomic.Pointer[HandoffStatus]
 
 	// Global (unpartitioned) state learned from the shards at Sync:
 	// the country table and the traffic prior, identical on every
@@ -216,7 +277,10 @@ func NewGateway(cfg GatewayConfig, targets []string) (*Gateway, error) {
 		// bound.
 		cfg.MaxIdleConnsPerHost = cfg.MaxInFlight * 2
 	}
-	ring, err := NewRing(len(targets), 0)
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 1
+	}
+	ring, err := NewRingReplicas(len(targets), 0, cfg.Replicas)
 	if err != nil {
 		return nil, err
 	}
@@ -229,19 +293,22 @@ func NewGateway(cfg GatewayConfig, targets []string) (*Gateway, error) {
 	}
 	g := &Gateway{
 		cfg:     cfg,
-		targets: append([]string(nil), targets...),
-		ring:    ring,
 		metrics: server.NewMetrics(),
 		logger:  cfg.Logger,
-		shards:  make([]*shardState, len(targets)),
 		client: &http.Client{
 			Timeout:   cfg.ShardTimeout,
 			Transport: transport,
 		},
 	}
-	for i := range g.shards {
-		g.shards[i] = &shardState{}
+	tp := &topology{
+		ring:    ring,
+		targets: append([]string(nil), targets...),
+		shards:  make([]*shardState, len(targets)),
 	}
+	for i := range tp.shards {
+		tp.shards[i] = &shardState{}
+	}
+	g.topo.Store(tp)
 	g.mergedPool.New = func() any { return new(mergedPredict) }
 	g.partialsPool.New = func() any { return new(server.PredictPartials) }
 	if cfg.CoalesceWindow > 0 {
@@ -281,6 +348,8 @@ func (g *Gateway) handlerFor(path string) http.HandlerFunc {
 		return g.handleTags
 	case "/v1/stats":
 		return g.handleStats
+	case "/v1/reshard":
+		return g.handleReshard
 	case "/healthz":
 		return g.handleHealth
 	case "/readyz":
@@ -301,15 +370,24 @@ func (g *Gateway) handlerFor(path string) http.HandlerFunc {
 // merged with). Returns the first violation — a gateway must not serve
 // over a topology it cannot prove consistent.
 func (g *Gateway) Sync(ctx context.Context) error {
-	sig := g.ring.Signature()
-	for i, target := range g.targets {
+	tp := g.topo.Load()
+	sig := tp.ring.Signature()
+	for i, target := range tp.targets {
 		var meta server.InternalMetaResponse
 		if err := g.getJSON(ctx, target+"/internal/meta", &meta); err != nil {
 			return fmt.Errorf("cluster: shard %d (%s): %w", i, target, err)
 		}
-		if meta.Shards != len(g.targets) || meta.Index != i {
+		if meta.Shards != len(tp.targets) || meta.Index != i {
 			return fmt.Errorf("cluster: shard %d (%s) identifies as shard %d of %d, want %d of %d",
-				i, target, meta.Index, meta.Shards, i, len(g.targets))
+				i, target, meta.Index, meta.Shards, i, len(tp.targets))
+		}
+		metaReplicas := meta.Replicas
+		if metaReplicas == 0 {
+			metaReplicas = 1
+		}
+		if metaReplicas != tp.ring.Replicas() {
+			return fmt.Errorf("cluster: shard %d (%s) places %d replicas, gateway places %d",
+				i, target, metaReplicas, tp.ring.Replicas())
 		}
 		if meta.RingSignature != sig {
 			return fmt.Errorf("cluster: shard %d (%s) ring signature %q, gateway has %q — partitioned with a different ring",
@@ -330,14 +408,41 @@ func (g *Gateway) Sync(ctx context.Context) error {
 		} else if !slices.Equal(g.codes, meta.Countries) || !slices.Equal(g.prior, meta.Prior) {
 			return fmt.Errorf("cluster: shard %d (%s) disagrees with shard 0 on the country table or prior — different datasets?", i, target)
 		}
-		g.shards[i].epoch.Store(meta.Epoch)
-		g.shards[i].records.Store(int64(meta.Records))
+		tp.shards[i].epoch.Store(meta.Epoch)
+		tp.shards[i].records.Store(int64(meta.Records))
 	}
 	if len(g.codes) == 0 {
 		return fmt.Errorf("cluster: shards report an empty country table")
 	}
 	g.scratch = profilestore.NewVecPool(len(g.codes))
 	return nil
+}
+
+// SyncRetry runs Sync with jittered exponential backoff until it
+// succeeds, wait elapses, or ctx ends — the startup loop cmd/gateway
+// runs so a gateway can be launched before (or while) its shards come
+// up. The jitter matters at fleet scale: after a cluster-wide restart,
+// fixed-interval retries from every gateway land on the shards in
+// synchronized waves.
+func (g *Gateway) SyncRetry(ctx context.Context, wait time.Duration) error {
+	bo := newSyncBackoff()
+	deadline := time.Now().Add(wait)
+	for {
+		err := g.Sync(ctx)
+		if err == nil {
+			return nil
+		}
+		d := bo.Next()
+		if time.Now().Add(d).After(deadline) || ctx.Err() != nil {
+			return fmt.Errorf("shard sync: %w", err)
+		}
+		g.logger.Printf("cluster: sync not ready (%v), retrying in %s...", err, d.Round(time.Millisecond))
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(d):
+		}
+	}
 }
 
 // Handler returns the fully middleware-wrapped HTTP handler.
@@ -365,16 +470,22 @@ func (g *Gateway) Serve(ctx context.Context, ln net.Listener, grace time.Duratio
 	return server.ServeHandler(ctx, ln, g.handler, grace)
 }
 
-// healthLoop refreshes shard state every HealthInterval until ctx ends.
+// healthLoop refreshes shard state roughly every HealthInterval until
+// ctx ends. The interval is jittered ±20% so a fleet of gateways does
+// not probe the shard tier in lockstep; after each pass it opportunistically
+// runs replica catch-up if a revived replica is waiting on one.
 func (g *Gateway) healthLoop(ctx context.Context) {
-	tick := time.NewTicker(g.cfg.HealthInterval)
-	defer tick.Stop()
+	jitter := newTickJitter(g.cfg.HealthInterval)
+	timer := time.NewTimer(jitter.Next())
+	defer timer.Stop()
 	for {
 		select {
 		case <-ctx.Done():
 			return
-		case <-tick.C:
+		case <-timer.C:
 			g.RefreshHealth(ctx)
+			g.maybeCatchUp(ctx)
+			timer.Reset(jitter.Next())
 		}
 	}
 }
@@ -388,30 +499,31 @@ func (g *Gateway) healthLoop(ctx context.Context) {
 // journal. Exposed so tests (and operators embedding the gateway) can
 // force a poll instead of waiting out the interval.
 func (g *Gateway) RefreshHealth(ctx context.Context) {
+	tp := g.topo.Load()
 	var wg sync.WaitGroup
-	for i := range g.targets {
+	for i := range tp.targets {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			var meta server.InternalMetaResponse
-			if err := g.getJSON(ctx, g.targets[i]+"/internal/meta", &meta); err != nil {
-				g.markFail(i)
+			if err := g.getJSON(ctx, tp.targets[i]+"/internal/meta", &meta); err != nil {
+				g.markFail(tp, i)
 				return
 			}
 			if !meta.Ready {
-				g.markFail(i)
+				g.markFail(tp, i)
 				return
 			}
-			g.shards[i].records.Store(int64(meta.Records))
-			g.markOK(i, meta.Epoch)
+			tp.shards[i].records.Store(int64(meta.Records))
+			g.markOK(tp, i, meta.Epoch)
 		}(i)
 	}
 	wg.Wait()
 }
 
 // markOK records a successful shard interaction and its observed epoch.
-func (g *Gateway) markOK(i int, epoch uint64) {
-	s := g.shards[i]
+func (g *Gateway) markOK(tp *topology, i int, epoch uint64) {
+	s := tp.shards[i]
 	s.fails.Store(0)
 	if s.down.CompareAndSwap(true, false) {
 		// Revival is the one moment the tracked epoch may move BACKWARD:
@@ -422,7 +534,17 @@ func (g *Gateway) markOK(i int, epoch uint64) {
 		// clients their ingested events were folded everywhere when the
 		// recovered shard hasn't folded them yet.
 		s.epoch.Store(epoch)
-		g.logger.Printf("cluster: shard %d (%s) back up at epoch %d", i, g.targets[i], epoch)
+		if tp.ring.Replicas() > 1 {
+			// With replicas the revived shard additionally missed every
+			// write its peers took while it was down; hold it out of read
+			// rotation until catch-up has replayed its slice from a
+			// surviving replica. At R=1 there is no peer to replay from —
+			// the checkpoint it restored IS the best available state.
+			s.syncing.Store(true)
+			g.logger.Printf("cluster: shard %d (%s) back up at epoch %d, syncing from peers", i, tp.targets[i], epoch)
+			return
+		}
+		g.logger.Printf("cluster: shard %d (%s) back up at epoch %d", i, tp.targets[i], epoch)
 		return
 	}
 	// Steady state: epochs only move forward; a stale concurrent read
@@ -438,12 +560,12 @@ func (g *Gateway) markOK(i int, epoch uint64) {
 // markFail counts a failed shard interaction; FailThreshold consecutive
 // failures take the shard out of rotation until a call or probe
 // succeeds.
-func (g *Gateway) markFail(i int) {
-	s := g.shards[i]
+func (g *Gateway) markFail(tp *topology, i int) {
+	s := tp.shards[i]
 	if s.fails.Add(1) >= int64(g.cfg.FailThreshold) {
 		if s.down.CompareAndSwap(false, true) {
 			g.logger.Printf("cluster: shard %d (%s) marked down after %d consecutive failures",
-				i, g.targets[i], g.cfg.FailThreshold)
+				i, tp.targets[i], g.cfg.FailThreshold)
 		}
 	}
 }
@@ -451,9 +573,9 @@ func (g *Gateway) markFail(i int) {
 // minEpoch returns the lowest epoch any shard has reported — the
 // cluster's conservative fold horizon: an ingested batch is predictable
 // everywhere once minEpoch passes the epoch in its ack.
-func (g *Gateway) minEpoch() uint64 {
-	min := g.shards[0].epoch.Load()
-	for _, s := range g.shards[1:] {
+func (tp *topology) minEpoch() uint64 {
+	min := tp.shards[0].epoch.Load()
+	for _, s := range tp.shards[1:] {
 		if e := s.epoch.Load(); e < min {
 			min = e
 		}

@@ -43,8 +43,8 @@ type shardReply struct {
 // carries the same id the client saw (for a coalesced micro-batch it is
 // every member's id, comma-joined) — the wire frames themselves never
 // change.
-func (g *Gateway) postShard(ctx context.Context, shard int, path string, body []byte, contentType, trace string) shardReply {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, g.targets[shard]+path, bytes.NewReader(body))
+func (g *Gateway) postShard(ctx context.Context, tp *topology, shard int, path string, body []byte, contentType, trace string) shardReply {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, tp.targets[shard]+path, bytes.NewReader(body))
 	if err != nil {
 		return shardReply{shard: shard, err: err}
 	}
@@ -65,7 +65,7 @@ func (g *Gateway) postShard(ctx context.Context, shard int, path string, body []
 		// toward down-marking (a handful of impatient clients would
 		// otherwise shed the whole cluster).
 		if ctx.Err() == nil {
-			g.markFail(shard)
+			g.markFail(tp, shard)
 		}
 		return shardReply{shard: shard, err: err, start: start, dur: time.Since(start)}
 	}
@@ -73,7 +73,7 @@ func (g *Gateway) postShard(ctx context.Context, shard int, path string, body []
 	raw, err := io.ReadAll(resp.Body)
 	if err != nil {
 		if ctx.Err() == nil {
-			g.markFail(shard)
+			g.markFail(tp, shard)
 		}
 		return shardReply{shard: shard, err: err, start: start, dur: time.Since(start)}
 	}
@@ -91,7 +91,7 @@ func (g *Gateway) postShard(ctx context.Context, shard int, path string, body []
 // scatter posts one body per involved shard concurrently and gathers
 // the replies. bodies[i] == nil skips shard i. trace is propagated to
 // every involved shard.
-func (g *Gateway) scatter(ctx context.Context, path string, bodies [][]byte, contentType, trace string) []shardReply {
+func (g *Gateway) scatter(ctx context.Context, tp *topology, path string, bodies [][]byte, contentType, trace string) []shardReply {
 	replies := make([]shardReply, len(bodies))
 	var wg sync.WaitGroup
 	for i, body := range bodies {
@@ -102,7 +102,7 @@ func (g *Gateway) scatter(ctx context.Context, path string, bodies [][]byte, con
 		wg.Add(1)
 		go func(i int, body []byte) {
 			defer wg.Done()
-			replies[i] = g.postShard(ctx, i, path, body, contentType, trace)
+			replies[i] = g.postShard(ctx, tp, i, path, body, contentType, trace)
 		}(i, body)
 	}
 	wg.Wait()
@@ -113,10 +113,10 @@ func (g *Gateway) scatter(ctx context.Context, path string, bodies [][]byte, con
 // the health-based shedding path: a request that must touch a dead
 // shard is rejected immediately instead of stacking connect timeouts
 // onto every client. needed == nil means "all shards".
-func (g *Gateway) shedIfDown(w http.ResponseWriter, needed []bool) bool {
-	if i := g.downShard(needed); i >= 0 {
+func (g *Gateway) shedIfDown(w http.ResponseWriter, tp *topology, needed []bool) bool {
+	if i := tp.downShard(needed); i >= 0 {
 		server.SetRetryAfter(w, g.cfg.HealthInterval)
-		server.WriteError(w, http.StatusServiceUnavailable, "shard %d (%s) is down", i, g.targets[i])
+		server.WriteError(w, http.StatusServiceUnavailable, "shard %d (%s) is down", i, tp.targets[i])
 		return true
 	}
 	return false
@@ -142,6 +142,11 @@ func (g *Gateway) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if !server.RequirePost(w, r) {
 		return
 	}
+	// Request barrier: a reshard cutover takes this exclusively, so no
+	// predict straddles two topologies. Uncontended RLock in steady
+	// state.
+	g.gate.RLock()
+	defer g.gate.RUnlock()
 	var req server.PredictRequest
 	if !server.DecodeBody(w, r, &req) {
 		return
@@ -249,12 +254,12 @@ func (g *Gateway) handlePredict(w http.ResponseWriter, r *http.Request) {
 // surfacing, not hiding). Returns false when the reply ended the
 // request; on true, out holds the decoded body. Skipped shards
 // (status -1) are ignored.
-func (g *Gateway) gatherOK(w http.ResponseWriter, rep shardReply, out any) bool {
+func (g *Gateway) gatherOK(w http.ResponseWriter, tp *topology, rep shardReply, out any) bool {
 	switch {
 	case rep.status == -1:
 		return true
 	case rep.err != nil:
-		server.WriteError(w, http.StatusBadGateway, "shard %d (%s): %v", rep.shard, g.targets[rep.shard], rep.err)
+		server.WriteError(w, http.StatusBadGateway, "shard %d (%s): %v", rep.shard, tp.targets[rep.shard], rep.err)
 		return false
 	case rep.status == http.StatusServiceUnavailable:
 		if rep.retryAfter != "" {
@@ -269,7 +274,7 @@ func (g *Gateway) gatherOK(w http.ResponseWriter, rep shardReply, out any) bool 
 		return false
 	}
 	if err := json.Unmarshal(rep.body, out); err != nil {
-		g.markFail(rep.shard)
+		g.markFail(tp, rep.shard)
 		server.WriteError(w, http.StatusBadGateway, "shard %d: undecodable response: %v", rep.shard, err)
 		return false
 	}
@@ -291,6 +296,15 @@ func (g *Gateway) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if !server.RequirePost(w, r) {
 		return
 	}
+	// Both barriers: the reshard cutover holds gate exclusively, and
+	// replica catch-up holds writeGate exclusively across its
+	// export+import pair — a write landing mid-copy on the exporting
+	// side would be missed by the importer yet already folded by the
+	// exporter, breaking the exact-dedup merge.
+	g.gate.RLock()
+	defer g.gate.RUnlock()
+	g.writeGate.RLock()
+	defer g.writeGate.RUnlock()
 	var req server.IngestRequest
 	if !server.DecodeBody(w, r, &req) {
 		return
@@ -336,23 +350,56 @@ func (g *Gateway) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	// Partition: each event's tags split by ring owner; an upload is
-	// announced to every shard — as the Upload flag on the sub-event
-	// where the shard owns tags, as a bare video-id announcement where
-	// it owns none — because the training-corpus size is global and
-	// every shard must count every new upload.
-	perShard := make([]server.InternalIngestRequest, len(g.targets))
-	tagsByShard := make([][]string, len(g.targets))
+	// Partition: each event's tags split by ring owner — every live
+	// owner when the tier is replicated — and an upload is announced to
+	// every shard — as the Upload flag on the sub-event where the shard
+	// owns tags, as a bare video-id announcement where it owns none —
+	// because the training-corpus size is global and every shard must
+	// count every new upload.
+	//
+	// With replicas the write path is sloppy, not quorum: a down shard
+	// is simply skipped (it rebuilds from its peers at catch-up, which
+	// also re-converges the global upload count via the max-fold), and
+	// the request sheds only when some tag's entire replica set is
+	// down. A syncing replica still takes writes — it is only out of
+	// READ rotation.
+	tp := g.topo.Load()
+	replicas := tp.ring.Replicas()
+	perShard := make([]server.InternalIngestRequest, len(tp.targets))
+	tagsByShard := make([][]string, len(tp.targets))
+	var ownerBuf []int
 	for i := range req.Events {
 		e := &req.Events[i]
 		for s := range tagsByShard {
 			tagsByShard[s] = tagsByShard[s][:0]
 		}
-		for _, tag := range e.Tags {
-			s := g.ring.Owner(tag)
-			tagsByShard[s] = append(tagsByShard[s], tag)
+		if replicas <= 1 {
+			for _, tag := range e.Tags {
+				s := tp.ring.Owner(tag)
+				tagsByShard[s] = append(tagsByShard[s], tag)
+			}
+		} else {
+			for _, tag := range e.Tags {
+				ownerBuf = tp.ring.Owners(tag, ownerBuf[:0])
+				live := 0
+				for _, s := range ownerBuf {
+					if tp.shards[s].down.Load() {
+						continue
+					}
+					live++
+					tagsByShard[s] = append(tagsByShard[s], tag)
+				}
+				if live == 0 {
+					server.SetRetryAfter(w, g.cfg.HealthInterval)
+					server.WriteError(w, http.StatusServiceUnavailable, "event %d: every replica of tag %q's slice is down", i, tag)
+					return
+				}
+			}
 		}
 		for s := range perShard {
+			if replicas > 1 && tp.shards[s].down.Load() {
+				continue
+			}
 			if len(tagsByShard[s]) > 0 {
 				perShard[s].Events = append(perShard[s].Events, server.IngestEvent{
 					Video:   e.Video,
@@ -367,8 +414,8 @@ func (g *Gateway) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	needed := make([]bool, len(g.targets))
-	bodies := make([][]byte, len(g.targets))
+	needed := make([]bool, len(tp.targets))
+	bodies := make([][]byte, len(tp.targets))
 	for s := range perShard {
 		if len(perShard[s].Events) == 0 && len(perShard[s].Uploads) == 0 {
 			continue
@@ -381,27 +428,29 @@ func (g *Gateway) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 		bodies[s] = body
 	}
-	if g.shedIfDown(w, needed) {
+	if replicas <= 1 && g.shedIfDown(w, tp, needed) {
 		return
 	}
 
 	// Gather. The sub-batches commit independently on their shards, so
 	// a mixed outcome (one shard accepted, another shed) leaves a
 	// partial application behind — the gateway reports the failure and
-	// relies on per-epoch upload dedup plus client retry to converge;
-	// see OPERATIONS.md "Cluster topology" for the contract.
-	acks := make([]server.IngestResponse, len(g.targets))
+	// relies on per-epoch upload dedup plus client retry to converge
+	// (under replication the same wart surfaces as replica divergence,
+	// repaired by the next down→catch-up cycle); see OPERATIONS.md
+	// "Cluster topology" for the contract.
+	acks := make([]server.IngestResponse, len(tp.targets))
 	fanStart := time.Now()
-	replies := g.scatter(r.Context(), "/internal/ingest", bodies, "application/json", server.RequestID(r))
+	replies := g.scatter(r.Context(), tp, "/internal/ingest", bodies, "application/json", server.RequestID(r))
 	server.TraceFrom(r).Add("fanout", obs.NoShard, fanStart, time.Since(fanStart), "")
 	for _, rep := range replies {
 		if rep.status == -1 {
 			continue // shard not involved: no reply, no health signal
 		}
-		if !g.gatherOK(w, rep, &acks[rep.shard]) {
+		if !g.gatherOK(w, tp, rep, &acks[rep.shard]) {
 			return
 		}
-		g.markOK(rep.shard, acks[rep.shard].Epoch)
+		g.markOK(tp, rep.shard, acks[rep.shard].Epoch)
 	}
 	var pending int64
 	for s := range acks {
@@ -411,7 +460,7 @@ func (g *Gateway) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	server.WriteJSON(w, http.StatusOK, server.IngestResponse{
 		Accepted: len(req.Events),
-		Epoch:    g.minEpoch(),
+		Epoch:    tp.minEpoch(),
 		Pending:  pending,
 	})
 }
@@ -431,25 +480,49 @@ func (g *Gateway) handleTags(w http.ResponseWriter, r *http.Request) {
 		}
 		k = n
 	}
-	if g.shedIfDown(w, nil) {
+	g.gate.RLock()
+	defer g.gate.RUnlock()
+	tp := g.topo.Load()
+	replicas := tp.ring.Replicas()
+	var skip []bool
+	if replicas > 1 {
+		// Replicated: query only shards in read rotation, as long as
+		// every slice keeps a live replica — a replica pair holds the
+		// same tags, so the survivors still cover the full vocabulary.
+		excl := tp.excludedShards(nil)
+		if len(excl) > 0 {
+			if !tp.ring.Covered(excl) {
+				server.SetRetryAfter(w, g.cfg.HealthInterval)
+				server.WriteError(w, http.StatusServiceUnavailable, "%d of %d shards unavailable — slice coverage lost", len(excl), len(tp.targets))
+				return
+			}
+			skip = make([]bool, len(tp.targets))
+			for _, s := range excl {
+				skip[s] = true
+			}
+		}
+	} else if g.shedIfDown(w, tp, nil) {
 		return
 	}
 	// Tags are partitioned, so each shard's top-k is globally correct
 	// for the tags it owns and the global top-k is a k-way merge of the
-	// per-shard lists.
+	// per-shard lists (replicas contribute duplicates, dropped below).
 	type tagsReply struct {
 		Tags []server.TagInfo `json:"tags"`
 	}
-	merged := make([]server.TagInfo, 0, k*len(g.targets))
+	merged := make([]server.TagInfo, 0, k*len(tp.targets))
 	var mu sync.Mutex
 	var wg sync.WaitGroup
-	errc := make(chan error, len(g.targets))
-	for i := range g.targets {
+	errc := make(chan error, len(tp.targets))
+	for i := range tp.targets {
+		if skip != nil && skip[i] {
+			continue
+		}
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			var reply tagsReply
-			url := fmt.Sprintf("%s/v1/tags?k=%d", g.targets[i], k)
+			url := fmt.Sprintf("%s/v1/tags?k=%d", tp.targets[i], k)
 			if err := g.getJSON(r.Context(), url, &reply); err != nil {
 				// Only transport failures are health signals; a non-200
 				// (e.g. the shard's limiter shedding /v1/tags) proves
@@ -457,7 +530,7 @@ func (g *Gateway) handleTags(w http.ResponseWriter, r *http.Request) {
 				// nothing at all.
 				var se *statusError
 				if !errors.As(err, &se) && r.Context().Err() == nil {
-					g.markFail(i)
+					g.markFail(tp, i)
 				}
 				errc <- fmt.Errorf("shard %d: %w", i, err)
 				return
@@ -480,6 +553,25 @@ func (g *Gateway) handleTags(w http.ResponseWriter, r *http.Request) {
 		return
 	default:
 	}
+	if replicas > 1 {
+		// Every tag appears on R shards; keep one entry per name. The
+		// copies can momentarily disagree (a replica that missed a
+		// mid-flight write, or lagging folds), so keep the
+		// highest-views copy — the one that has seen the most.
+		byName := make(map[string]int, len(merged))
+		dedup := merged[:0]
+		for _, t := range merged {
+			if j, ok := byName[t.Name]; ok {
+				if t.TotalViews > dedup[j].TotalViews {
+					dedup[j] = t
+				}
+				continue
+			}
+			byName[t.Name] = len(dedup)
+			dedup = append(dedup, t)
+		}
+		merged = dedup
+	}
 	sort.Slice(merged, func(a, b int) bool {
 		if merged[a].TotalViews != merged[b].TotalViews {
 			return merged[a].TotalViews > merged[b].TotalViews
@@ -493,28 +585,34 @@ func (g *Gateway) handleTags(w http.ResponseWriter, r *http.Request) {
 }
 
 // ShardStatus is one shard's entry in the gateway's /v1/stats and
-// /healthz cluster blocks.
+// /healthz cluster blocks. Syncing marks a revived replica still
+// rebuilding from its peers: taking writes, out of read rotation.
 type ShardStatus struct {
 	Index   int    `json:"index"`
 	Target  string `json:"target"`
 	Epoch   uint64 `json:"epoch"`
 	Records int64  `json:"records"`
 	Healthy bool   `json:"healthy"`
+	Syncing bool   `json:"syncing,omitempty"`
 }
 
 // ClusterStats is the gateway's cluster-level view: per-shard status
 // plus the minimum epoch — the conservative fold horizon clients should
-// compare ingest acks against. CoalesceBatches/CoalesceRequests count
-// the micro-batching coalescer's shared fan-outs and the single
-// predicts they served (both zero when coalescing is disabled); their
-// ratio is the observed batching factor, the first thing to check when
-// tuning -coalesce-window.
+// compare ingest acks against. Replicas reports the placement factor
+// when the tier is replicated, and Handoff the last reshard's record
+// (phase "idle" once complete; its epoch counts completed handoffs).
+// CoalesceBatches/CoalesceRequests count the micro-batching coalescer's
+// shared fan-outs and the single predicts they served (both zero when
+// coalescing is disabled); their ratio is the observed batching factor,
+// the first thing to check when tuning -coalesce-window.
 type ClusterStats struct {
-	Shards           []ShardStatus `json:"shards"`
-	Epoch            uint64        `json:"epoch"`
-	Healthy          int           `json:"healthy"`
-	CoalesceBatches  int64         `json:"coalesce_batches,omitempty"`
-	CoalesceRequests int64         `json:"coalesce_requests,omitempty"`
+	Shards           []ShardStatus  `json:"shards"`
+	Epoch            uint64         `json:"epoch"`
+	Healthy          int            `json:"healthy"`
+	Replicas         int            `json:"replicas,omitempty"`
+	Handoff          *HandoffStatus `json:"handoff,omitempty"`
+	CoalesceBatches  int64          `json:"coalesce_batches,omitempty"`
+	CoalesceRequests int64          `json:"coalesce_requests,omitempty"`
 }
 
 // gatewayStats is the gateway /v1/stats wire shape.
@@ -524,24 +622,29 @@ type gatewayStats struct {
 }
 
 // clusterStats assembles the per-shard block.
-func (g *Gateway) clusterStats() ClusterStats {
+func (g *Gateway) clusterStats(tp *topology) ClusterStats {
 	cs := ClusterStats{
-		Shards:           make([]ShardStatus, len(g.targets)),
-		Epoch:            g.minEpoch(),
+		Shards:           make([]ShardStatus, len(tp.targets)),
+		Epoch:            tp.minEpoch(),
+		Handoff:          g.handoff.Load(),
 		CoalesceBatches:  g.coalesceBatches.Load(),
 		CoalesceRequests: g.coalesceRequests.Load(),
 	}
-	for i, s := range g.shards {
+	if r := tp.ring.Replicas(); r > 1 {
+		cs.Replicas = r
+	}
+	for i, s := range tp.shards {
 		healthy := !s.down.Load()
 		if healthy {
 			cs.Healthy++
 		}
 		cs.Shards[i] = ShardStatus{
 			Index:   i,
-			Target:  g.targets[i],
+			Target:  tp.targets[i],
 			Epoch:   s.epoch.Load(),
 			Records: s.records.Load(),
 			Healthy: healthy,
+			Syncing: s.syncing.Load(),
 		}
 	}
 	return cs
@@ -550,14 +653,15 @@ func (g *Gateway) clusterStats() ClusterStats {
 func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 	server.WriteJSON(w, http.StatusOK, gatewayStats{
 		Snapshot: g.metrics.Snapshot(),
-		Cluster:  g.clusterStats(),
+		Cluster:  g.clusterStats(g.topo.Load()),
 	})
 }
 
 func (g *Gateway) handleHealth(w http.ResponseWriter, r *http.Request) {
-	cs := g.clusterStats()
+	tp := g.topo.Load()
+	cs := g.clusterStats(tp)
 	status := "ok"
-	if cs.Healthy < len(g.targets) {
+	if cs.Healthy < len(tp.targets) {
 		// Degraded, not dead: reads and writes that avoid the down
 		// shard still serve, so the gateway stays 200 for its own
 		// liveness probe while naming the gap.
@@ -565,7 +669,7 @@ func (g *Gateway) handleHealth(w http.ResponseWriter, r *http.Request) {
 	}
 	server.WriteJSON(w, http.StatusOK, map[string]any{
 		"status":    status,
-		"shards":    len(g.targets),
+		"shards":    len(tp.targets),
 		"healthy":   cs.Healthy,
 		"epoch":     cs.Epoch,
 		"countries": len(g.codes),
@@ -573,18 +677,24 @@ func (g *Gateway) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleReady is the gateway's readiness probe: unlike /healthz (which
-// stays 200 while degraded, for liveness), it answers 503 whenever any
-// shard is down or still recovering — a predict must touch every
-// shard, so a gateway missing one cannot serve its full surface and
-// should be rotated out until the cluster heals.
+// stays 200 while degraded, for liveness), it answers 503 whenever the
+// tier cannot serve its full surface. The criterion is per-slice
+// COVERAGE, not per-shard health: unreplicated, those coincide (a
+// predict must touch every shard), but at R >= 2 a slice that lost one
+// replica is still fully served by the survivors, so the gateway stays
+// ready — rotating every gateway out because one replica died would
+// turn a non-event into an outage.
 func (g *Gateway) handleReady(w http.ResponseWriter, r *http.Request) {
-	cs := g.clusterStats()
+	tp := g.topo.Load()
+	cs := g.clusterStats(tp)
+	covered := tp.ring.Covered(tp.excludedShards(nil))
 	h := map[string]any{
-		"shards":  len(g.targets),
+		"shards":  len(tp.targets),
 		"healthy": cs.Healthy,
 		"epoch":   cs.Epoch,
+		"covered": covered,
 	}
-	if cs.Healthy < len(g.targets) {
+	if !covered {
 		h["status"] = "degraded"
 		server.WriteJSON(w, http.StatusServiceUnavailable, h)
 		return

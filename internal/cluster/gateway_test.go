@@ -534,7 +534,7 @@ func TestGatewayIngestSkipsDownShardWithoutReviving(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		g.RefreshHealth(context.Background())
 	}
-	if !g.shards[2].down.Load() {
+	if !g.topo.Load().shards[2].down.Load() {
 		t.Fatal("shard 2 not marked down")
 	}
 
@@ -542,7 +542,7 @@ func TestGatewayIngestSkipsDownShardWithoutReviving(t *testing.T) {
 	tag := ""
 	for i := 0; ; i++ {
 		candidate := fmt.Sprintf("zz-skip-%d", i)
-		if owner := g.ring.Owner(candidate); owner != 2 {
+		if owner := g.topo.Load().ring.Owner(candidate); owner != 2 {
 			tag = candidate
 			break
 		}
@@ -552,7 +552,7 @@ func TestGatewayIngestSkipsDownShardWithoutReviving(t *testing.T) {
 	}}, nil); code != http.StatusOK {
 		t.Fatalf("ingest avoiding the down shard: %d, want 200", code)
 	}
-	if !g.shards[2].down.Load() {
+	if !g.topo.Load().shards[2].down.Load() {
 		t.Fatal("gathering uninvolved-shard replies revived the down shard")
 	}
 	// And a batch that DOES need shard 2 still sheds.

@@ -21,11 +21,12 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		server.WriteError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
+	tp := g.topo.Load()
 	tw := obs.NewTextWriter()
 	g.metrics.WriteProm(tw)
-	g.writeClusterProm(tw)
+	g.writeClusterProm(tw, tp)
 	obs.WriteGoRuntime(tw)
-	obs.WriteBuildInfo(tw, obs.Label{Name: "ring_signature", Value: g.ring.Signature()})
+	obs.WriteBuildInfo(tw, obs.Label{Name: "ring_signature", Value: tp.ring.Signature()})
 	w.Header().Set("Content-Type", obs.TextContentType)
 	_, _ = w.Write(tw.Bytes())
 }
@@ -34,31 +35,51 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // measured against the highest epoch any shard reports: the natural
 // alert signal for one shard falling behind on folds (the absolute
 // epoch alone cannot say who is stale).
-func (g *Gateway) writeClusterProm(tw *obs.TextWriter) {
+func (g *Gateway) writeClusterProm(tw *obs.TextWriter, tp *topology) {
 	var maxEpoch uint64
-	for _, s := range g.shards {
+	for _, s := range tp.shards {
 		if e := s.epoch.Load(); e > maxEpoch {
 			maxEpoch = e
 		}
 	}
 	tw.Gauge("viewstags_shard_up", "1 when the shard is in rotation, 0 when marked down.")
+	tw.Gauge("viewstags_shard_syncing", "1 while a revived replica rebuilds from its peers (writes yes, reads no).")
 	tw.Gauge("viewstags_shard_epoch", "Last fold epoch the shard reported.")
 	tw.Gauge("viewstags_shard_epoch_lag", "Folds the shard trails the most advanced shard by.")
 	tw.Gauge("viewstags_shard_records", "Training records the shard reported at its last poll.")
-	for i, s := range g.shards {
+	for i, s := range tp.shards {
 		labels := []obs.Label{{Name: "shard", Value: strconv.Itoa(i)}}
 		up := 1.0
 		if s.down.Load() {
 			up = 0
 		}
+		syncing := 0.0
+		if s.syncing.Load() {
+			syncing = 1
+		}
 		epoch := s.epoch.Load()
 		tw.Sample("viewstags_shard_up", labels, up)
+		tw.Sample("viewstags_shard_syncing", labels, syncing)
 		tw.Sample("viewstags_shard_epoch", labels, float64(epoch))
 		tw.Sample("viewstags_shard_epoch_lag", labels, float64(maxEpoch-epoch))
 		tw.Sample("viewstags_shard_records", labels, float64(s.records.Load()))
 	}
 	tw.Gauge("viewstags_cluster_min_epoch", "Lowest epoch any shard reports — the conservative fold horizon.")
-	tw.Sample("viewstags_cluster_min_epoch", nil, float64(g.minEpoch()))
+	tw.Sample("viewstags_cluster_min_epoch", nil, float64(tp.minEpoch()))
+	tw.Gauge("viewstags_cluster_replicas", "Copies of each tag's slice the ring places.")
+	tw.Sample("viewstags_cluster_replicas", nil, float64(tp.ring.Replicas()))
+	tw.Counter("viewstags_replica_failover_total", "Reads re-scattered to surviving replicas after a shard failed mid-fan-out.")
+	tw.Sample("viewstags_replica_failover_total", nil, float64(g.failovers.Load()))
+	if h := g.handoff.Load(); h != nil {
+		tw.Gauge("viewstags_handoff_epoch", "Completed reshard handoffs since gateway start.")
+		tw.Sample("viewstags_handoff_epoch", nil, float64(h.Epoch))
+		tw.Gauge("viewstags_handoff_active", "1 while a reshard handoff is in flight.")
+		active := 1.0
+		if h.Phase == HandoffIdle {
+			active = 0
+		}
+		tw.Sample("viewstags_handoff_active", nil, active)
+	}
 	tw.Counter("viewstags_coalesce_batches_total", "Shared fan-outs the micro-batching coalescer ran.")
 	tw.Sample("viewstags_coalesce_batches_total", nil, float64(g.coalesceBatches.Load()))
 	tw.Counter("viewstags_coalesce_requests_total", "Predict requests served through coalesced fan-outs.")

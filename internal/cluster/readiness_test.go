@@ -25,6 +25,12 @@ type fakeShard struct {
 }
 
 func newFakeShard(t *testing.T, sig string) *fakeShard {
+	return newFakeShardAt(t, sig, 0, 1, 0)
+}
+
+// newFakeShardAt scripts one member of a (possibly replicated) tier:
+// it identifies as shard index of shards placing replicas copies.
+func newFakeShardAt(t *testing.T, sig string, index, shards, replicas int) *fakeShard {
 	t.Helper()
 	f := &fakeShard{sig: sig}
 	f.ready.Store(true)
@@ -43,8 +49,9 @@ func newFakeShard(t *testing.T, sig string) *fakeShard {
 			return
 		}
 		_ = json.NewEncoder(w).Encode(server.InternalMetaResponse{
-			Index:         0,
-			Shards:        1,
+			Index:         index,
+			Shards:        shards,
+			Replicas:      replicas,
 			RingSignature: f.sig,
 			Countries:     []string{"US", "JP"},
 			Prior:         []float64{0.6, 0.4},
@@ -88,7 +95,7 @@ func TestGatewayRejoinAtRecoveredEpoch(t *testing.T) {
 	if err := g.Sync(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	if e := g.minEpoch(); e != 10 {
+	if e := g.topo.Load().minEpoch(); e != 10 {
 		t.Fatalf("epoch after sync = %d, want 10", e)
 	}
 
@@ -96,7 +103,7 @@ func TestGatewayRejoinAtRecoveredEpoch(t *testing.T) {
 	shard.fail.Store(true)
 	g.RefreshHealth(context.Background())
 	g.RefreshHealth(context.Background())
-	if cs := g.clusterStats(); cs.Healthy != 0 {
+	if cs := g.clusterStats(g.topo.Load()); cs.Healthy != 0 {
 		t.Fatalf("shard still healthy after %d failed probes", 2)
 	}
 
@@ -104,18 +111,18 @@ func TestGatewayRejoinAtRecoveredEpoch(t *testing.T) {
 	shard.fail.Store(false)
 	shard.epoch.Store(3)
 	g.RefreshHealth(context.Background())
-	cs := g.clusterStats()
+	cs := g.clusterStats(g.topo.Load())
 	if cs.Healthy != 1 {
 		t.Fatal("shard did not revive on a successful probe")
 	}
-	if e := g.minEpoch(); e != 3 {
+	if e := g.topo.Load().minEpoch(); e != 3 {
 		t.Fatalf("epoch after rejoin = %d, want the recovered 3, not the stale 10", e)
 	}
 
 	// Steady state still refuses regressions (stale concurrent reads).
-	g.markOK(0, 7)
-	g.markOK(0, 5)
-	if e := g.minEpoch(); e != 7 {
+	g.markOK(g.topo.Load(), 0, 7)
+	g.markOK(g.topo.Load(), 0, 5)
+	if e := g.topo.Load().minEpoch(); e != 7 {
 		t.Fatalf("steady-state epoch regressed to %d, want 7", e)
 	}
 }
@@ -152,7 +159,7 @@ func TestGatewayTreatsUnreadyShardAsDown(t *testing.T) {
 	shard.ready.Store(false)
 	g.RefreshHealth(context.Background())
 	g.RefreshHealth(context.Background())
-	if cs := g.clusterStats(); cs.Healthy != 0 {
+	if cs := g.clusterStats(g.topo.Load()); cs.Healthy != 0 {
 		t.Fatal("unready shard still counted healthy after threshold probes")
 	}
 	if code := readyCode(); code != http.StatusServiceUnavailable {
@@ -166,6 +173,123 @@ func TestGatewayTreatsUnreadyShardAsDown(t *testing.T) {
 	g.RefreshHealth(context.Background())
 	if code := readyCode(); code != http.StatusOK {
 		t.Fatalf("/readyz after shard recovery: %d, want 200", code)
+	}
+}
+
+// TestGatewayReplicatedReadiness pins the per-slice readiness
+// criterion: at R=2, losing ONE replica of a covered slice must keep
+// /readyz at 200 (the survivors serve every slice), losing a whole
+// replica pair flips it to 503, and a revived-but-still-syncing
+// replica counts as out of rotation but does not break readiness as
+// long as the slice stays covered.
+func TestGatewayReplicatedReadiness(t *testing.T) {
+	const n, r = 3, 2
+	ring, err := NewRingReplicas(n, 0, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := make([]*fakeShard, n)
+	targets := make([]string, n)
+	for i := range shards {
+		shards[i] = newFakeShardAt(t, ring.Signature(), i, n, r)
+		targets[i] = shards[i].ts.URL
+	}
+	cfg := DefaultGatewayConfig()
+	cfg.FailThreshold = 2
+	cfg.Replicas = r
+	cfg.Logger = log.New(io.Discard, "", 0)
+	g, err := NewGateway(cfg, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Sync(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	readyCode := func() int {
+		rec := httptest.NewRecorder()
+		g.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+		return rec.Code
+	}
+	if code := readyCode(); code != http.StatusOK {
+		t.Fatalf("/readyz with all shards up: %d, want 200", code)
+	}
+	if cs := g.clusterStats(g.topo.Load()); cs.Replicas != r {
+		t.Fatalf("cluster stats report replicas %d, want %d", cs.Replicas, r)
+	}
+
+	// One replica down: every slice still has a live copy, so the
+	// gateway must stay ready — this is the whole point of R=2.
+	shards[2].fail.Store(true)
+	g.RefreshHealth(context.Background())
+	g.RefreshHealth(context.Background())
+	cs := g.clusterStats(g.topo.Load())
+	if cs.Healthy != n-1 {
+		t.Fatalf("healthy = %d after killing one shard, want %d", cs.Healthy, n-1)
+	}
+	if code := readyCode(); code != http.StatusOK {
+		t.Fatalf("/readyz with one of %d replicas down: %d, want 200 (slices still covered)", r, code)
+	}
+
+	// Second shard down: the slice whose replica pair is {1, 2} has no
+	// live copy left — coverage is lost and readiness must say so.
+	shards[1].fail.Store(true)
+	g.RefreshHealth(context.Background())
+	g.RefreshHealth(context.Background())
+	if code := readyCode(); code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz with a whole replica pair down: %d, want 503", code)
+	}
+
+	// Revival at R>1 enters read rotation only after catch-up: both
+	// shards come back syncing, so coverage is still lost.
+	shards[1].fail.Store(false)
+	shards[2].fail.Store(false)
+	g.RefreshHealth(context.Background())
+	tp := g.topo.Load()
+	if !tp.shards[1].syncing.Load() || !tp.shards[2].syncing.Load() {
+		t.Fatal("revived replicas must be marked syncing at R>1")
+	}
+	if code := readyCode(); code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz with revived-but-syncing replica pair: %d, want 503", code)
+	}
+	stats := g.clusterStats(tp)
+	if !stats.Shards[1].Syncing || !stats.Shards[2].Syncing {
+		t.Fatal("cluster stats must surface the syncing flag")
+	}
+
+	// Catch-up done (simulated): back in rotation, ready again.
+	tp.shards[1].syncing.Store(false)
+	tp.shards[2].syncing.Store(false)
+	if code := readyCode(); code != http.StatusOK {
+		t.Fatalf("/readyz after catch-up: %d, want 200", code)
+	}
+}
+
+// TestSyncRefusesReplicaMismatch pins the replica-factor handshake: a
+// gateway placing R=2 must refuse a shard that places a different
+// factor even when everything else matches — a silent mismatch would
+// double-count or drop slices.
+func TestSyncRefusesReplicaMismatch(t *testing.T) {
+	ring, err := NewRingReplicas(2, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := make([]*fakeShard, 2)
+	targets := make([]string, 2)
+	for i := range shards {
+		// Shards report replicas=1 against a gateway placing 2.
+		shards[i] = newFakeShardAt(t, ring.Signature(), i, 2, 1)
+		targets[i] = shards[i].ts.URL
+	}
+	cfg := DefaultGatewayConfig()
+	cfg.Replicas = 2
+	cfg.Logger = log.New(io.Discard, "", 0)
+	g, err := NewGateway(cfg, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Sync(context.Background()); err == nil {
+		t.Fatal("Sync accepted a replica-factor mismatch")
 	}
 }
 

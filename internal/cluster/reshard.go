@@ -1,0 +1,401 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"slices"
+	"strings"
+	"time"
+
+	"viewstags/internal/obs"
+	"viewstags/internal/server"
+)
+
+// This file is the gateway side of live topology change: replica
+// catch-up (rebuild a revived replica from its peers without stopping
+// reads) and resharding (move the whole tier onto a new shard set
+// without dropping a request). Both ride the shard /internal/transfer
+// routes: export streams a slice as a persist-codec snapshot, import
+// merges it, adopt cuts a node over to its new identity. opMu
+// serializes the two operations; the request barriers (gate for
+// reshard, writeGate for catch-up) keep in-flight traffic consistent
+// with whichever topology it started under.
+
+// Handoff phases, in order. A reshard walks transfer → cutover → idle;
+// catch-up never appears here (it is per-shard, see ShardStatus.Syncing).
+const (
+	HandoffTransfer = "transfer"
+	HandoffCutover  = "cutover"
+	HandoffIdle     = "idle"
+)
+
+// HandoffStatus is the observable record of reshard handoffs: the
+// current phase and the monotonically increasing handoff epoch (counts
+// reshards started since gateway boot; an in-flight one carries the
+// epoch it will complete as). Surfaces in /v1/stats under
+// cluster.handoff and in /metrics as viewstags_handoff_epoch/_active.
+type HandoffStatus struct {
+	Epoch uint64 `json:"epoch"`
+	Phase string `json:"phase"`
+	// From and To are the shard counts on each side of the move.
+	From int `json:"from_shards"`
+	To   int `json:"to_shards"`
+}
+
+// setHandoff publishes a new handoff phase.
+func (g *Gateway) setHandoff(epoch uint64, phase string, from, to int) {
+	g.handoff.Store(&HandoffStatus{Epoch: epoch, Phase: phase, From: from, To: to})
+}
+
+// postBody POSTs a body to an absolute URL (which need not be a current
+// shard target — reshard talks to the incoming shard set before it is
+// adopted) and returns the response. The caller owns resp.Body.
+func (g *Gateway) postBody(ctx context.Context, url, contentType string, body io.Reader) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, body)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", contentType)
+	return g.client.Do(req)
+}
+
+// postTransferJSON POSTs a JSON value and decodes a JSON reply,
+// mapping any non-200 onto an error carrying the shard's message.
+func (g *Gateway) postTransferJSON(ctx context.Context, url string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	resp, err := g.postBody(ctx, url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST %s: status %d: %s", url, resp.StatusCode, errText(raw))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(raw, out)
+}
+
+// transfer streams one export from src into dst's import: the export
+// response body (a persist-codec snapshot frame) is piped straight into
+// the import request, so the slice never materializes on the gateway.
+func (g *Gateway) transfer(ctx context.Context, src, dst string, req server.TransferExportRequest) (server.TransferImportResponse, error) {
+	var imported server.TransferImportResponse
+	body, err := json.Marshal(&req)
+	if err != nil {
+		return imported, err
+	}
+	exp, err := g.postBody(ctx, src+"/internal/transfer/export", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return imported, fmt.Errorf("export from %s: %w", src, err)
+	}
+	defer func() { _ = exp.Body.Close() }()
+	if exp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(exp.Body)
+		return imported, fmt.Errorf("export from %s: status %d: %s", src, exp.StatusCode, errText(raw))
+	}
+	imp, err := g.postBody(ctx, dst+"/internal/transfer/import", server.TransferContentType, exp.Body)
+	if err != nil {
+		return imported, fmt.Errorf("import into %s: %w", dst, err)
+	}
+	defer func() { _ = imp.Body.Close() }()
+	raw, err := io.ReadAll(imp.Body)
+	if err != nil {
+		return imported, fmt.Errorf("import into %s: %w", dst, err)
+	}
+	if imp.StatusCode != http.StatusOK {
+		return imported, fmt.Errorf("import into %s: status %d: %s", dst, imp.StatusCode, errText(raw))
+	}
+	if err := json.Unmarshal(raw, &imported); err != nil {
+		return imported, fmt.Errorf("import into %s: undecodable ack: %w", dst, err)
+	}
+	return imported, nil
+}
+
+// maybeCatchUp runs replica catch-up opportunistically from the health
+// loop: only if a revived replica is waiting and no other topology
+// operation is in flight (TryLock — the health loop must never block
+// behind a reshard).
+func (g *Gateway) maybeCatchUp(ctx context.Context) {
+	tp := g.topo.Load()
+	waiting := false
+	for _, s := range tp.shards {
+		if s.syncing.Load() && !s.down.Load() {
+			waiting = true
+			break
+		}
+	}
+	if !waiting {
+		return
+	}
+	if !g.opMu.TryLock() {
+		return
+	}
+	defer g.opMu.Unlock()
+	if err := g.catchUpLocked(ctx); err != nil {
+		g.logger.Printf("cluster: replica catch-up: %v (will retry)", err)
+	}
+}
+
+// CatchUp rebuilds every revived-but-syncing replica from its live
+// peers and returns it to read rotation. The health loop runs this
+// automatically; it is exported so tests and operators can force the
+// repair instead of waiting out the poll interval. No-op when nothing
+// is syncing.
+func (g *Gateway) CatchUp(ctx context.Context) error {
+	g.opMu.Lock()
+	defer g.opMu.Unlock()
+	return g.catchUpLocked(ctx)
+}
+
+func (g *Gateway) catchUpLocked(ctx context.Context) error {
+	tp := g.topo.Load()
+	for d := range tp.shards {
+		sd := tp.shards[d]
+		if !sd.syncing.Load() || sd.down.Load() {
+			continue
+		}
+		if err := g.catchUpShard(ctx, tp, d); err != nil {
+			return fmt.Errorf("shard %d (%s): %w", d, tp.targets[d], err)
+		}
+		sd.syncing.Store(false)
+		g.logger.Printf("cluster: shard %d (%s) caught up, back in read rotation", d, tp.targets[d])
+	}
+	return nil
+}
+
+// catchUpShard streams shard d's slice to it from the live replicas.
+// The exclusion list (d plus everything else out of rotation) makes the
+// source-side assignment filter partition d's slice across the sources:
+// each tag arrives exactly once. Writes are held across the whole
+// export+import sequence so the destination's fold-then-merge is an
+// exact dedup of anything it buffered while the copies were cut.
+func (g *Gateway) catchUpShard(ctx context.Context, tp *topology, d int) error {
+	exclude := tp.excludedShards(nil)
+	if !slices.Contains(exclude, d) {
+		exclude = append(exclude, d)
+	}
+	if !tp.ring.Covered(exclude) {
+		return fmt.Errorf("slice coverage lost (%d of %d shards out of rotation) — cannot rebuild, deferring", len(exclude), len(tp.targets))
+	}
+	g.writeGate.Lock()
+	defer g.writeGate.Unlock()
+	req := server.TransferExportRequest{
+		DestShards:   len(tp.targets),
+		DestReplicas: tp.ring.Replicas(),
+		DestIndex:    d,
+		Exclude:      exclude,
+	}
+	for s := range tp.targets {
+		if slices.Contains(exclude, s) {
+			continue
+		}
+		ack, err := g.transfer(ctx, tp.targets[s], tp.targets[d], req)
+		if err != nil {
+			return err
+		}
+		g.logger.Printf("cluster: catch-up shard %d ← shard %d: %d tags, %d records", d, s, ack.Tags, ack.Records)
+	}
+	return nil
+}
+
+// Reshard moves the cluster onto newTargets live: every destination
+// receives its slice from the current tier, adopts its new identity,
+// and the gateway cuts its topology over — all under the request
+// barrier, so no client request ever straddles the move. Targets
+// already in the cluster keep their node (and its health state); their
+// adopt step prunes the slice they no longer own. The replica factor is
+// preserved, so len(newTargets) must still be >= Replicas. tr, when
+// non-nil, receives per-step spans (transfer per destination, adopt,
+// cutover) for the stitched trace view.
+//
+// Preconditions: every current shard up and in read rotation (a
+// reshard is a planned operation; run it on a healthy tier), and every
+// incoming target ready with the same dataset (country table and
+// prior).
+func (g *Gateway) Reshard(ctx context.Context, newTargets []string, tr *obs.Trace) error {
+	for i, t := range newTargets {
+		newTargets[i] = strings.TrimSuffix(strings.TrimSpace(t), "/")
+	}
+	g.opMu.Lock()
+	defer g.opMu.Unlock()
+	tp := g.topo.Load()
+	replicas := tp.ring.Replicas()
+	if len(newTargets) == 0 {
+		return fmt.Errorf("cluster: reshard needs at least one target")
+	}
+	if len(newTargets) < replicas {
+		return fmt.Errorf("cluster: %d targets cannot hold %d replicas", len(newTargets), replicas)
+	}
+	for i, s := range tp.shards {
+		if s.down.Load() {
+			return fmt.Errorf("cluster: shard %d (%s) is down — heal the tier before resharding", i, tp.targets[i])
+		}
+		if s.syncing.Load() {
+			return fmt.Errorf("cluster: shard %d (%s) is still syncing — wait for catch-up before resharding", i, tp.targets[i])
+		}
+	}
+	newRing, err := NewRingReplicas(len(newTargets), 0, replicas)
+	if err != nil {
+		return err
+	}
+
+	// Pre-flight every incoming target before touching anything: ready,
+	// same dataset. (Targets carried over from the current tier pass by
+	// construction — they were synced against the same globals.)
+	for j, t := range newTargets {
+		var meta server.InternalMetaResponse
+		if err := g.getJSON(ctx, t+"/internal/meta", &meta); err != nil {
+			return fmt.Errorf("cluster: new shard %d (%s): %w", j, t, err)
+		}
+		if !meta.Ready {
+			return fmt.Errorf("cluster: new shard %d (%s) is not ready", j, t)
+		}
+		if !slices.Equal(g.codes, meta.Countries) || !slices.Equal(g.prior, meta.Prior) {
+			return fmt.Errorf("cluster: new shard %d (%s) disagrees on the country table or prior — different dataset?", j, t)
+		}
+	}
+
+	epoch := uint64(1)
+	if h := g.handoff.Load(); h != nil {
+		epoch = h.Epoch + 1
+	}
+
+	// Close the request barrier: transfers, adopts and the cutover are
+	// invisible to clients — requests queue at the gate and resume on
+	// the new topology.
+	g.gate.Lock()
+	defer g.gate.Unlock()
+	g.setHandoff(epoch, HandoffTransfer, len(tp.targets), len(newTargets))
+	reshardStart := time.Now()
+	g.logger.Printf("cluster: reshard %d → %d shards (replicas=%d) starting, handoff epoch %d",
+		len(tp.targets), len(newTargets), replicas, epoch)
+
+	// Transfer: each destination imports its new slice from every
+	// current shard. Exclude is empty, so on a replicated tier the
+	// source-side assignment filter elects each tag's primary owner as
+	// its sole exporter — exactly one copy per (tag, destination) pair.
+	// A destination that IS a current shard skips the transfer from
+	// itself: it already holds that data, and adopt prunes the rest.
+	for j, dst := range newTargets {
+		tStart := time.Now()
+		for s := range tp.targets {
+			if tp.targets[s] == dst {
+				continue
+			}
+			ack, err := g.transfer(ctx, tp.targets[s], dst, server.TransferExportRequest{
+				DestShards:   len(newTargets),
+				DestReplicas: replicas,
+				DestIndex:    j,
+			})
+			if err != nil {
+				g.setHandoff(epoch, HandoffIdle, len(tp.targets), len(newTargets))
+				return fmt.Errorf("cluster: reshard transfer shard %d → new shard %d: %w", s, j, err)
+			}
+			g.logger.Printf("cluster: reshard transfer shard %d → new shard %d: %d tags, %d records", s, j, ack.Tags, ack.Records)
+		}
+		tr.Add("transfer", j, tStart, time.Since(tStart), "")
+	}
+
+	// Adopt: cut every destination over to its new identity and verify
+	// it lands on exactly the ring the gateway will route by.
+	wantSig := newRing.Signature()
+	for j, dst := range newTargets {
+		aStart := time.Now()
+		var ack server.TransferAdoptResponse
+		err := g.postTransferJSON(ctx, dst+"/internal/transfer/adopt", server.TransferAdoptRequest{
+			Index:    j,
+			Shards:   len(newTargets),
+			Replicas: replicas,
+		}, &ack)
+		if err != nil {
+			g.setHandoff(epoch, HandoffIdle, len(tp.targets), len(newTargets))
+			return fmt.Errorf("cluster: reshard adopt new shard %d (%s): %w", j, dst, err)
+		}
+		if ack.Signature != wantSig {
+			g.setHandoff(epoch, HandoffIdle, len(tp.targets), len(newTargets))
+			return fmt.Errorf("cluster: new shard %d (%s) adopted ring %q, gateway computes %q", j, dst, ack.Signature, wantSig)
+		}
+		tr.Add("adopt", j, aStart, time.Since(aStart), "")
+	}
+
+	// Cutover: install the new topology. Nodes carried over keep their
+	// shardState (health history, epoch); genuinely new nodes start
+	// fresh and get their state from the post-cutover health refresh.
+	cStart := time.Now()
+	g.setHandoff(epoch, HandoffCutover, len(tp.targets), len(newTargets))
+	ntp := &topology{
+		ring:    newRing,
+		targets: append([]string(nil), newTargets...),
+		shards:  make([]*shardState, len(newTargets)),
+	}
+	for j, dst := range newTargets {
+		if s := slices.Index(tp.targets, dst); s >= 0 {
+			ntp.shards[j] = tp.shards[s]
+		} else {
+			ntp.shards[j] = &shardState{}
+		}
+	}
+	g.topo.Store(ntp)
+	g.setHandoff(epoch, HandoffIdle, len(tp.targets), len(newTargets))
+	tr.Add("cutover", obs.NoShard, cStart, time.Since(cStart), "")
+	g.logger.Printf("cluster: reshard complete in %s: %d shards, ring %s",
+		time.Since(reshardStart).Round(time.Millisecond), len(newTargets), wantSig)
+	g.RefreshHealth(ctx)
+	return nil
+}
+
+// ReshardRequest is the POST /v1/reshard body: the full replacement
+// target list, in new shard order.
+type ReshardRequest struct {
+	Targets []string `json:"targets"`
+}
+
+// ReshardResponse acknowledges a completed reshard.
+type ReshardResponse struct {
+	Shards       int    `json:"shards"`
+	Replicas     int    `json:"replicas,omitempty"`
+	Signature    string `json:"signature"`
+	HandoffEpoch uint64 `json:"handoff_epoch"`
+}
+
+// handleReshard is POST /v1/reshard — the operator entry point for a
+// live topology change. It deliberately takes NO request gate: Reshard
+// itself closes the barrier the data handlers hold.
+func (g *Gateway) handleReshard(w http.ResponseWriter, r *http.Request) {
+	if !server.RequirePost(w, r) {
+		return
+	}
+	var req ReshardRequest
+	if !server.DecodeBody(w, r, &req) {
+		return
+	}
+	if err := g.Reshard(r.Context(), req.Targets, server.TraceFrom(r)); err != nil {
+		server.WriteError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	tp := g.topo.Load()
+	resp := ReshardResponse{
+		Shards:    len(tp.targets),
+		Signature: tp.ring.Signature(),
+	}
+	if rep := tp.ring.Replicas(); rep > 1 {
+		resp.Replicas = rep
+	}
+	if h := g.handoff.Load(); h != nil {
+		resp.HandoffEpoch = h.Epoch
+	}
+	server.WriteJSON(w, http.StatusOK, resp)
+}

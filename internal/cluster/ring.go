@@ -35,8 +35,9 @@ const DefaultVnodes = 128
 // tag's owner without coordination. Immutable after construction and
 // safe for concurrent use.
 type Ring struct {
-	shards int
-	points []point // sorted by hash
+	shards   int
+	replicas int
+	points   []point // sorted by hash
 }
 
 // point is one virtual node: a position on the hash circle owned by a
@@ -47,15 +48,28 @@ type point struct {
 }
 
 // NewRing builds the ring for n shards with the given virtual-node
-// count per shard (<= 0 selects DefaultVnodes).
+// count per shard (<= 0 selects DefaultVnodes). The ring is unreplicated
+// (R = 1): every tag lives on exactly one shard.
 func NewRing(shards, vnodes int) (*Ring, error) {
+	return NewRingReplicas(shards, vnodes, 1)
+}
+
+// NewRingReplicas builds the ring for n shards with R-way replica
+// placement: every tag is owned by the R distinct shards whose virtual
+// nodes follow its hash clockwise. replicas must be in [1, shards] —
+// more copies than shards would force two copies onto one node, which
+// buys nothing.
+func NewRingReplicas(shards, vnodes, replicas int) (*Ring, error) {
 	if shards < 1 {
 		return nil, fmt.Errorf("cluster: ring needs at least one shard, got %d", shards)
+	}
+	if replicas < 1 || replicas > shards {
+		return nil, fmt.Errorf("cluster: replicas must be in [1, %d shards], got %d", shards, replicas)
 	}
 	if vnodes <= 0 {
 		vnodes = DefaultVnodes
 	}
-	r := &Ring{shards: shards, points: make([]point, 0, shards*vnodes)}
+	r := &Ring{shards: shards, replicas: replicas, points: make([]point, 0, shards*vnodes)}
 	for s := 0; s < shards; s++ {
 		for v := 0; v < vnodes; v++ {
 			r.points = append(r.points, point{
@@ -89,8 +103,12 @@ func hash64(s string) uint64 {
 // Shards returns the shard count the ring partitions over.
 func (r *Ring) Shards() int { return r.shards }
 
+// Replicas returns the copies-per-tag count the ring places.
+func (r *Ring) Replicas() int { return r.replicas }
+
 // Owner returns the shard index in [0, Shards()) that owns the tag:
-// the first virtual node at or clockwise of the tag's hash.
+// the first virtual node at or clockwise of the tag's hash. Under
+// replication this is the preferred (first) replica.
 func (r *Ring) Owner(tag string) int {
 	h := hash64(tag)
 	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
@@ -98,6 +116,125 @@ func (r *Ring) Owner(tag string) int {
 		i = 0 // wrap past the highest point
 	}
 	return r.points[i].shard
+}
+
+// Owners appends the tag's replica set to dst and returns it: the
+// Replicas() distinct shards whose virtual nodes follow the tag's hash
+// clockwise, preferred replica first. The walk order — not a random
+// choice — is what makes the set identical on every process that built
+// the same ring.
+func (r *Ring) Owners(tag string, dst []int) []int {
+	h := hash64(tag)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	return r.ownersFrom(i, dst)
+}
+
+// ownersFrom collects the first Replicas() distinct shards clockwise of
+// point index i (wrapping), appending to dst.
+func (r *Ring) ownersFrom(i int, dst []int) []int {
+	for n := 0; n < len(r.points) && len(dst) < r.replicas; n++ {
+		s := r.points[(i+n)%len(r.points)].shard
+		seen := false
+		for _, d := range dst {
+			if d == s {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			dst = append(dst, s)
+		}
+	}
+	return dst
+}
+
+// Assign resolves which replica serves the tag for a read when the
+// shards in exclude are out of rotation: the first owner not excluded,
+// or -1 when every replica is excluded. Gateway and shards compute this
+// independently from the same ring and exclude list, so exactly one
+// live replica serves each tag and merged partials never double-count.
+func (r *Ring) Assign(tag string, exclude []int) int {
+	h := hash64(tag)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	found := 0
+	var owners [8]int
+	dst := owners[:0]
+	for n := 0; n < len(r.points) && found < r.replicas; n++ {
+		s := r.points[(i+n)%len(r.points)].shard
+		seen := false
+		for _, d := range dst {
+			if d == s {
+				seen = true
+				break
+			}
+		}
+		if seen {
+			continue
+		}
+		dst = append(dst, s)
+		found++
+		excluded := false
+		for _, e := range exclude {
+			if e == s {
+				excluded = true
+				break
+			}
+		}
+		if !excluded {
+			return s
+		}
+	}
+	return -1
+}
+
+// Owns reports whether shard is one of the tag's Replicas() owners.
+func (r *Ring) Owns(tag string, shard int) bool {
+	var owners [8]int
+	for _, o := range r.Owners(tag, owners[:0]) {
+		if o == shard {
+			return true
+		}
+	}
+	return false
+}
+
+// Covered reports whether every slice of the tag space keeps at least
+// one owner outside excluded — the per-slice readiness question. A
+// tag's owner set is fully determined by which arc of the ring its hash
+// lands on, so checking every arc (every point index as a walk start)
+// is exact, not sampled.
+func (r *Ring) Covered(excluded []int) bool {
+	if len(excluded) == 0 {
+		return true
+	}
+	out := make([]bool, r.shards)
+	n := 0
+	for _, e := range excluded {
+		if e >= 0 && e < r.shards && !out[e] {
+			out[e] = true
+			n++
+		}
+	}
+	if n == 0 {
+		return true
+	}
+	if n >= r.shards {
+		return false
+	}
+	var owners [8]int
+	for i := range r.points {
+		alive := false
+		for _, o := range r.ownersFrom(i, owners[:0]) {
+			if !out[o] {
+				alive = true
+				break
+			}
+		}
+		if !alive {
+			return false
+		}
+	}
+	return true
 }
 
 // Signature fingerprints the ring's vnode table as a hex string (the
@@ -112,6 +249,12 @@ func (r *Ring) Signature() string {
 	for _, p := range r.points {
 		sig = (sig ^ p.hash) * prime64
 		sig = (sig ^ uint64(p.shard)) * prime64
+	}
+	// Replication changes placement, so it must change the signature —
+	// but only when actually on, so every R=1 signature ever recorded
+	// (logs, baselines, mixed-version clusters) stays byte-identical.
+	if r.replicas > 1 {
+		sig = (sig ^ uint64(r.replicas)) * prime64
 	}
 	return fmt.Sprintf("%016x", sig)
 }

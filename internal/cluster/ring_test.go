@@ -88,3 +88,116 @@ func TestRingRejectsZeroShards(t *testing.T) {
 		t.Fatal("0-shard ring accepted")
 	}
 }
+
+func TestRingRejectsBadReplicas(t *testing.T) {
+	if _, err := NewRingReplicas(3, 0, 0); err == nil {
+		t.Fatal("0-replica ring accepted")
+	}
+	if _, err := NewRingReplicas(3, 0, 4); err == nil {
+		t.Fatal("4 replicas over 3 shards accepted")
+	}
+}
+
+// TestRingReplicaDistribution pins the replica-placement contract:
+// Owners(tag, R) yields R distinct shards, identically on two
+// independently built rings (the seedless hash), with the preferred
+// replica matching Owner, and with load balanced within tolerance both
+// across shards and across replica positions — so failing over from
+// position 0 to position 1 does not dogpile one unlucky shard.
+func TestRingReplicaDistribution(t *testing.T) {
+	for _, tc := range []struct{ shards, replicas int }{{3, 2}, {4, 2}, {5, 3}} {
+		a, err := NewRingReplicas(tc.shards, 0, tc.replicas)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewRingReplicas(tc.shards, DefaultVnodes, tc.replicas)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Signature() != b.Signature() {
+			t.Fatalf("%d/%d: signatures differ: %s vs %s", tc.shards, tc.replicas, a.Signature(), b.Signature())
+		}
+		const n = 30000
+		// posCounts[p][s] counts tags whose p-th replica is shard s.
+		posCounts := make([][]int, tc.replicas)
+		for p := range posCounts {
+			posCounts[p] = make([]int, tc.shards)
+		}
+		var owners, owners2 []int
+		for i := 0; i < n; i++ {
+			tag := fmt.Sprintf("vocab-%d", i)
+			owners = a.Owners(tag, owners[:0])
+			owners2 = b.Owners(tag, owners2[:0])
+			if len(owners) != tc.replicas {
+				t.Fatalf("%d/%d: tag %q has %d owners", tc.shards, tc.replicas, tag, len(owners))
+			}
+			if fmt.Sprint(owners) != fmt.Sprint(owners2) {
+				t.Fatalf("%d/%d: tag %q owners %v on one ring, %v on the other", tc.shards, tc.replicas, tag, owners, owners2)
+			}
+			if owners[0] != a.Owner(tag) {
+				t.Fatalf("%d/%d: tag %q preferred replica %d != Owner %d", tc.shards, tc.replicas, tag, owners[0], a.Owner(tag))
+			}
+			seen := make(map[int]bool, tc.replicas)
+			for p, o := range owners {
+				if o < 0 || o >= tc.shards {
+					t.Fatalf("%d/%d: tag %q owner %d out of range", tc.shards, tc.replicas, tag, o)
+				}
+				if seen[o] {
+					t.Fatalf("%d/%d: tag %q repeats shard %d in %v", tc.shards, tc.replicas, tag, o, owners)
+				}
+				seen[o] = true
+				posCounts[p][o]++
+			}
+		}
+		for p := range posCounts {
+			for s, c := range posCounts[p] {
+				frac := float64(c) / n
+				lo, hi := 0.5/float64(tc.shards), 2.0/float64(tc.shards)
+				if frac < lo || frac > hi {
+					t.Errorf("%d shards R=%d: replica position %d puts %.1f%% of tags on shard %d, want within [%.1f%%, %.1f%%]",
+						tc.shards, tc.replicas, p, 100*frac, s, 100*lo, 100*hi)
+				}
+			}
+		}
+	}
+}
+
+// TestRingAssignAndCovered pins the failover arithmetic the gateway and
+// the shards must agree on: Assign walks the replica set in preference
+// order skipping excluded shards, and Covered answers exactly whether
+// some slice lost its last replica.
+func TestRingAssignAndCovered(t *testing.T) {
+	r, err := NewRingReplicas(3, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var owners []int
+	for i := 0; i < 5000; i++ {
+		tag := fmt.Sprintf("vocab-%d", i)
+		owners = r.Owners(tag, owners[:0])
+		if got := r.Assign(tag, nil); got != owners[0] {
+			t.Fatalf("tag %q: Assign(nil) = %d, want preferred %d", tag, got, owners[0])
+		}
+		if got := r.Assign(tag, []int{owners[0]}); got != owners[1] {
+			t.Fatalf("tag %q: Assign(excl first) = %d, want %d", tag, got, owners[1])
+		}
+		if got := r.Assign(tag, owners); got != -1 {
+			t.Fatalf("tag %q: Assign(excl all) = %d, want -1", tag, got)
+		}
+		for _, o := range owners {
+			if !r.Owns(tag, o) {
+				t.Fatalf("tag %q: Owns(%d) false for an owner", tag, o)
+			}
+		}
+	}
+	if !r.Covered(nil) || !r.Covered([]int{1}) {
+		t.Fatal("R=2 ring not covered with one shard excluded")
+	}
+	if r.Covered([]int{0, 1}) {
+		t.Fatal("R=2 ring claims coverage with 2 of 3 shards excluded")
+	}
+	r1, _ := NewRing(3, 0)
+	if r1.Covered([]int{2}) {
+		t.Fatal("R=1 ring claims coverage with a shard excluded")
+	}
+}

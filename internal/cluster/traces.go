@@ -79,17 +79,18 @@ func (g *Gateway) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
 func (g *Gateway) stitchShards(ctx context.Context, id string) []ShardTraceView {
 	ctx, cancel := context.WithTimeout(ctx, g.cfg.ShardTimeout)
 	defer cancel()
-	out := make([]ShardTraceView, len(g.targets))
+	tp := g.topo.Load()
+	out := make([]ShardTraceView, len(tp.targets))
 	var wg sync.WaitGroup
-	for i := range g.targets {
+	for i := range tp.targets {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			out[i] = ShardTraceView{Shard: i, Target: g.targets[i]}
+			out[i] = ShardTraceView{Shard: i, Target: tp.targets[i]}
 			var v obs.TraceView
 			// The id charset ([0-9A-Za-z-_.,:], enforced above) is
 			// path-safe, so no escaping is needed.
-			if err := g.getJSON(ctx, g.targets[i]+"/debug/traces/"+id, &v); err != nil {
+			if err := g.getJSON(ctx, tp.targets[i]+"/debug/traces/"+id, &v); err != nil {
 				var se *statusError
 				if errors.As(err, &se) && se.code == http.StatusNotFound {
 					out[i].Error = "not retained"

@@ -44,6 +44,76 @@ func (s *Snapshot) Export() SnapshotData {
 	}
 }
 
+// ExportFiltered captures the persistable content of the snapshot's
+// tags the keep predicate admits. Unlike Export it builds fresh Profile
+// and Vecs slices (the vectors themselves still alias immutable
+// storage), so the result survives FromData's positional id rewrite
+// without mutating the live snapshot. This is the shard-transfer
+// export: a source shard streams exactly the slice a destination owns.
+func (s *Snapshot) ExportFiltered(keep func(name string) bool) SnapshotData {
+	data := SnapshotData{
+		Codes:   s.world.Codes(),
+		Records: s.records,
+		Prior:   s.prior,
+	}
+	for i := range s.profiles {
+		if keep != nil && !keep(s.profiles[i].Name) {
+			continue
+		}
+		data.Profiles = append(data.Profiles, s.profiles[i])
+		data.Vecs = append(data.Vecs, s.vecTab[i])
+	}
+	return data
+}
+
+// MergeData overlays exported data onto a base snapshot: profiles are
+// matched by name — incoming entries replace existing ones and unknown
+// names append, in the incoming order, so two nodes merging the same
+// transfer converge on the same snapshot — and the record count takes
+// the maximum of the two sides (each side's count is a lower bound on
+// the true global corpus, so max is the convergent fold of the
+// replicated counters). The result is a fresh snapshot; base is not
+// modified.
+func MergeData(base *Snapshot, data SnapshotData) (*Snapshot, error) {
+	merged := SnapshotData{
+		Codes:    base.world.Codes(),
+		Records:  base.records,
+		Prior:    base.prior,
+		Profiles: append([]Profile(nil), base.profiles...),
+		Vecs:     append([][]float64(nil), base.vecTab...),
+	}
+	if data.Records > merged.Records {
+		merged.Records = data.Records
+	}
+	byName := make(map[string]int, len(merged.Profiles))
+	for i := range merged.Profiles {
+		byName[merged.Profiles[i].Name] = i
+	}
+	if len(data.Vecs) != len(data.Profiles) {
+		return nil, fmt.Errorf("profilestore: merge data has %d vectors for %d profiles", len(data.Vecs), len(data.Profiles))
+	}
+	for i := range data.Profiles {
+		if j, ok := byName[data.Profiles[i].Name]; ok {
+			merged.Profiles[j] = data.Profiles[i]
+			merged.Vecs[j] = data.Vecs[i]
+		} else {
+			byName[data.Profiles[i].Name] = len(merged.Profiles)
+			merged.Profiles = append(merged.Profiles, data.Profiles[i])
+			merged.Vecs = append(merged.Vecs, data.Vecs[i])
+		}
+	}
+	return FromData(merged, base.world)
+}
+
+// Filter rebuilds the snapshot keeping only the tags the predicate
+// admits — the post-reshard prune: a shard that lost part of its slice
+// drops the profiles it no longer owns so its memory and /v1/tags view
+// track the new topology. Records is global, not per-tag, so it is
+// retained in full.
+func (s *Snapshot) Filter(keep func(name string) bool) (*Snapshot, error) {
+	return FromData(s.ExportFiltered(keep), s.world)
+}
+
 // FromData reconstructs a serving snapshot from exported data against
 // the given world, which must carry the identical country table the
 // data was exported under (same codes, same order) — vectors are

@@ -47,6 +47,17 @@ func (s *Snapshot) PredictInto(dst []float64, tagNames []string, w tagviews.Weig
 // gateway must send the complete, original tag list to every shard, not
 // just the shard's owned subset.
 func (s *Snapshot) PredictPartialInto(dst []float64, tagNames []string, w tagviews.Weighting) float64 {
+	return s.PredictPartialFilterInto(dst, tagNames, w, nil)
+}
+
+// PredictPartialFilterInto is PredictPartialInto restricted to tags the
+// serve predicate admits (nil admits every tag). The replicated cluster
+// tier uses it so that, of the R shards holding a tag, exactly one —
+// chosen by the shared ring's failover assignment — contributes it to
+// the merge; the rank discount still keys off the caller's full list,
+// so filtering changes which shard supplies a tag's term, never the
+// term itself.
+func (s *Snapshot) PredictPartialFilterInto(dst []float64, tagNames []string, w tagviews.Weighting, serve func(string) bool) float64 {
 	for i := range dst {
 		dst[i] = 0
 	}
@@ -55,6 +66,9 @@ func (s *Snapshot) PredictPartialInto(dst []float64, tagNames []string, w tagvie
 	for rank, t := range tagNames {
 		id, ok := s.Lookup(t)
 		if !ok {
+			continue
+		}
+		if serve != nil && !serve(t) {
 			continue
 		}
 		p := &s.profiles[id]

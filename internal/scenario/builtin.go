@@ -153,6 +153,87 @@ var builtins = map[string]func() *Spec{
 			},
 		}
 	},
+	"replica-kill": func() *Spec {
+		return &Spec{
+			Name:           "replica-kill",
+			Description:    "R=2 over 3 shards; SIGKILL one replica mid-traffic — reads must fail over to the surviving copies, writes stay sloppy-accepted, the restart catches up from peers",
+			Shards:         3,
+			Replicas:       2,
+			Videos:         4000,
+			Seed:           20110301,
+			FoldInterval:   d(300 * time.Millisecond),
+			CoalesceWindow: d(2 * time.Millisecond),
+			HealthInterval: d(250 * time.Millisecond),
+			Durable:        true,
+			Warmup:         d(2 * time.Second),
+			MaxOutstanding: 256,
+			Phases: []Phase{{
+				Name:       "steady-with-loss",
+				Duration:   d(10 * time.Second),
+				Rate:       120,
+				Batch:      1,
+				IngestFrac: 0.25,
+				Zipf:       1.1,
+				ChurnFrac:  0.05,
+			}},
+			Chaos: []ChaosEvent{
+				{At: d(4 * time.Second), Action: ActionKillShard, Shard: 1},
+				{At: d(7 * time.Second), Action: ActionRestartShard, Shard: 1},
+			},
+			SLOs: []SLO{
+				// The replication contract: losing one of two replicas is
+				// not an availability event for reads. The tiny budgets
+				// cover requests already in flight at the SIGKILL instant.
+				{Name: "read-errors", Stream: "read", Metric: MetricErrorRate, Max: f(0.02)},
+				{Name: "read-shed", Stream: "read", Metric: MetricShedRate, Max: f(0.02)},
+				{Name: "read-p99", Stream: "read", Metric: MetricP99, Max: f(2000)},
+				{Name: "read-served", Stream: "read", Metric: MetricThroughput, Min: f(20)},
+				// Writes shed only when a tag's whole slice is down, which
+				// never happens here; the budget covers the detection
+				// window where deliveries still target the corpse.
+				{Name: "write-errors", Stream: "write", Metric: MetricErrorRate, Max: f(0.15)},
+				{Name: "staleness", Stream: "cluster", Metric: MetricStaleness, Max: f(200)},
+				{Name: "recovery", Stream: "cluster", Metric: MetricRecoverySecs, Max: f(30)},
+			},
+		}
+	},
+	"grow-3to4": func() *Spec {
+		return &Spec{
+			Name:           "grow-3to4",
+			Description:    "live capacity add under load: boot a 4th shard mid-traffic and reshard 3 -> 4 through the gateway's handoff barrier; requests stall briefly, none fail",
+			Shards:         3,
+			Replicas:       2,
+			Videos:         4000,
+			Seed:           20110301,
+			FoldInterval:   d(300 * time.Millisecond),
+			CoalesceWindow: d(2 * time.Millisecond),
+			HealthInterval: d(250 * time.Millisecond),
+			Warmup:         d(2 * time.Second),
+			MaxOutstanding: 512,
+			Phases: []Phase{{
+				Name:       "steady-through-growth",
+				Duration:   d(12 * time.Second),
+				Rate:       120,
+				Batch:      1,
+				IngestFrac: 0.25,
+				Zipf:       1.1,
+				ChurnFrac:  0.05,
+			}},
+			Chaos: []ChaosEvent{
+				{At: d(5 * time.Second), Action: ActionGrowCluster},
+			},
+			SLOs: []SLO{
+				// The handoff closes the request barrier while slices
+				// stream, so p99 absorbs the pause — the SLO is that the
+				// move is a latency blip, not an error source.
+				{Name: "read-p99", Stream: "read", Metric: MetricP99, Max: f(5000)},
+				{Name: "read-errors", Stream: "read", Metric: MetricErrorRate, Max: f(0.02)},
+				{Name: "read-shed", Stream: "read", Metric: MetricShedRate, Max: f(0.10)},
+				{Name: "write-errors", Stream: "write", Metric: MetricErrorRate, Max: f(0.02)},
+				{Name: "staleness", Stream: "cluster", Metric: MetricStaleness, Max: f(200)},
+			},
+		}
+	},
 	"ingest-burst": func() *Spec {
 		return &Spec{
 			Name:           "ingest-burst",

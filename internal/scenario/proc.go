@@ -2,7 +2,9 @@ package scenario
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
@@ -182,32 +184,12 @@ func StartCluster(bins Binaries, sc *Spec, workdir string, logger *log.Logger) (
 		}
 	}()
 
-	foldEvery := sc.FoldInterval.D()
-	if foldEvery <= 0 {
-		foldEvery = 500 * time.Millisecond
-	}
 	targets := make([]string, sc.Shards)
 	for i := 0; i < sc.Shards; i++ {
-		addr, err := freeAddr()
+		p, err := c.newShardProc(i, sc.Shards)
 		if err != nil {
 			return nil, err
 		}
-		args := []string{
-			"-addr", addr,
-			"-videos", fmt.Sprint(sc.Videos),
-			"-seed", fmt.Sprint(sc.Seed),
-			"-ingest-interval", foldEvery.String(),
-			"-grace", "2s",
-		}
-		if sc.Shards > 1 {
-			args = append(args, "-shard", fmt.Sprintf("%d/%d", i, sc.Shards))
-		}
-		if sc.Durable {
-			// One shared root: cmd/serve namespaces per shard
-			// (shard-i-of-n) underneath it, so restarts find their state.
-			args = append(args, "-data-dir", filepath.Join(workdir, "data"))
-		}
-		p := &proc{name: fmt.Sprintf("shard-%d", i), bin: bins.Serve, args: args, addr: addr, url: "http://" + addr}
 		if err := p.start(); err != nil {
 			return nil, err
 		}
@@ -244,6 +226,9 @@ func StartCluster(bins Binaries, sc *Spec, workdir string, logger *log.Logger) (
 	if sc.CoalesceWindow > 0 {
 		gwArgs = append(gwArgs, "-coalesce-window", sc.CoalesceWindow.String())
 	}
+	if sc.Replicas > 1 {
+		gwArgs = append(gwArgs, "-replicas", fmt.Sprint(sc.Replicas))
+	}
 	c.gateway = &proc{name: "gateway", bin: bins.Gateway, args: gwArgs, addr: gwAddr, url: "http://" + gwAddr}
 	if err := c.gateway.start(); err != nil {
 		return nil, err
@@ -255,6 +240,87 @@ func StartCluster(bins Binaries, sc *Spec, workdir string, logger *log.Logger) (
 	}
 	ok = true
 	return c, nil
+}
+
+// newShardProc builds (without starting) the supervised daemon for
+// shard i of an n-shard tier, sharing the scenario's dataset knobs so
+// every member agrees on videos, seed and replica factor.
+func (c *Cluster) newShardProc(i, n int) (*proc, error) {
+	addr, err := freeAddr()
+	if err != nil {
+		return nil, err
+	}
+	foldEvery := c.sc.FoldInterval.D()
+	if foldEvery <= 0 {
+		foldEvery = 500 * time.Millisecond
+	}
+	args := []string{
+		"-addr", addr,
+		"-videos", fmt.Sprint(c.sc.Videos),
+		"-seed", fmt.Sprint(c.sc.Seed),
+		"-ingest-interval", foldEvery.String(),
+		"-grace", "2s",
+	}
+	if n > 1 {
+		args = append(args, "-shard", fmt.Sprintf("%d/%d", i, n))
+	}
+	if c.sc.Replicas > 1 {
+		args = append(args, "-replicas", fmt.Sprint(c.sc.Replicas))
+	}
+	if c.sc.Durable {
+		// One shared root: cmd/serve namespaces per shard
+		// (shard-i-of-n) underneath it, so restarts find their state.
+		args = append(args, "-data-dir", filepath.Join(c.workdir, "data"))
+	}
+	return &proc{name: fmt.Sprintf("shard-%d", i), bin: c.spec.Serve, args: args, addr: addr, url: "http://" + addr}, nil
+}
+
+// GrowCluster boots shard n of a tier growing n → n+1 (same dataset
+// knobs, identity already in the grown ring), waits for it to build,
+// and POSTs /v1/reshard so the gateway streams slices over and cuts
+// the topology live. The new daemon gets its own DelayProxy so later
+// chaos can address it like any other member.
+func (c *Cluster) GrowCluster() error {
+	i := len(c.shards)
+	c.logger.Printf("chaos: grow cluster %d -> %d shards", i, i+1)
+	p, err := c.newShardProc(i, i+1)
+	if err != nil {
+		return err
+	}
+	if err := p.start(); err != nil {
+		return err
+	}
+	c.shards = append(c.shards, p)
+	proxy, err := NewDelayProxy(p.url)
+	if err != nil {
+		return err
+	}
+	c.proxies = append(c.proxies, proxy)
+	if err := waitHTTP(c.client, p.url+"/readyz", 2*time.Minute); err != nil {
+		return fmt.Errorf("%w\n%s stderr:\n%s", err, p.name, p.tail())
+	}
+	targets := make([]string, len(c.proxies))
+	for j, pr := range c.proxies {
+		targets[j] = pr.URL()
+	}
+	body, err := json.Marshal(map[string][]string{"targets": targets})
+	if err != nil {
+		return err
+	}
+	// The reshard blocks until every slice has moved; give it its own
+	// generous deadline instead of the 5s probe client.
+	client := &http.Client{Timeout: 2 * time.Minute}
+	resp, err := client.Post(c.gateway.url+"/v1/reshard", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("scenario: reshard: %w", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("scenario: reshard: status %d: %s", resp.StatusCode, strings.TrimSpace(string(raw)))
+	}
+	c.logger.Printf("chaos: reshard complete: %s", strings.TrimSpace(string(raw)))
+	return nil
 }
 
 // KillShard SIGKILLs shard i — the crash the durable tier exists for.

@@ -43,6 +43,10 @@ type ClusterResult struct {
 	CoalesceBatches  int64   `json:"coalesce_batches,omitempty"`
 	CoalesceRequests int64   `json:"coalesce_requests,omitempty"`
 	WorstRecovery    float64 `json:"worst_recovery_seconds,omitempty"`
+	// HandoffEpoch is the highest reshard handoff epoch scraped from
+	// the gateway — nonzero proves a grow-cluster event actually moved
+	// the tier.
+	HandoffEpoch uint64 `json:"handoff_epoch,omitempty"`
 }
 
 // ScoreRow is one SLO's verdict in the scorecard. WorstTrace is the

@@ -56,6 +56,7 @@ type scrapeSample struct {
 	promOK       bool
 	coalesceB    int64
 	coalesceR    int64
+	handoffEpoch uint64
 }
 
 // statsView mirrors the slice of gateway /v1/stats the engine reads.
@@ -70,6 +71,10 @@ type statsView struct {
 		Healthy          int    `json:"healthy"`
 		CoalesceBatches  int64  `json:"coalesce_batches"`
 		CoalesceRequests int64  `json:"coalesce_requests"`
+		Handoff          *struct {
+			Epoch uint64 `json:"epoch"`
+			Phase string `json:"phase"`
+		} `json:"handoff"`
 	} `json:"cluster"`
 }
 
@@ -108,6 +113,9 @@ func (s *scraper) scrapeOnce(ctx context.Context) {
 		sample.minEpoch = sv.Cluster.Epoch
 		sample.coalesceB = sv.Cluster.CoalesceBatches
 		sample.coalesceR = sv.Cluster.CoalesceRequests
+		if sv.Cluster.Handoff != nil {
+			sample.handoffEpoch = sv.Cluster.Handoff.Epoch
+		}
 		sample.shardHealthy = make([]bool, len(sv.Cluster.Shards))
 		sample.epochs = make([]uint64, len(sv.Cluster.Shards))
 		for _, sh := range sv.Cluster.Shards {
@@ -288,6 +296,8 @@ func Run(sc *Spec, opts RunOptions) (*Report, error) {
 				cluster.SetShardDelay(ev.Shard, ev.Delay.D())
 			case ActionUnslowShard:
 				cluster.SetShardDelay(ev.Shard, 0)
+			case ActionGrowCluster:
+				err = cluster.GrowCluster()
 			}
 			if err != nil {
 				select {
@@ -412,11 +422,19 @@ func clusterResult(sc *Spec, samples []scrapeSample) ClusterResult {
 		out.Scrapes++
 		out.FinalHealthy = s.healthy
 		out.FinalEpoch = s.minEpoch
+		if s.handoffEpoch > out.HandoffEpoch {
+			out.HandoffEpoch = s.handoffEpoch
+		}
+		// Shard count follows the scrapes, not the spec: grow-cluster
+		// changes it mid-run and the report should show where it landed.
+		if len(s.shardHealthy) > 0 {
+			out.Shards = len(s.shardHealthy)
+		}
 		if s.coalesceB > out.CoalesceBatches {
 			out.CoalesceBatches = s.coalesceB
 			out.CoalesceRequests = s.coalesceR
 		}
-		if s.healthy == sc.Shards && len(s.epochs) == sc.Shards {
+		if n := len(s.epochs); n > 0 && s.healthy == n {
 			min, max := s.epochs[0], s.epochs[0]
 			for _, e := range s.epochs[1:] {
 				if e < min {

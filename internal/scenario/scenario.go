@@ -94,6 +94,11 @@ const (
 	ActionRestartGateway = "restart-gateway" // SIGTERM + re-exec the gateway
 	ActionSlowShard      = "slow-shard"      // brownout: inject Delay per call
 	ActionUnslowShard    = "unslow-shard"    // lift the brownout
+	// ActionGrowCluster boots one additional shard daemon over the same
+	// dataset, waits for it to build, and POSTs /v1/reshard so the
+	// gateway moves the tier onto the grown target list live — the
+	// scripted version of the capacity-add runbook.
+	ActionGrowCluster = "grow-cluster"
 )
 
 // ChaosEvent is one scripted fault, fired At after traffic starts.
@@ -138,6 +143,11 @@ type Spec struct {
 	Shards int    `json:"shards"`
 	Videos int    `json:"videos"`
 	Seed   uint64 `json:"seed"`
+	// Replicas is the ring's replica factor (copies of each tag's
+	// slice): every daemon and the gateway get -replicas. 0 or 1 means
+	// unreplicated; at >= 2 reads fail over and a killed shard costs
+	// availability of nothing that another replica still covers.
+	Replicas int `json:"replicas,omitempty"`
 	// FoldInterval is each shard's -ingest-interval; short intervals
 	// make epoch staleness observable on short runs.
 	FoldInterval Duration `json:"fold_interval,omitempty"`
@@ -177,6 +187,7 @@ var validActions = map[string]bool{
 	ActionRestartGateway: true,
 	ActionSlowShard:      true,
 	ActionUnslowShard:    true,
+	ActionGrowCluster:    true,
 }
 
 // validMetrics maps each metric to whether it is stream-scoped (true)
@@ -203,6 +214,12 @@ func (s *Spec) Validate() error {
 	}
 	if s.Videos < 1 {
 		return fmt.Errorf("scenario %s: videos must be >= 1", s.Name)
+	}
+	if s.Replicas < 0 {
+		return fmt.Errorf("scenario %s: replicas must be >= 0", s.Name)
+	}
+	if s.Replicas > s.Shards {
+		return fmt.Errorf("scenario %s: %d shards cannot hold %d replicas", s.Name, s.Shards, s.Replicas)
 	}
 	if len(s.Phases) == 0 {
 		return fmt.Errorf("scenario %s: at least one phase is required", s.Name)
@@ -293,7 +310,7 @@ func (s *Spec) Validate() error {
 }
 
 func actionNames() []string {
-	return []string{ActionKillShard, ActionRestartShard, ActionRestartGateway, ActionSlowShard, ActionUnslowShard}
+	return []string{ActionKillShard, ActionRestartShard, ActionRestartGateway, ActionSlowShard, ActionUnslowShard, ActionGrowCluster}
 }
 
 // Load parses and validates a JSON spec.

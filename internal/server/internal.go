@@ -27,6 +27,13 @@ import (
 type InternalPredictRequest struct {
 	Items     [][]string `json:"items"`
 	Weighting string     `json:"weighting,omitempty"`
+	// Exclude lists the shard indexes the gateway has taken out of read
+	// rotation (down or re-syncing replicas). Under replication a shard
+	// serves a tag only when the shared ring assigns it that tag given
+	// this exclusion — computed identically on both sides, so exactly
+	// one live replica contributes each tag to the merge. Ignored on
+	// unreplicated nodes.
+	Exclude []int `json:"exclude,omitempty"`
 }
 
 // PartialMixture is one item's partial prediction: the unnormalized
@@ -68,6 +75,7 @@ type InternalIngestRequest struct {
 type InternalMetaResponse struct {
 	Index         int       `json:"index"`
 	Shards        int       `json:"shards"`
+	Replicas      int       `json:"replicas,omitempty"`
 	RingSignature string    `json:"ring_signature,omitempty"`
 	Countries     []string  `json:"countries"`
 	Prior         []float64 `json:"prior"`
@@ -114,9 +122,10 @@ func (s *Server) handleInternalPredict(w http.ResponseWriter, r *http.Request) {
 		Partials:  make([]PartialMixture, len(req.Items)),
 	}
 	resp.Epoch = s.epoch()
+	serve := s.serveFilter(req.Exclude)
 	predictStart := time.Now()
 	for i, tags := range req.Items {
-		wSum := snap.PredictPartialInto(buf, tags, weighting)
+		wSum := snap.PredictPartialFilterInto(buf, tags, weighting, serve)
 		resp.Partials[i].WeightSum = wSum
 		if wSum > 0 {
 			resp.Partials[i].Sum = append([]float64(nil), buf...)
@@ -141,7 +150,7 @@ func (s *Server) handleInternalPredictBinary(w http.ResponseWriter, r *http.Requ
 		WriteError(w, http.StatusBadRequest, "invalid request body: %v", err)
 		return
 	}
-	items, weighting, crc, err := DecodePredictRequest(body.Bytes())
+	items, weighting, exclude, crc, err := DecodePredictRequestExclude(body.Bytes())
 	if err != nil {
 		WriteError(w, http.StatusBadRequest, "invalid request body: %v", err)
 		return
@@ -149,6 +158,7 @@ func (s *Server) handleInternalPredictBinary(w http.ResponseWriter, r *http.Requ
 	if !s.validPredictItems(w, items) {
 		return
 	}
+	serve := s.serveFilter(exclude)
 
 	snap := s.store.Load()
 	bufp := s.scratch.Get()
@@ -162,7 +172,7 @@ func (s *Server) handleInternalPredictBinary(w http.ResponseWriter, r *http.Requ
 	enc.Begin(weighting, snap.Records(), s.epoch(), len(buf), len(items), crc)
 	predictStart := time.Now()
 	for _, tags := range items {
-		enc.Item(snap.PredictPartialInto(buf, tags, weighting), buf)
+		enc.Item(snap.PredictPartialFilterInto(buf, tags, weighting, serve), buf)
 	}
 	// Span record is allocation-free, so even the binary hot path keeps
 	// its zero-steady-state budget.
@@ -209,6 +219,21 @@ func ValidTags(w http.ResponseWriter, item int, tags []string) bool {
 		}
 	}
 	return true
+}
+
+// serveFilter resolves the replica-serving predicate for one predict
+// request: of the replicas holding a tag, this shard contributes it iff
+// the shared ring assigns the tag here once the gateway's excluded
+// shards are out of rotation. Nil — serve everything owned — on
+// unreplicated nodes, so the R=1 hot path is untouched.
+func (s *Server) serveFilter(exclude []int) func(string) bool {
+	id := s.ident.Load()
+	if id.replicas <= 1 || id.topo == nil {
+		return nil
+	}
+	return func(tag string) bool {
+		return id.topo.Assign(tag, exclude) == id.index
+	}
 }
 
 // epoch returns the served fold epoch, zero when ingestion is off.
@@ -280,16 +305,20 @@ func (s *Server) handleInternalMeta(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	snap := s.store.Load()
+	id := s.ident.Load()
 	resp := InternalMetaResponse{
-		Index:         s.cfg.ShardIndex,
-		Shards:        s.cfg.ShardCount,
-		RingSignature: s.cfg.RingSignature,
+		Index:         id.index,
+		Shards:        id.shards,
+		RingSignature: id.ringSig,
 		Countries:     snap.World().Codes(),
 		Prior:         snap.Prior(),
 		Records:       snap.Records(),
 		Tags:          snap.NumTags(),
 		IngestEnabled: s.ing != nil,
 		Ready:         s.ready.Load(),
+	}
+	if id.replicas > 1 {
+		resp.Replicas = id.replicas
 	}
 	if s.ing != nil {
 		resp.Epoch = s.ing.Epoch()

@@ -71,6 +71,9 @@ var routes = []string{
 	"/internal/predict",
 	"/internal/ingest",
 	"/internal/meta",
+	"/internal/transfer/export",
+	"/internal/transfer/import",
+	"/internal/transfer/adopt",
 	"/debug/traces",
 	"/debug/traces/",
 }
@@ -106,6 +109,22 @@ type Config struct {
 	// signature differs from its own — that shard would own the wrong
 	// tags.
 	RingSignature string
+	// Replicas is the copies-per-tag count the node's ring places
+	// (cluster -replicas; 0 and 1 both mean unreplicated).
+	Replicas int
+	// Topology is the node's view of the shared placement ring
+	// (normally the same cluster.Ring the daemon partitioned with):
+	// which shards own a tag, and which replica serves it for a given
+	// exclusion list. Nil on standalone nodes — replica filtering and
+	// transfer exports then treat the node as the sole owner of its
+	// whole vocabulary.
+	Topology ShardTopology
+	// MakeTopology builds the topology for an arbitrary (shards,
+	// replicas) pair — the hook /internal/transfer needs to reason
+	// about a destination topology that is not this node's own
+	// (normally a closure over cluster.NewRingReplicas). Nil disables
+	// the transfer routes (503).
+	MakeTopology func(shards, replicas int) (ShardTopology, error)
 	// SlowRequest, when positive, logs one structured line (with the
 	// request's trace id) for every request at least this slow. Off by
 	// default.
@@ -115,6 +134,34 @@ type Config struct {
 // DefaultConfig returns the standard serving configuration.
 func DefaultConfig() Config {
 	return Config{MaxInFlight: 256, MaxBatch: 1024}
+}
+
+// ShardTopology is the placement contract a node shares with its
+// gateway: the replica set arithmetic of the consistent-hash ring,
+// abstracted so this package does not import internal/cluster. The
+// concrete implementation is cluster.Ring.
+type ShardTopology interface {
+	// Replicas is the copies-per-tag count the topology places.
+	Replicas() int
+	// Owns reports whether shard is one of the tag's replica owners.
+	Owns(tag string, shard int) bool
+	// Assign resolves which replica serves the tag for a read when the
+	// shards in exclude are out of rotation (-1 when all are).
+	Assign(tag string, exclude []int) int
+	// Signature fingerprints the topology for sync-time agreement.
+	Signature() string
+}
+
+// shardIdent is the node's mutable cluster identity: /internal/transfer
+// adopt swaps it atomically when a live reshard re-homes the node, so
+// the hot paths read it lock-free while the rest of Config stays
+// immutable.
+type shardIdent struct {
+	index    int
+	shards   int
+	replicas int
+	ringSig  string
+	topo     ShardTopology
 }
 
 // Server wires the store, the placement recommender and the optional
@@ -139,6 +186,16 @@ type Server struct {
 	// it is the Retry-After hint for ingest backpressure (the buffer
 	// only clears when the next fold drains it).
 	foldInterval time.Duration
+
+	// ident is the mutable cluster identity (shard index/count,
+	// replicas, ring signature, topology). Reads are lock-free; only
+	// /internal/transfer/adopt swaps it.
+	ident atomic.Pointer[shardIdent]
+
+	// foldNow, when set (SetFoldHook), synchronously folds any pending
+	// ingest deltas into the serving snapshot — the transfer routes
+	// call it so exports and imports operate on fully folded state.
+	foldNow func() (bool, error)
 
 	// ready gates /readyz: false (the construction default) until the
 	// daemon finishes recovery and installs its first serving snapshot,
@@ -185,8 +242,14 @@ func New(cfg Config, store *profilestore.Store) (*Server, error) {
 	if cfg.ShardCount <= 0 {
 		cfg.ShardCount = 1
 	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 1
+	}
 	if cfg.ShardIndex < 0 || cfg.ShardIndex >= cfg.ShardCount {
 		return nil, fmt.Errorf("server: shard index %d out of range for %d shards", cfg.ShardIndex, cfg.ShardCount)
+	}
+	if cfg.Replicas > cfg.ShardCount {
+		return nil, fmt.Errorf("server: %d replicas over %d shards", cfg.Replicas, cfg.ShardCount)
 	}
 	logger := cfg.Logger
 	if logger == nil {
@@ -200,6 +263,13 @@ func New(cfg Config, store *profilestore.Store) (*Server, error) {
 		metrics: NewMetrics(),
 		logger:  logger,
 	}
+	s.ident.Store(&shardIdent{
+		index:    cfg.ShardIndex,
+		shards:   cfg.ShardCount,
+		replicas: cfg.Replicas,
+		ringSig:  cfg.RingSignature,
+		topo:     cfg.Topology,
+	})
 	s.mw = NewMiddleware(cfg.MaxInFlight, s.metrics, logger, cfg.LogRequests)
 	s.mw.SetSlowRequest(cfg.SlowRequest)
 	s.traces = obs.NewTraceStore(0)
@@ -244,6 +314,12 @@ func (s *Server) handlerFor(path string) http.HandlerFunc {
 		return s.handleInternalIngest
 	case "/internal/meta":
 		return s.handleInternalMeta
+	case "/internal/transfer/export":
+		return s.handleTransferExport
+	case "/internal/transfer/import":
+		return s.handleTransferImport
+	case "/internal/transfer/adopt":
+		return s.handleTransferAdopt
 	case "/debug/traces", "/debug/traces/":
 		return s.handleDebugTraces
 	default:
@@ -316,6 +392,13 @@ func (s *Server) SetPersistHists(wal, ckpt *obs.Histogram) {
 	s.walHist = wal
 	s.ckptHist = ckpt
 }
+
+// SetFoldHook attaches a synchronous fold trigger (normally a closure
+// over the ingest compactor's FoldNow): the transfer routes call it
+// before exporting or merging so the streamed slice reflects every
+// acknowledged event, not just the last fold. Optional; without it the
+// routes serve whatever the current snapshot holds.
+func (s *Server) SetFoldHook(f func() (bool, error)) { s.foldNow = f }
 
 // SetReady flips /readyz to 200: call once recovery has finished and
 // the first serving snapshot is installed. (Construction leaves the

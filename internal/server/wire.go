@@ -29,7 +29,9 @@ import (
 //
 // Request frame:
 //
-//	"VTIPRQ01" | flags u8 | weighting u8 | nItems uvarint
+//	"VTIPRQ01" | flags u8 | weighting u8
+//	| [nExclude uvarint ( shard uvarint )*  — present iff flags bit 1]
+//	| nItems uvarint
 //	  ( nTags uvarint ( len uvarint | bytes )* )*
 //	| [crc32 u32]
 //
@@ -50,6 +52,12 @@ const (
 	WireContentType = "application/x-viewstags-predict-v1"
 
 	wireFlagCRC = 1 << 0
+	// wireFlagExclude marks a request frame that carries a shard
+	// exclusion list — the replicated tier's failover signal: the shard
+	// serves only tags the shared ring assigns to it once the excluded
+	// replicas are out of rotation. Absent on unreplicated requests, so
+	// the R=1 frame stays byte-identical to the pre-replication wire.
+	wireFlagExclude = 1 << 1
 )
 
 var (
@@ -177,8 +185,9 @@ func (r *wireReader) str(maxLen int) string {
 }
 
 // checkHeader consumes magic + flags, verifying the CRC trailer (and
-// trimming it off) when the flags announce one. Returns the flags byte.
-func (r *wireReader) checkHeader(magic []byte) byte {
+// trimming it off) when the flags announce one. allowed is the mask of
+// flag bits this frame kind may carry. Returns the flags byte.
+func (r *wireReader) checkHeader(magic []byte, allowed byte) byte {
 	if r.remaining() < len(magic)+1 {
 		r.fail(errWireTruncated)
 		return 0
@@ -189,7 +198,7 @@ func (r *wireReader) checkHeader(magic []byte) byte {
 	}
 	r.off = len(magic)
 	flags := r.u8()
-	if flags&^wireFlagCRC != 0 {
+	if flags&^allowed != 0 {
 		// Unknown flag bits mean a frame from a future layout this
 		// decoder cannot honor; refusing beats silently misparsing.
 		r.fail(fmt.Errorf("server: binary frame flags %#02x carry unknown bits", flags))
@@ -216,13 +225,31 @@ func (r *wireReader) checkHeader(magic []byte) byte {
 // Encoding into a recycled dst is allocation-free once the buffer has
 // grown to steady-state size.
 func AppendPredictRequest(dst []byte, items [][]string, weighting tagviews.Weighting, crc bool) []byte {
+	return AppendPredictRequestExclude(dst, items, weighting, nil, crc)
+}
+
+// AppendPredictRequestExclude is AppendPredictRequest with a shard
+// exclusion list: the replicas the gateway has taken out of read
+// rotation (down or re-syncing), so each shard can compute — from the
+// shared ring alone — which of its replicated tags it serves on this
+// request. An empty list encodes the exact pre-replication frame.
+func AppendPredictRequestExclude(dst []byte, items [][]string, weighting tagviews.Weighting, exclude []int, crc bool) []byte {
 	w := wireWriter{b: append(dst, wireReqMagic...)}
 	var flags byte
 	if crc {
 		flags |= wireFlagCRC
 	}
+	if len(exclude) > 0 {
+		flags |= wireFlagExclude
+	}
 	w.u8(flags)
 	w.u8(byte(weighting))
+	if len(exclude) > 0 {
+		w.uvarint(uint64(len(exclude)))
+		for _, s := range exclude {
+			w.uvarint(uint64(s))
+		}
+	}
 	w.uvarint(uint64(len(items)))
 	for _, tags := range items {
 		w.uvarint(uint64(len(tags)))
@@ -239,14 +266,33 @@ func AppendPredictRequest(dst []byte, items [][]string, weighting tagviews.Weigh
 // the snapshot's interner). Also reports whether the frame carried a
 // CRC trailer, so the reply can mirror the caller's integrity choice.
 func DecodePredictRequest(data []byte) (items [][]string, weighting tagviews.Weighting, crc bool, err error) {
+	items, weighting, _, crc, err = DecodePredictRequestExclude(data)
+	return items, weighting, crc, err
+}
+
+// DecodePredictRequestExclude is DecodePredictRequest plus the frame's
+// shard exclusion list (nil when the flag is absent).
+func DecodePredictRequestExclude(data []byte) (items [][]string, weighting tagviews.Weighting, exclude []int, crc bool, err error) {
 	r := wireReader{b: data}
-	flags := r.checkHeader(wireReqMagic)
+	flags := r.checkHeader(wireReqMagic, wireFlagCRC|wireFlagExclude)
 	weighting = tagviews.Weighting(r.u8())
 	if r.err == nil {
 		switch weighting {
 		case tagviews.WeightUniform, tagviews.WeightByViews, tagviews.WeightIDF:
 		default:
 			r.fail(fmt.Errorf("server: binary frame weighting byte %d invalid", weighting))
+		}
+	}
+	if flags&wireFlagExclude != 0 && r.err == nil {
+		nExcl := r.uvarint()
+		if r.err == nil && nExcl > uint64(r.remaining()) {
+			r.fail(fmt.Errorf("server: binary frame exclude count %d exceeds bound", nExcl))
+		}
+		if r.err == nil {
+			exclude = make([]int, nExcl)
+			for i := range exclude {
+				exclude[i] = int(r.uvarint())
+			}
 		}
 	}
 	nItems := r.uvarint()
@@ -277,9 +323,9 @@ func DecodePredictRequest(data []byte) (items [][]string, weighting tagviews.Wei
 		r.fail(fmt.Errorf("server: %d trailing bytes after binary request frame", r.remaining()))
 	}
 	if r.err != nil {
-		return nil, 0, false, r.err
+		return nil, 0, nil, false, r.err
 	}
-	return items, weighting, flags&wireFlagCRC != 0, nil
+	return items, weighting, exclude, flags&wireFlagCRC != 0, nil
 }
 
 // PredictWireEncoder streams a binary /internal/predict response: Begin
@@ -370,7 +416,7 @@ type PredictPartials struct {
 // the decoder must never allocate the size of the corruption.
 func DecodePredictResponse(data []byte, out *PredictPartials, maxItems, maxC int) error {
 	r := wireReader{b: data}
-	r.checkHeader(wireRespMagic)
+	r.checkHeader(wireRespMagic, wireFlagCRC)
 	out.Weighting = tagviews.Weighting(r.u8())
 	out.Records = int(r.uvarint())
 	out.Epoch = r.u64()
